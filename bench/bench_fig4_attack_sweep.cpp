@@ -1,0 +1,126 @@
+// Reproduces Figure 4: attack effectiveness and AdvHunter detection
+// performance (F1 on the cache-misses event) across all three scenarios,
+// the three attack families (FGSM, PGD, DeepFool), both variants
+// (untargeted, targeted), and three attack strengths.
+//
+// For untargeted attacks the x-annotation is the model's accuracy under
+// attack (drops as eps grows); for targeted attacks it is the targeted
+// accuracy (rises as eps grows). DeepFool runs at its default setting, as
+// in the paper. Expected shape: high F1 for every attack configuration,
+// with the trend of attack strength matching the paper.
+#include <iostream>
+#include <sstream>
+
+#include "bench/bench_common.hpp"
+#include "common/ascii_plot.hpp"
+
+using namespace advh;
+
+namespace {
+
+struct cell_result {
+  std::string label;
+  double attack_metric = 0.0;  ///< accuracy under attack / targeted accuracy
+  double f1 = 0.0;
+  std::size_t n_adv = 0;
+};
+
+}  // namespace
+
+int main() {
+  text_table table(
+      "Figure 4: attack effectiveness vs AdvHunter F1 (cache-misses)");
+  table.set_header({"scenario", "attack", "variant", "eps",
+                    "attack metric %", "metric meaning", "AdvHunter F1",
+                    "#AEs"});
+
+  std::ostringstream bars;
+  const std::size_t eval_n = bench::scaled(20);
+
+  for (auto id : {data::scenario_id::s1, data::scenario_id::s2,
+                  data::scenario_id::s3}) {
+    auto rt = bench::prepare(id);
+    auto monitor = bench::make_monitor(*rt.net);
+
+    core::detector_config dcfg;
+    dcfg.events = {hpc::hpc_event::cache_misses};
+    dcfg.repeats = 10;
+    // Validation sizes per Figure 6's saturation points.
+    const std::size_t m_per_class = id == data::scenario_id::s3 ? 60 : 40;
+    const auto det =
+        bench::fit_detector(*monitor, dcfg, rt.train, m_per_class);
+
+    // Clean evaluation measurements are shared by every cell.
+    std::vector<tensor> clean;
+    for (std::size_t cls = 0; cls < rt.test.num_classes; ++cls) {
+      auto v = bench::clean_of_class(
+          *rt.net, rt.test, cls,
+          std::max<std::size_t>(1, 2 * eval_n / rt.test.num_classes));
+      for (auto& x : v) clean.push_back(std::move(x));
+    }
+    core::detection_eval clean_eval;
+    core::evaluate_inputs(det, *monitor, clean, false, clean_eval);
+
+    auto pool = bench::attack_pool(
+        rt, std::max<std::size_t>(6, bench::scaled(120) / rt.test.num_classes));
+
+    std::vector<cell_result> cells;
+    auto run_cell = [&](attack::attack_kind kind, attack::attack_goal goal,
+                        float eps, const std::string& eps_label) {
+      auto adv = bench::collect_adversarial(*rt.net, pool, kind, goal, eps,
+                                            rt.spec.target_class, eval_n);
+      core::detection_eval eval = clean_eval;
+      core::evaluate_inputs(det, *monitor, adv.inputs, true, eval);
+      const bool targeted = goal == attack::attack_goal::targeted;
+      cell_result cell;
+      cell.label = to_string(kind) + (targeted ? "/t" : "/u") + " " +
+                   eps_label;
+      cell.attack_metric = adv.attack_accuracy_metric;
+      cell.f1 = eval.per_event[0].f1();
+      cell.n_adv = adv.inputs.size();
+      cells.push_back(cell);
+      table.add_row({rt.spec.label, to_string(kind),
+                     targeted ? "targeted" : "untargeted", eps_label,
+                     text_table::num(100.0 * cell.attack_metric, 2),
+                     targeted ? "targeted accuracy" : "accuracy under attack",
+                     text_table::num(cell.f1, 4), std::to_string(cell.n_adv)});
+    };
+
+    // Untargeted sweeps need lower strengths than targeted ones (footnote 2
+    // of the paper: targeted attacks require higher strength).
+    for (float eps : {0.01f, 0.05f, 0.1f}) {
+      run_cell(attack::attack_kind::fgsm, attack::attack_goal::untargeted,
+               eps, text_table::num(eps, 2));
+    }
+    for (float eps : {0.03f, 0.05f, 0.1f}) {
+      run_cell(attack::attack_kind::fgsm, attack::attack_goal::targeted, eps,
+               text_table::num(eps, 2));
+    }
+    for (float eps : {0.01f, 0.05f, 0.1f}) {
+      run_cell(attack::attack_kind::pgd, attack::attack_goal::untargeted, eps,
+               text_table::num(eps, 2));
+    }
+    for (float eps : {0.05f, 0.1f, 0.3f}) {
+      run_cell(attack::attack_kind::pgd, attack::attack_goal::targeted, eps,
+               text_table::num(eps, 2));
+    }
+    run_cell(attack::attack_kind::deepfool, attack::attack_goal::untargeted,
+             0.0f, "default");
+    run_cell(attack::attack_kind::deepfool, attack::attack_goal::targeted,
+             0.0f, "default");
+
+    bars << rt.spec.label << " — AdvHunter F1 per attack configuration\n";
+    std::vector<std::string> labels;
+    std::vector<double> values;
+    for (const auto& c : cells) {
+      labels.push_back(c.label);
+      values.push_back(c.f1);
+    }
+    bars << plot::bar_chart(labels, values) << "\n";
+  }
+
+  std::cout << bars.str();
+  bench::emit(table, "fig4_attack_sweep");
+  bench::emit_text(bars.str(), "fig4_attack_sweep_bars");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Reproduces Table 2: per-category detection accuracy and F1-score for the
+// five core HPC events in scenario S2 under a targeted FGSM attack
+// (target class 'frog'). The paper uses eps = 0.5; on this synthetic
+// substrate a single-step signed perturbation of that size overshoots the
+// target region (success ~0%), so the bench runs the paper's protocol at
+// eps = 0.1, the strongest setting with usable targeted success (see
+// EXPERIMENTS.md).
+//
+// Each row evaluates clean 'frog' images against AEs originally of one
+// source category but misclassified to 'frog'. Expected shape (paper):
+// instructions / branches / branch-misses sit at ~50% accuracy with tiny
+// F1; cache-references is weak with a couple of elevated categories;
+// cache-misses detects nearly perfectly across all categories.
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+
+using namespace advh;
+
+int main() {
+  auto rt = bench::prepare(data::scenario_id::s2);
+  auto monitor = bench::make_monitor(*rt.net);
+
+  core::detector_config dcfg;
+  dcfg.events = hpc::core_events();
+  dcfg.repeats = 10;
+  const auto det = bench::fit_detector(*monitor, dcfg, rt.train,
+                                       bench::scaled(40));
+
+  // Adversarial examples per source category.
+  const std::size_t per_category = bench::scaled(20);
+  auto pool = bench::attack_pool(rt, bench::scaled(120));
+  auto adv = bench::collect_adversarial(
+      *rt.net, pool, attack::attack_kind::fgsm, attack::attack_goal::targeted,
+      0.1f, rt.spec.target_class,
+      per_category * (rt.test.num_classes - 1));
+  std::cout << "S2 targeted FGSM eps=0.1: attack success "
+            << text_table::num(100.0 * adv.attack_success_rate, 2)
+            << "% over " << adv.attempted << " attempts\n\n";
+
+  // Clean 'frog' pool, reused balanced against each category's AEs.
+  auto clean = bench::clean_of_class(*rt.net, rt.test, rt.spec.target_class,
+                                     per_category * 3);
+
+  text_table table(
+      "Table 2: per-category detection performance, S2 targeted FGSM "
+      "eps=0.1 (accuracy % / F1)");
+  std::vector<std::string> header{"category", "target"};
+  for (auto e : dcfg.events) {
+    header.push_back(to_string(e) + " acc");
+    header.push_back(to_string(e) + " F1");
+  }
+  table.set_header(header);
+
+  std::vector<core::detection_confusion> overall(dcfg.events.size());
+  for (std::size_t cls = 0; cls < rt.test.num_classes; ++cls) {
+    if (cls == rt.spec.target_class) continue;
+
+    // This category's successful AEs, balanced with clean target images.
+    std::vector<tensor> cls_adv;
+    for (std::size_t i = 0; i < adv.inputs.size(); ++i) {
+      if (adv.source_labels[i] == cls) cls_adv.push_back(adv.inputs[i]);
+    }
+    const std::size_t n = std::min(cls_adv.size(), clean.size());
+    if (n == 0) {
+      std::vector<std::string> row{rt.test.class_names[cls],
+                                   rt.spec.target_class_name};
+      for (std::size_t e = 0; e < dcfg.events.size(); ++e) {
+        row.push_back("n/a");
+        row.push_back("n/a");
+      }
+      table.add_row(row);
+      continue;
+    }
+
+    core::detection_eval eval;
+    core::evaluate_inputs(det, *monitor,
+                          std::span<const tensor>(clean.data(), n), false,
+                          eval);
+    core::evaluate_inputs(det, *monitor,
+                          std::span<const tensor>(cls_adv.data(), n), true,
+                          eval);
+
+    std::vector<std::string> row{rt.test.class_names[cls],
+                                 rt.spec.target_class_name};
+    for (std::size_t e = 0; e < dcfg.events.size(); ++e) {
+      row.push_back(text_table::num(100.0 * eval.per_event[e].accuracy(), 2));
+      row.push_back(text_table::num(eval.per_event[e].f1(), 4));
+      overall[e].merge(eval.per_event[e]);
+    }
+    table.add_row(row);
+  }
+
+  std::vector<std::string> row{"overall", rt.spec.target_class_name};
+  for (std::size_t e = 0; e < dcfg.events.size(); ++e) {
+    row.push_back(text_table::num(100.0 * overall[e].accuracy(), 2));
+    row.push_back(text_table::num(overall[e].f1(), 4));
+  }
+  table.add_row(row);
+
+  bench::emit(table, "table2_core_events");
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "attack/attack.hpp"
+
+#include "attack/deepfool.hpp"
+#include "attack/fgsm.hpp"
+#include "attack/pgd.hpp"
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace advh::attack {
+
+bool attack::is_success(std::size_t predicted, std::size_t true_label) const {
+  if (cfg_.goal == attack_goal::targeted) {
+    return predicted == cfg_.target_class;
+  }
+  return predicted != true_label;
+}
+
+attack_result attack::finalize(nn::model& m, const tensor& original,
+                               tensor adversarial, std::size_t original_pred,
+                               std::size_t true_label) const {
+  attack_result r;
+  r.original_prediction = original_pred;
+  const tensor delta = ops::sub(adversarial, original);
+  r.l2_distortion = ops::l2_norm(delta);
+  r.linf_distortion = ops::linf_norm(delta);
+  r.adversarial_prediction = m.predict_one(adversarial);
+  r.success = is_success(r.adversarial_prediction, true_label);
+  r.adversarial = std::move(adversarial);
+  return r;
+}
+
+std::string to_string(attack_kind k) {
+  switch (k) {
+    case attack_kind::fgsm:
+      return "FGSM";
+    case attack_kind::pgd:
+      return "PGD";
+    case attack_kind::deepfool:
+      return "DeepFool";
+  }
+  return "?";
+}
+
+attack_ptr make_attack(attack_kind kind, const attack_config& cfg) {
+  switch (kind) {
+    case attack_kind::fgsm:
+      return std::make_unique<fgsm>(cfg);
+    case attack_kind::pgd:
+      return std::make_unique<pgd>(cfg);
+    case attack_kind::deepfool:
+      return std::make_unique<deepfool>(cfg);
+  }
+  throw invariant_error("unknown attack kind");
+}
+
+}  // namespace advh::attack

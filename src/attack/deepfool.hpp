@@ -1,0 +1,28 @@
+// DeepFool (Moosavi-Dezfooli et al., CVPR 2016), minimal-L2 attack.
+//
+// Iteratively linearises the classifier around the current iterate and
+// steps to the nearest face of the (linearised) decision boundary. The
+// targeted variant steps towards the hyperplane separating the current
+// class from the requested target class.
+#pragma once
+
+#include "attack/attack.hpp"
+
+namespace advh::attack {
+
+class deepfool final : public attack {
+ public:
+  explicit deepfool(attack_config cfg) : attack(std::move(cfg)) {}
+
+  attack_result run(nn::model& m, const tensor& x,
+                    std::size_t true_label) override;
+
+  std::string name() const override { return "DeepFool"; }
+
+ private:
+  /// Candidate classes examined per iteration for the untargeted variant
+  /// (top logits); bounds cost on many-class datasets such as GTSRB.
+  static constexpr std::size_t kMaxCandidates = 10;
+};
+
+}  // namespace advh::attack

@@ -1,0 +1,52 @@
+#include "attack/metrics.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "nn/trainer.hpp"
+
+namespace advh::attack {
+
+batch_attack_output attack_batch(nn::model& m, attack& atk,
+                                 const data::dataset& d,
+                                 const std::vector<std::size_t>& indices) {
+  std::vector<std::size_t> idx = indices;
+  if (idx.empty()) {
+    idx.resize(d.size());
+    std::iota(idx.begin(), idx.end(), 0);
+  }
+
+  batch_attack_output out;
+  const bool targeted = atk.config().goal == attack_goal::targeted;
+  std::size_t true_hits = 0;
+  std::size_t target_hits = 0;
+  double l2_sum = 0.0, linf_sum = 0.0;
+
+  for (std::size_t i : idx) {
+    ADVH_CHECK(i < d.size());
+    if (targeted && d.labels[i] == atk.config().target_class) continue;
+    tensor x = nn::single_example(d.images, i);
+    attack_result r = atk.run(m, x, d.labels[i]);
+    ++out.stats.attempted;
+    if (r.success) ++out.stats.succeeded;
+    if (r.adversarial_prediction == d.labels[i]) ++true_hits;
+    if (targeted && r.adversarial_prediction == atk.config().target_class) {
+      ++target_hits;
+    }
+    l2_sum += r.l2_distortion;
+    linf_sum += r.linf_distortion;
+    out.results.push_back(std::move(r));
+    out.source_indices.push_back(i);
+  }
+
+  if (out.stats.attempted > 0) {
+    const auto n = static_cast<double>(out.stats.attempted);
+    out.stats.mean_l2 = l2_sum / n;
+    out.stats.mean_linf = linf_sum / n;
+    out.stats.model_accuracy_under_attack = static_cast<double>(true_hits) / n;
+    out.stats.targeted_accuracy = static_cast<double>(target_hits) / n;
+  }
+  return out;
+}
+
+}  // namespace advh::attack

@@ -1,0 +1,36 @@
+// Batch attack evaluation: runs an attack over many examples and reports
+// the aggregate statistics the paper's Figure 4 x-axis labels carry
+// (untargeted model accuracy under attack / targeted attack accuracy).
+#pragma once
+
+#include <vector>
+
+#include "attack/attack.hpp"
+#include "data/dataset.hpp"
+
+namespace advh::attack {
+
+struct batch_attack_stats {
+  std::size_t attempted = 0;
+  std::size_t succeeded = 0;
+  double mean_l2 = 0.0;
+  double mean_linf = 0.0;
+  /// Untargeted: model accuracy on perturbed inputs (w.r.t. true labels).
+  double model_accuracy_under_attack = 0.0;
+  /// Targeted: fraction of perturbed inputs predicted as the target class.
+  double targeted_accuracy = 0.0;
+};
+
+struct batch_attack_output {
+  batch_attack_stats stats;
+  std::vector<attack_result> results;  ///< one per attempted example
+  std::vector<std::size_t> source_indices;  ///< dataset index per result
+};
+
+/// Attacks every example of `d` whose index is in `indices` (all if empty).
+/// For targeted attacks, examples already belonging to the target class are
+/// skipped (matching the paper's evaluation protocol).
+batch_attack_output attack_batch(nn::model& m, attack& atk, const data::dataset& d,
+                                 const std::vector<std::size_t>& indices = {});
+
+}  // namespace advh::attack

@@ -1,0 +1,65 @@
+#include "attack/min_eps.hpp"
+
+#include "common/error.hpp"
+
+namespace advh::attack {
+
+namespace {
+
+attack_result run_at(nn::model& m, const tensor& x, std::size_t true_label,
+                     const min_eps_config& cfg, float eps) {
+  attack_config acfg;
+  acfg.goal = cfg.goal;
+  acfg.target_class = cfg.target_class;
+  acfg.epsilon = eps;
+  acfg.steps = cfg.pgd_steps;
+  auto atk = make_attack(cfg.kind, acfg);
+  return atk->run(m, x, true_label);
+}
+
+}  // namespace
+
+min_eps_result find_minimal_epsilon(nn::model& m, const tensor& x,
+                                    std::size_t true_label,
+                                    const min_eps_config& cfg) {
+  ADVH_CHECK(cfg.eps_hi > cfg.eps_lo);
+  ADVH_CHECK(cfg.tolerance > 0.0f);
+  ADVH_CHECK_MSG(cfg.kind != attack_kind::deepfool,
+                 "DeepFool already minimises distortion; bisection applies "
+                 "to epsilon-parameterised attacks");
+
+  min_eps_result out;
+
+  // Find a successful upper bound.
+  float hi = cfg.eps_hi;
+  attack_result at_hi;
+  bool hi_ok = false;
+  for (std::size_t d = 0; d <= cfg.max_doublings; ++d) {
+    at_hi = run_at(m, x, true_label, cfg, hi);
+    if (at_hi.success) {
+      hi_ok = true;
+      break;
+    }
+    hi *= 2.0f;
+  }
+  if (!hi_ok) return out;  // attack cannot succeed within budget
+
+  float lo = cfg.eps_lo;
+  out.result = at_hi;
+  out.epsilon = hi;
+  out.found = true;
+  while (hi - lo > cfg.tolerance) {
+    const float mid = 0.5f * (lo + hi);
+    auto r = run_at(m, x, true_label, cfg, mid);
+    if (r.success) {
+      hi = mid;
+      out.result = std::move(r);
+      out.epsilon = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return out;
+}
+
+}  // namespace advh::attack

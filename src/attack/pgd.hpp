@@ -1,0 +1,20 @@
+// Projected Gradient Descent, L-infinity (the iterated FGSM of Madry et
+// al.; the paper cites the momentum variant of Dong et al., CVPR 2018 —
+// we implement momentum-accelerated iterates accordingly).
+#pragma once
+
+#include "attack/attack.hpp"
+
+namespace advh::attack {
+
+class pgd final : public attack {
+ public:
+  explicit pgd(attack_config cfg) : attack(std::move(cfg)) {}
+
+  attack_result run(nn::model& m, const tensor& x,
+                    std::size_t true_label) override;
+
+  std::string name() const override { return "PGD"; }
+};
+
+}  // namespace advh::attack

@@ -1,0 +1,168 @@
+#include "common/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace advh::plot {
+
+std::string dual_histogram(std::span<const double> a, std::span<const double> b,
+                           const std::string& label_a,
+                           const std::string& label_b, std::size_t bins,
+                           std::size_t height) {
+  ADVH_CHECK(!a.empty() && !b.empty());
+  ADVH_CHECK(bins > 0 && height > 0);
+
+  double lo = std::min(stats::min(a), stats::min(b));
+  double hi = std::max(stats::max(a), stats::max(b));
+  if (lo == hi) {
+    lo -= 0.5;
+    hi += 0.5;
+  }
+  stats::histogram ha(lo, hi, bins);
+  stats::histogram hb(lo, hi, bins);
+  for (double x : a) ha.push(x);
+  for (double x : b) hb.push(x);
+
+  double fmax = 0.0;
+  for (std::size_t i = 0; i < bins; ++i) {
+    fmax = std::max({fmax, ha.frequency(i), hb.frequency(i)});
+  }
+  if (fmax == 0.0) fmax = 1.0;
+
+  // Character per cell: '#' = label_a only, 'o' = label_b only,
+  // '%' = both populations reach this height.
+  std::ostringstream os;
+  os << "  [#] " << label_a << "   [o] " << label_b
+     << "   [%] overlap   (normalized frequency)\n";
+  for (std::size_t r = 0; r < height; ++r) {
+    const double level =
+        fmax * static_cast<double>(height - r) / static_cast<double>(height);
+    os << "  |";
+    for (std::size_t c = 0; c < bins; ++c) {
+      const bool in_a = ha.frequency(c) >= level;
+      const bool in_b = hb.frequency(c) >= level;
+      os << (in_a && in_b ? '%' : in_a ? '#' : in_b ? 'o' : ' ');
+    }
+    os << "|\n";
+  }
+  os << "  +" << std::string(bins, '-') << "+\n";
+  std::ostringstream lo_s, hi_s;
+  lo_s.precision(4);
+  hi_s.precision(4);
+  lo_s << lo;
+  hi_s << hi;
+  const std::string left = lo_s.str();
+  const std::string right = hi_s.str();
+  os << "   " << left;
+  const std::size_t pad =
+      bins > left.size() + right.size() ? bins - left.size() - right.size() : 1;
+  os << std::string(pad, ' ') << right << "\n";
+  return os.str();
+}
+
+std::string bar_chart(std::span<const std::string> labels,
+                      std::span<const double> values, double vmax,
+                      std::size_t width) {
+  ADVH_CHECK(labels.size() == values.size());
+  ADVH_CHECK(vmax > 0.0 && width > 0);
+  std::size_t lwidth = 0;
+  for (const auto& l : labels) lwidth = std::max(lwidth, l.size());
+
+  std::ostringstream os;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const double clamped = std::clamp(values[i], 0.0, vmax);
+    const auto n =
+        static_cast<std::size_t>(std::round(clamped / vmax * width));
+    os << "  " << labels[i] << std::string(lwidth - labels[i].size(), ' ')
+       << " |" << std::string(n, '#') << std::string(width - n, ' ') << "| ";
+    os.setf(std::ios::fixed);
+    os.precision(4);
+    os << values[i] << "\n";
+  }
+  return os.str();
+}
+
+std::string line_plot(std::span<const double> x,
+                      std::span<const series> curves, std::size_t width,
+                      std::size_t height) {
+  ADVH_CHECK(!x.empty());
+  ADVH_CHECK(!curves.empty());
+  for (const auto& s : curves) {
+    ADVH_CHECK_MSG(s.y.size() == x.size(), "series length must match x");
+    ADVH_CHECK_MSG(s.band.empty() || s.band.size() == x.size(),
+                   "band length must match x");
+  }
+
+  double ymin = curves[0].y[0], ymax = curves[0].y[0];
+  for (const auto& s : curves) {
+    for (std::size_t i = 0; i < s.y.size(); ++i) {
+      const double b = s.band.empty() ? 0.0 : s.band[i];
+      ymin = std::min(ymin, s.y[i] - b);
+      ymax = std::max(ymax, s.y[i] + b);
+    }
+  }
+  if (ymin == ymax) {
+    ymin -= 0.5;
+    ymax += 0.5;
+  }
+  const double xmin = x.front();
+  const double xmax = x.back() == x.front() ? x.front() + 1.0 : x.back();
+
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  const char marks[] = {'*', 'o', '+', 'x', '@', '$'};
+  auto col_of = [&](double xv) {
+    const double t = (xv - xmin) / (xmax - xmin);
+    return std::clamp<std::size_t>(
+        static_cast<std::size_t>(std::round(t * static_cast<double>(width - 1))),
+        0, width - 1);
+  };
+  auto row_of = [&](double yv) {
+    const double t = (yv - ymin) / (ymax - ymin);
+    const auto r = static_cast<std::size_t>(
+        std::round((1.0 - t) * static_cast<double>(height - 1)));
+    return std::clamp<std::size_t>(r, 0, height - 1);
+  };
+
+  for (std::size_t s = 0; s < curves.size(); ++s) {
+    const char mark = marks[s % sizeof(marks)];
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (!curves[s].band.empty()) {
+        const std::size_t r_lo = row_of(curves[s].y[i] - curves[s].band[i]);
+        const std::size_t r_hi = row_of(curves[s].y[i] + curves[s].band[i]);
+        for (std::size_t r = std::min(r_lo, r_hi); r <= std::max(r_lo, r_hi);
+             ++r) {
+          char& cell = grid[r][col_of(x[i])];
+          if (cell == ' ') cell = '.';
+        }
+      }
+      grid[row_of(curves[s].y[i])][col_of(x[i])] = mark;
+    }
+  }
+
+  std::ostringstream os;
+  os << "  legend:";
+  for (std::size_t s = 0; s < curves.size(); ++s) {
+    os << "  [" << marks[s % sizeof(marks)] << "] " << curves[s].name;
+  }
+  os << "   ('.' = +/- band)\n";
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  for (std::size_t r = 0; r < height; ++r) {
+    if (r == 0) {
+      os << ymax << " |";
+    } else if (r == height - 1) {
+      os << ymin << " |";
+    } else {
+      os << std::string(8, ' ') << "|";
+    }
+    os << grid[r] << "\n";
+  }
+  os << std::string(9, ' ') << "+" << std::string(width, '-') << "\n";
+  os << std::string(10, ' ') << xmin << " .. " << xmax << "\n";
+  return os.str();
+}
+
+}  // namespace advh::plot

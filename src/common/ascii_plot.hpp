@@ -1,0 +1,43 @@
+// Terminal rendering of the paper's figures.
+//
+// The bench binaries regenerate each figure's underlying series; these
+// helpers render them as ASCII so "the same rows/series the paper reports"
+// are visible directly in bench output (CSV files carry the raw numbers).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace advh::plot {
+
+/// Renders overlapping frequency histograms of two samples (e.g. clean vs
+/// adversarial HPC counts) over a shared range — the visual content of the
+/// paper's Figures 3 and 5.
+std::string dual_histogram(std::span<const double> a, std::span<const double> b,
+                           const std::string& label_a,
+                           const std::string& label_b, std::size_t bins = 40,
+                           std::size_t height = 10);
+
+/// Renders a horizontal bar chart, one bar per labelled value in [0, 1]
+/// (e.g. per-attack F1 scores — Figure 4's bar content).
+std::string bar_chart(std::span<const std::string> labels,
+                      std::span<const double> values, double vmax = 1.0,
+                      std::size_t width = 50);
+
+/// Renders one or more y-series over a shared x-axis as a line plot
+/// (e.g. F1 vs validation size — Figure 6). Optional per-point band
+/// (std-dev) is printed alongside the values.
+struct series {
+  std::string name;
+  std::vector<double> y;
+  std::vector<double> band;  ///< optional; empty or same size as y
+};
+
+std::string line_plot(std::span<const double> x,
+                      std::span<const series> curves, std::size_t width = 64,
+                      std::size_t height = 16);
+
+}  // namespace advh::plot

@@ -1,0 +1,80 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace advh {
+
+cli_parser::cli_parser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void cli_parser::add_flag(const std::string& name,
+                          const std::string& default_value,
+                          const std::string& help) {
+  ADVH_CHECK_MSG(!flags_.count(name), "duplicate flag: " + name);
+  flags_[name] = flag{default_value, help, std::nullopt};
+}
+
+bool cli_parser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << help();
+      return false;
+    }
+    ADVH_CHECK_MSG(arg.rfind("--", 0) == 0, "unexpected argument: " + arg);
+    arg = arg.substr(2);
+    std::string value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    }
+    auto it = flags_.find(arg);
+    ADVH_CHECK_MSG(it != flags_.end(), "unknown flag --" + arg + "\n" + help());
+    if (eq == std::string::npos) {
+      // Boolean flags may omit the value; otherwise consume the next token.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+std::string cli_parser::get(const std::string& name) const {
+  auto it = flags_.find(name);
+  ADVH_CHECK_MSG(it != flags_.end(), "flag not registered: " + name);
+  return it->second.value.value_or(it->second.default_value);
+}
+
+int cli_parser::get_int(const std::string& name) const {
+  return std::stoi(get(name));
+}
+
+double cli_parser::get_double(const std::string& name) const {
+  return std::stod(get(name));
+}
+
+bool cli_parser::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::string cli_parser::help() const {
+  std::ostringstream os;
+  os << program_ << " - " << description_ << "\n\nflags:\n";
+  for (const auto& [name, f] : flags_) {
+    os << "  --" << name << " (default: " << f.default_value << ")\n      "
+       << f.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace advh

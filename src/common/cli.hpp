@@ -1,0 +1,46 @@
+// Minimal command-line flag parsing for example/bench binaries.
+//
+// Supports `--flag value`, `--flag=value`, and boolean `--flag` forms.
+// Unknown flags raise an error listing the registered ones, so example
+// binaries self-document.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace advh {
+
+class cli_parser {
+ public:
+  /// `program` and `description` are used in help text.
+  cli_parser(std::string program, std::string description);
+
+  /// Registers a flag with a default value and a help string.
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& help);
+
+  /// Parses argv. Returns false if --help was requested (help printed).
+  bool parse(int argc, const char* const* argv);
+
+  std::string get(const std::string& name) const;
+  int get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  std::string help() const;
+
+ private:
+  struct flag {
+    std::string default_value;
+    std::string help;
+    std::optional<std::string> value;
+  };
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, flag> flags_;
+};
+
+}  // namespace advh

@@ -1,0 +1,63 @@
+// Error handling primitives shared by every AdvHunter module.
+//
+// Precondition violations throw advh::invariant_error; recoverable runtime
+// failures (I/O, unavailable hardware backends, ...) throw domain-specific
+// subclasses of advh::error. Per the C++ Core Guidelines we use exceptions
+// for errors and keep destructors noexcept.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace advh {
+
+/// Root of the AdvHunter exception hierarchy.
+class error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when a documented precondition or internal invariant is violated.
+class invariant_error : public error {
+ public:
+  using error::error;
+};
+
+/// Thrown when shapes of tensors/matrices do not match an operation.
+class shape_error : public error {
+ public:
+  using error::error;
+};
+
+/// Thrown when a hardware backend (e.g. perf_event_open) is unavailable.
+class backend_unavailable : public error {
+ public:
+  using error::error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  throw invariant_error(std::string(file) + ":" + std::to_string(line) +
+                        ": check `" + expr + "` failed" +
+                        (msg.empty() ? "" : (": " + msg)));
+}
+}  // namespace detail
+
+}  // namespace advh
+
+/// Precondition/invariant check that always fires (release builds included).
+#define ADVH_CHECK(expr)                                                   \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::advh::detail::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
+    }                                                                      \
+  } while (false)
+
+/// Check with an explanatory message appended to the exception text.
+#define ADVH_CHECK_MSG(expr, msg)                                           \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::advh::detail::throw_check_failure(#expr, __FILE__, __LINE__, msg); \
+    }                                                                       \
+  } while (false)

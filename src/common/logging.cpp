@@ -1,0 +1,39 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace advh::log {
+
+namespace {
+std::atomic<level> g_level{level::info};
+std::mutex g_mutex;
+
+const char* level_name(level lv) {
+  switch (lv) {
+    case level::debug:
+      return "debug";
+    case level::info:
+      return "info";
+    case level::warn:
+      return "warn";
+    case level::error:
+      return "error";
+    case level::off:
+      return "off";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_level(level lv) noexcept { g_level.store(lv); }
+
+level get_level() noexcept { return g_level.load(); }
+
+void emit(level lv, const std::string& message) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  std::cerr << "[" << level_name(lv) << "] " << message << "\n";
+}
+
+}  // namespace advh::log

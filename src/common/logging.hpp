@@ -1,0 +1,54 @@
+// Lightweight leveled logging to stderr.
+//
+// Benches and examples use info-level progress lines; tests run with the
+// level raised to `warn` to keep ctest output clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace advh::log {
+
+enum class level { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+/// Global threshold; messages below it are dropped.
+void set_level(level lv) noexcept;
+level get_level() noexcept;
+
+/// Emits one formatted line `[level] message` to stderr.
+void emit(level lv, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void debug(Args&&... args) {
+  if (get_level() <= level::debug)
+    emit(level::debug, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void info(Args&&... args) {
+  if (get_level() <= level::info)
+    emit(level::info, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void warn(Args&&... args) {
+  if (get_level() <= level::warn)
+    emit(level::warn, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void error(Args&&... args) {
+  if (get_level() <= level::error)
+    emit(level::error, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace advh::log

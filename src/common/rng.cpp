@@ -1,0 +1,135 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace advh {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+rng::rng(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  for (auto& w : state_) w = splitmix64(s);
+}
+
+rng::result_type rng::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double rng::uniform() noexcept {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t rng::uniform_index(std::uint64_t n) noexcept {
+  // Lemire's nearly-divisionless bounded generation; bias is negligible for
+  // the n used here but we reject to stay exact.
+  if (n == 0) return 0;
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(r) * static_cast<unsigned __int128>(n);
+    if (static_cast<std::uint64_t>(m) >= threshold) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+double rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; u1 is shifted away from zero to keep log() finite.
+  const double u1 = 1.0 - uniform();
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = radius * std::sin(theta);
+  has_cached_normal_ = true;
+  return radius * std::cos(theta);
+}
+
+double rng::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+std::uint64_t rng::poisson(double lambda) noexcept {
+  if (lambda <= 0.0) return 0;
+  if (lambda < 30.0) {
+    const double limit = std::exp(-lambda);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction for large lambda.
+  const double v = normal(lambda, std::sqrt(lambda));
+  return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v + 0.5);
+}
+
+bool rng::bernoulli(double p) noexcept { return uniform() < p; }
+
+void rng::jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  std::array<std::uint64_t, 4> acc{};
+  for (std::uint64_t word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (1ULL << b)) {
+        for (std::size_t i = 0; i < 4; ++i) acc[i] ^= state_[i];
+      }
+      (*this)();
+    }
+  }
+  state_ = acc;
+}
+
+rng rng::split() noexcept {
+  rng child = *this;
+  child.has_cached_normal_ = false;
+  child.jump();
+  // Advance the parent as well so repeated split() calls give distinct
+  // children.
+  (*this)();
+  return child;
+}
+
+std::vector<std::size_t> rng::permutation(std::size_t n) noexcept {
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  shuffle(idx);
+  return idx;
+}
+
+}  // namespace advh

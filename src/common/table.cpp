@@ -1,0 +1,106 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace advh {
+
+void text_table::set_header(std::vector<std::string> header) {
+  ADVH_CHECK_MSG(rows_.empty(), "set_header must precede add_row");
+  header_ = std::move(header);
+}
+
+void text_table::add_row(std::vector<std::string> row) {
+  ADVH_CHECK_MSG(row.size() == header_.size(),
+                 "row width must match header width");
+  rows_.push_back(std::move(row));
+}
+
+std::string text_table::num(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+const std::vector<std::string>& text_table::row(std::size_t i) const {
+  ADVH_CHECK(i < rows_.size());
+  return rows_[i];
+}
+
+std::string text_table::to_string() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << "\n";
+
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << std::string(widths[c] - row[c].size(), ' ');
+      if (c + 1 != row.size()) os << "  ";
+    }
+    os << "\n";
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w;
+  total += 2 * (widths.empty() ? 0 : widths.size() - 1);
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string text_table::to_csv() const {
+  auto quote = [](const std::string& cell) {
+    if (cell.find(',') == std::string::npos &&
+        cell.find('"') == std::string::npos) {
+      return cell;
+    }
+    std::string out = "\"";
+    for (char ch : cell) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << quote(row[c]);
+      if (c + 1 != row.size()) os << ',';
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void text_table::print(std::ostream& os) const { os << to_string() << "\n"; }
+
+void write_file(const std::string& path, const std::string& content) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path());
+  }
+  std::ofstream out(p);
+  ADVH_CHECK_MSG(out.good(), "cannot open " + path + " for writing");
+  out << content;
+}
+
+}  // namespace advh

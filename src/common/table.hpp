@@ -1,0 +1,51 @@
+// Plain-text and CSV table rendering for the bench harnesses.
+//
+// Every bench binary regenerates one table or figure from the paper; this
+// helper prints the same rows the paper reports, aligned for terminals, and
+// can also emit CSV for downstream plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace advh {
+
+/// A simple column-aligned table with a title and header row.
+class text_table {
+ public:
+  explicit text_table(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row; must be called before any add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; its width must match the header's.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Renders with box-drawing-free ASCII alignment.
+  std::string to_string() const;
+
+  /// Renders as CSV (header first); commas inside cells are quoted.
+  std::string to_csv() const;
+
+  /// Prints to_string() to the stream followed by a newline.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t cols() const noexcept { return header_.size(); }
+  const std::vector<std::string>& header() const noexcept { return header_; }
+  const std::vector<std::string>& row(std::size_t i) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writes content to a file, creating parent directories if needed.
+void write_file(const std::string& path, const std::string& content);
+
+}  // namespace advh

@@ -1,0 +1,136 @@
+#include "core/detector.hpp"
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace advh::core {
+
+benign_template::benign_template(std::size_t num_classes,
+                                 std::size_t num_events)
+    : classes_(num_classes), events_(num_events) {
+  ADVH_CHECK(num_classes > 0 && num_events > 0);
+  data_.assign(classes_, std::vector<std::vector<double>>(events_));
+}
+
+void benign_template::add_row(std::size_t cls,
+                              std::span<const double> event_means) {
+  ADVH_CHECK(cls < classes_);
+  ADVH_CHECK_MSG(event_means.size() == events_,
+                 "row width must equal event count");
+  for (std::size_t e = 0; e < events_; ++e) {
+    data_[cls][e].push_back(event_means[e]);
+  }
+}
+
+std::size_t benign_template::rows(std::size_t cls) const {
+  ADVH_CHECK(cls < classes_);
+  return data_[cls].empty() ? 0 : data_[cls][0].size();
+}
+
+const std::vector<double>& benign_template::column(std::size_t cls,
+                                                   std::size_t event) const {
+  ADVH_CHECK(cls < classes_ && event < events_);
+  return data_[cls][event];
+}
+
+template_builder::template_builder(hpc::hpc_monitor& monitor,
+                                   detector_config cfg,
+                                   std::size_t num_classes)
+    : monitor_(monitor),
+      cfg_(std::move(cfg)),
+      tpl_(num_classes, cfg_.events.size()) {
+  ADVH_CHECK_MSG(!cfg_.events.empty(), "detector needs at least one event");
+}
+
+bool template_builder::add_sample(const tensor& x, std::size_t label) {
+  ADVH_CHECK(label < tpl_.num_classes());
+  const auto m = monitor_.measure(x, cfg_.events, cfg_.repeats);
+  if (m.predicted != label) return false;
+  tpl_.add_row(label, m.mean_counts);
+  return true;
+}
+
+std::size_t template_builder::accepted(std::size_t cls) const {
+  return tpl_.rows(cls);
+}
+
+benign_template template_builder::build() const { return tpl_; }
+
+detector detector::fit(const benign_template& tpl,
+                       const detector_config& cfg) {
+  ADVH_CHECK_MSG(cfg.events.size() == tpl.num_events(),
+                 "config/template event count mismatch");
+  ADVH_CHECK(cfg.sigma_multiplier > 0.0);
+
+  detector d;
+  d.cfg_ = cfg;
+  d.models_.assign(tpl.num_classes(),
+                   std::vector<std::optional<event_model>>(tpl.num_events()));
+
+  for (std::size_t cls = 0; cls < tpl.num_classes(); ++cls) {
+    if (tpl.rows(cls) < 2) continue;  // not enough data to model this class
+    for (std::size_t e = 0; e < tpl.num_events(); ++e) {
+      const std::vector<double>& col = tpl.column(cls, e);
+      event_model em;
+      em.model = gmm::gmm1d::fit_best_bic(col, cfg.k_max, cfg.em);
+      em.template_size = col.size();
+
+      // NLL distribution L_c^n over the template, then the 3-sigma rule.
+      std::vector<double> nll;
+      nll.reserve(col.size());
+      for (double v : col) nll.push_back(em.model.nll(v));
+      em.nll_mean = stats::mean(nll);
+      em.nll_stddev = stats::stddev(nll);
+      em.threshold = em.nll_mean + cfg.sigma_multiplier * em.nll_stddev;
+      d.models_[cls][e] = std::move(em);
+    }
+  }
+  return d;
+}
+
+detector detector::from_parts(
+    detector_config cfg,
+    std::vector<std::vector<std::optional<event_model>>> models) {
+  for (const auto& row : models) {
+    ADVH_CHECK_MSG(row.size() == cfg.events.size(),
+                   "model grid width must equal event count");
+  }
+  detector d;
+  d.cfg_ = std::move(cfg);
+  d.models_ = std::move(models);
+  return d;
+}
+
+verdict detector::score(std::size_t predicted_class,
+                        std::span<const double> mean_counts) const {
+  ADVH_CHECK(predicted_class < models_.size());
+  ADVH_CHECK_MSG(mean_counts.size() == cfg_.events.size(),
+                 "measurement width must equal event count");
+
+  verdict v;
+  v.predicted = predicted_class;
+  v.nll.resize(cfg_.events.size(), 0.0);
+  v.flagged.resize(cfg_.events.size(), false);
+  for (std::size_t e = 0; e < cfg_.events.size(); ++e) {
+    const auto& em = models_[predicted_class][e];
+    if (!em.has_value()) continue;
+    v.nll[e] = em->model.nll(mean_counts[e]);
+    v.flagged[e] = v.nll[e] > em->threshold;
+    v.adversarial_any = v.adversarial_any || v.flagged[e];
+  }
+  return v;
+}
+
+verdict detector::classify(hpc::hpc_monitor& monitor, const tensor& x) const {
+  const auto m = monitor.measure(x, cfg_.events, cfg_.repeats);
+  return score(m.predicted, m.mean_counts);
+}
+
+const std::optional<event_model>& detector::model_for(
+    std::size_t cls, std::size_t event_idx) const {
+  ADVH_CHECK(cls < models_.size());
+  ADVH_CHECK(event_idx < cfg_.events.size());
+  return models_[cls][event_idx];
+}
+
+}  // namespace advh::core

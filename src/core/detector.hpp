@@ -1,0 +1,129 @@
+// AdvHunter detector (Sections 5.2–5.4 of the paper).
+//
+// Offline: per output category c and HPC event n, the defender measures M
+// clean validation inputs (R-repeat means), fits a univariate GMM with BIC
+// order selection, and derives the three-sigma NLL threshold
+// Delta_c^n = mu_L + 3 sigma_L over the template's NLL distribution L_c^n.
+//
+// Online: an unknown input is measured the same way; its NLL under the
+// GMM of its *predicted* class is compared against Delta: above the
+// threshold => flagged adversarial for that event.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "gmm/gmm.hpp"
+#include "hpc/monitor.hpp"
+
+namespace advh::core {
+
+struct detector_config {
+  std::vector<hpc::hpc_event> events;  ///< the N monitored events
+  std::size_t repeats = 10;            ///< the paper's R
+  std::size_t k_max = 4;               ///< BIC scan upper bound
+  double sigma_multiplier = 3.0;       ///< three-sigma rule
+  gmm::em_config em{};
+};
+
+/// The offline dataset D_c: for each class, for each event, the M
+/// per-image mean counts (one column of the paper's D_c matrix).
+class benign_template {
+ public:
+  benign_template(std::size_t num_classes, std::size_t num_events);
+
+  void add_row(std::size_t cls, std::span<const double> event_means);
+
+  std::size_t num_classes() const noexcept { return classes_; }
+  std::size_t num_events() const noexcept { return events_; }
+  std::size_t rows(std::size_t cls) const;
+  /// Column n of D_c.
+  const std::vector<double>& column(std::size_t cls, std::size_t event) const;
+
+ private:
+  std::size_t classes_;
+  std::size_t events_;
+  // data_[cls][event] = vector of M mean counts
+  std::vector<std::vector<std::vector<double>>> data_;
+};
+
+/// Gathers the benign template by measuring clean validation inputs
+/// through a monitor. Inputs whose hard-label prediction disagrees with
+/// their validation label are discarded (a misclassified "clean" image is
+/// not representative of its category's computational behaviour).
+class template_builder {
+ public:
+  template_builder(hpc::hpc_monitor& monitor, detector_config cfg,
+                   std::size_t num_classes);
+
+  /// Measures one clean validation image with known label; returns true if
+  /// the sample was accepted into the template.
+  bool add_sample(const tensor& x, std::size_t label);
+
+  /// Number of accepted samples for a class so far.
+  std::size_t accepted(std::size_t cls) const;
+
+  benign_template build() const;
+  const detector_config& config() const noexcept { return cfg_; }
+
+ private:
+  hpc::hpc_monitor& monitor_;
+  detector_config cfg_;
+  benign_template tpl_;
+};
+
+/// Per-(class, event) anomaly model: fitted GMM + threshold.
+struct event_model {
+  gmm::gmm1d model;
+  double threshold = 0.0;
+  double nll_mean = 0.0;
+  double nll_stddev = 0.0;
+  std::size_t template_size = 0;
+};
+
+/// Verdict for one unknown input.
+struct verdict {
+  std::size_t predicted = 0;
+  std::vector<double> nll;        ///< per event
+  std::vector<bool> flagged;      ///< per event: nll > threshold
+  /// Overall call when fusing all events (any event flags => adversarial).
+  bool adversarial_any = false;
+};
+
+class detector {
+ public:
+  /// Fits all GMMs and thresholds from an offline template. Classes with
+  /// fewer than 2 template rows get no model and never flag.
+  static detector fit(const benign_template& tpl, const detector_config& cfg);
+
+  /// Reassembles a detector from persisted parts (see core/detector_io).
+  /// models[cls][event] must be num_classes x cfg.events.size().
+  static detector from_parts(
+      detector_config cfg,
+      std::vector<std::vector<std::optional<event_model>>> models);
+
+  /// Scores a pre-collected measurement (mean counts in config event
+  /// order) under the predicted class's models.
+  verdict score(std::size_t predicted_class,
+                std::span<const double> mean_counts) const;
+
+  /// Measures an unknown input through `monitor` and scores it.
+  verdict classify(hpc::hpc_monitor& monitor, const tensor& x) const;
+
+  const detector_config& config() const noexcept { return cfg_; }
+  std::size_t num_classes() const noexcept { return models_.size(); }
+
+  /// Fitted model for (class, event index), if that class had enough
+  /// template data.
+  const std::optional<event_model>& model_for(std::size_t cls,
+                                              std::size_t event_idx) const;
+
+ private:
+  detector() = default;
+
+  detector_config cfg_;
+  // models_[cls][event]
+  std::vector<std::vector<std::optional<event_model>>> models_;
+};
+
+}  // namespace advh::core

@@ -1,0 +1,111 @@
+#include "core/detector_io.hpp"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace advh::core {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x41444554;  // "ADET"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  ADVH_CHECK_MSG(is.good(), "truncated detector file");
+  return v;
+}
+}  // namespace
+
+void save_detector(const detector& det, const std::string& path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream os(p, std::ios::binary);
+  ADVH_CHECK_MSG(os.good(), "cannot open " + path + " for writing");
+
+  const auto& cfg = det.config();
+  write_pod(os, kMagic);
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<std::uint64_t>(cfg.events.size()));
+  for (hpc::hpc_event e : cfg.events) {
+    write_pod(os, static_cast<std::uint32_t>(e));
+  }
+  write_pod(os, static_cast<std::uint64_t>(cfg.repeats));
+  write_pod(os, static_cast<std::uint64_t>(cfg.k_max));
+  write_pod(os, cfg.sigma_multiplier);
+  write_pod(os, static_cast<std::uint64_t>(det.num_classes()));
+
+  for (std::size_t cls = 0; cls < det.num_classes(); ++cls) {
+    for (std::size_t e = 0; e < cfg.events.size(); ++e) {
+      const auto& em = det.model_for(cls, e);
+      write_pod(os, static_cast<std::uint8_t>(em.has_value() ? 1 : 0));
+      if (!em.has_value()) continue;
+      write_pod(os, em->threshold);
+      write_pod(os, em->nll_mean);
+      write_pod(os, em->nll_stddev);
+      write_pod(os, static_cast<std::uint64_t>(em->template_size));
+      write_pod(os, static_cast<std::uint64_t>(em->model.order()));
+      for (const auto& comp : em->model.components()) {
+        write_pod(os, comp.weight);
+        write_pod(os, comp.mean);
+        write_pod(os, comp.variance);
+      }
+    }
+  }
+  ADVH_CHECK_MSG(os.good(), "write failed for " + path);
+}
+
+detector load_detector(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  ADVH_CHECK_MSG(is.good(), "cannot open " + path);
+  ADVH_CHECK_MSG(read_pod<std::uint32_t>(is) == kMagic,
+                 path + " is not an AdvHunter detector file");
+  ADVH_CHECK_MSG(read_pod<std::uint32_t>(is) == kVersion,
+                 path + ": unsupported version");
+
+  detector_config cfg;
+  const auto n_events = read_pod<std::uint64_t>(is);
+  for (std::uint64_t e = 0; e < n_events; ++e) {
+    cfg.events.push_back(
+        static_cast<hpc::hpc_event>(read_pod<std::uint32_t>(is)));
+  }
+  cfg.repeats = static_cast<std::size_t>(read_pod<std::uint64_t>(is));
+  cfg.k_max = static_cast<std::size_t>(read_pod<std::uint64_t>(is));
+  cfg.sigma_multiplier = read_pod<double>(is);
+
+  const auto n_classes = read_pod<std::uint64_t>(is);
+  std::vector<std::vector<std::optional<event_model>>> models(
+      n_classes, std::vector<std::optional<event_model>>(n_events));
+  for (std::uint64_t cls = 0; cls < n_classes; ++cls) {
+    for (std::uint64_t e = 0; e < n_events; ++e) {
+      if (read_pod<std::uint8_t>(is) == 0) continue;
+      event_model em;
+      em.threshold = read_pod<double>(is);
+      em.nll_mean = read_pod<double>(is);
+      em.nll_stddev = read_pod<double>(is);
+      em.template_size =
+          static_cast<std::size_t>(read_pod<std::uint64_t>(is));
+      const auto order = read_pod<std::uint64_t>(is);
+      std::vector<gmm::component1d> comps(order);
+      for (auto& c : comps) {
+        c.weight = read_pod<double>(is);
+        c.mean = read_pod<double>(is);
+        c.variance = read_pod<double>(is);
+      }
+      em.model = gmm::gmm1d(std::move(comps));
+      models[cls][e] = std::move(em);
+    }
+  }
+  return detector::from_parts(std::move(cfg), std::move(models));
+}
+
+}  // namespace advh::core

@@ -1,0 +1,19 @@
+// Detector persistence.
+//
+// The offline phase (template measurement + GMM fitting) is the expensive
+// part of AdvHunter; deployments fit once and load the detector at
+// service start. Binary format: magic/version, config (events, repeats,
+// sigma), then per (class, event) the fitted mixture and threshold.
+#pragma once
+
+#include <string>
+
+#include "core/detector.hpp"
+
+namespace advh::core {
+
+void save_detector(const detector& det, const std::string& path);
+
+detector load_detector(const std::string& path);
+
+}  // namespace advh::core

@@ -1,0 +1,49 @@
+#include "core/metrics.hpp"
+
+namespace advh::core {
+
+void detection_confusion::push(bool actual_adversarial, bool flagged) noexcept {
+  if (actual_adversarial) {
+    if (flagged) {
+      ++tp_;
+    } else {
+      ++fn_;
+    }
+  } else {
+    if (flagged) {
+      ++fp_;
+    } else {
+      ++tn_;
+    }
+  }
+}
+
+double detection_confusion::accuracy() const noexcept {
+  const std::size_t n = total();
+  return n ? static_cast<double>(tp_ + tn_) / static_cast<double>(n) : 0.0;
+}
+
+double detection_confusion::precision() const noexcept {
+  const std::size_t denom = tp_ + fp_;
+  return denom ? static_cast<double>(tp_) / static_cast<double>(denom) : 0.0;
+}
+
+double detection_confusion::recall() const noexcept {
+  const std::size_t denom = tp_ + fn_;
+  return denom ? static_cast<double>(tp_) / static_cast<double>(denom) : 0.0;
+}
+
+double detection_confusion::f1() const noexcept {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+void detection_confusion::merge(const detection_confusion& other) noexcept {
+  tp_ += other.tp_;
+  fp_ += other.fp_;
+  tn_ += other.tn_;
+  fn_ += other.fn_;
+}
+
+}  // namespace advh::core

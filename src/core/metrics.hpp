@@ -1,0 +1,36 @@
+// Binary detection metrics: confusion counts, accuracy, and F1 — the
+// numbers Table 2/Table 3 and Figures 4/6 report.
+#pragma once
+
+#include <cstddef>
+
+namespace advh::core {
+
+/// Positive class = "adversarial".
+class detection_confusion {
+ public:
+  /// Records one decision: `actual_adversarial` is ground truth,
+  /// `flagged` the detector's call.
+  void push(bool actual_adversarial, bool flagged) noexcept;
+
+  std::size_t true_positives() const noexcept { return tp_; }
+  std::size_t false_positives() const noexcept { return fp_; }
+  std::size_t true_negatives() const noexcept { return tn_; }
+  std::size_t false_negatives() const noexcept { return fn_; }
+  std::size_t total() const noexcept { return tp_ + fp_ + tn_ + fn_; }
+
+  double accuracy() const noexcept;
+  double precision() const noexcept;
+  double recall() const noexcept;
+  double f1() const noexcept;
+
+  void merge(const detection_confusion& other) noexcept;
+
+ private:
+  std::size_t tp_ = 0;
+  std::size_t fp_ = 0;
+  std::size_t tn_ = 0;
+  std::size_t fn_ = 0;
+};
+
+}  // namespace advh::core

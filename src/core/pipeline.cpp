@@ -1,0 +1,95 @@
+#include "core/pipeline.hpp"
+
+#include <filesystem>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "nn/serialize.hpp"
+#include "nn/trainer.hpp"
+
+namespace advh::core {
+
+namespace {
+
+std::string cache_path(const std::string& cache_dir,
+                       const data::scenario_spec& spec) {
+  return cache_dir + "/" + spec.label + "_" + to_string(spec.arch) + ".advh";
+}
+
+}  // namespace
+
+scenario_runtime prepare_scenario(data::scenario_id id,
+                                  const std::string& cache_dir,
+                                  std::uint64_t seed) {
+  scenario_runtime rt;
+  rt.spec = data::get_scenario(id);
+
+  rt.train = data::make_synthetic(rt.spec.dataset_spec, rt.spec.train_per_class);
+  // Test/validation pool drawn from an independent sample stream of the
+  // same task (same class prototypes, fresh jitter draws).
+  auto test_spec = rt.spec.dataset_spec;
+  test_spec.sample_seed = 1;
+  rt.test = data::make_synthetic(test_spec, rt.spec.test_per_class);
+
+  rt.net = nn::make_model(rt.spec.arch, rt.train.example_shape(),
+                          rt.train.num_classes, seed);
+
+  const std::string path = cache_path(cache_dir, rt.spec);
+  if (nn::is_state_file(path)) {
+    log::info(rt.spec.label, ": loading cached model from ", path);
+    nn::load_state(*rt.net, path);
+  } else {
+    log::info(rt.spec.label, ": training ", to_string(rt.spec.arch), " (",
+              rt.train.size(), " examples, ", rt.spec.train_epochs,
+              " epochs)");
+    nn::train_config cfg;
+    cfg.epochs = rt.spec.train_epochs;
+    cfg.shuffle_seed = seed ^ 0xbeefULL;
+    cfg.on_epoch = [&](std::size_t epoch, double loss, double acc) {
+      log::info(rt.spec.label, ": epoch ", epoch, " loss ", loss, " acc ",
+                acc);
+    };
+    nn::train_classifier(*rt.net, rt.train.images, rt.train.labels, cfg);
+    nn::save_state(*rt.net, path);
+  }
+
+  rt.clean_accuracy = rt.net->accuracy(rt.test.images, rt.test.labels);
+  log::info(rt.spec.label, ": clean test accuracy ", rt.clean_accuracy);
+  return rt;
+}
+
+benign_template collect_template(hpc::hpc_monitor& monitor,
+                                 const detector_config& cfg,
+                                 const data::dataset& d, std::size_t per_class,
+                                 std::uint64_t seed) {
+  template_builder builder(monitor, cfg, d.num_classes);
+  rng gen(seed);
+  for (std::size_t cls = 0; cls < d.num_classes; ++cls) {
+    auto pool = d.indices_of_class(cls);
+    gen.shuffle(pool);
+    std::size_t accepted = 0;
+    for (std::size_t idx : pool) {
+      if (accepted >= per_class) break;
+      const tensor x = nn::single_example(d.images, idx);
+      if (builder.add_sample(x, cls)) ++accepted;
+    }
+  }
+  return builder.build();
+}
+
+void evaluate_inputs(const detector& det, hpc::hpc_monitor& monitor,
+                     std::span<const tensor> inputs, bool is_adversarial,
+                     detection_eval& eval) {
+  if (eval.per_event.size() != det.config().events.size()) {
+    eval.per_event.assign(det.config().events.size(), detection_confusion{});
+  }
+  for (const tensor& x : inputs) {
+    const verdict v = det.classify(monitor, x);
+    for (std::size_t e = 0; e < v.flagged.size(); ++e) {
+      eval.per_event[e].push(is_adversarial, v.flagged[e]);
+    }
+    eval.fused.push(is_adversarial, v.adversarial_any);
+  }
+}
+
+}  // namespace advh::core

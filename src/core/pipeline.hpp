@@ -1,0 +1,54 @@
+// Experiment orchestration shared by the examples and every bench binary:
+// scenario preparation (dataset synthesis + model training with on-disk
+// caching) and detection-evaluation loops.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/detector.hpp"
+#include "core/metrics.hpp"
+#include "data/scenarios.hpp"
+#include "hpc/monitor.hpp"
+
+namespace advh::core {
+
+/// A fully prepared evaluation scenario: data, trained model, accuracy.
+struct scenario_runtime {
+  data::scenario_spec spec;
+  data::dataset train;
+  data::dataset test;
+  std::unique_ptr<nn::model> net;
+  double clean_accuracy = 0.0;  ///< test-set accuracy (Table 1 column)
+};
+
+/// Synthesises the scenario's dataset and trains its model (or loads a
+/// cached state file from `cache_dir` when one exists). Deterministic in
+/// the scenario spec and `seed`.
+scenario_runtime prepare_scenario(data::scenario_id id,
+                                  const std::string& cache_dir = "advh_models",
+                                  std::uint64_t seed = 1234);
+
+/// Draws up to `per_class` validation examples of every class from `d`
+/// (in dataset order after a seeded shuffle) and measures them into a
+/// benign template. Misclassified validation images are skipped.
+benign_template collect_template(hpc::hpc_monitor& monitor,
+                                 const detector_config& cfg,
+                                 const data::dataset& d, std::size_t per_class,
+                                 std::uint64_t seed);
+
+/// Measures and scores a set of inputs with ground truth "adversarial or
+/// not", accumulating one confusion matrix per configured event plus the
+/// any-event fusion.
+struct detection_eval {
+  std::vector<detection_confusion> per_event;
+  detection_confusion fused;
+};
+
+/// Scores `inputs` (each a batch-of-one tensor); `is_adversarial` is the
+/// shared ground-truth flag for the whole set.
+void evaluate_inputs(const detector& det, hpc::hpc_monitor& monitor,
+                     std::span<const tensor> inputs, bool is_adversarial,
+                     detection_eval& eval);
+
+}  // namespace advh::core

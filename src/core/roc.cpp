@@ -1,0 +1,66 @@
+#include "core/roc.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace advh::core {
+
+double roc_curve::tpr_at_fpr(double max_fpr) const {
+  double best = 0.0;
+  for (const auto& p : points) {
+    if (p.fpr <= max_fpr) best = std::max(best, p.tpr);
+  }
+  return best;
+}
+
+roc_curve compute_roc(std::span<const double> clean_scores,
+                      std::span<const double> adversarial_scores) {
+  ADVH_CHECK_MSG(!clean_scores.empty() && !adversarial_scores.empty(),
+                 "ROC needs both populations");
+
+  // Candidate thresholds: every observed score (plus sentinels).
+  std::vector<double> thresholds(clean_scores.begin(), clean_scores.end());
+  thresholds.insert(thresholds.end(), adversarial_scores.begin(),
+                    adversarial_scores.end());
+  std::sort(thresholds.begin(), thresholds.end());
+  thresholds.erase(std::unique(thresholds.begin(), thresholds.end()),
+                   thresholds.end());
+
+  roc_curve curve;
+  const auto n_clean = static_cast<double>(clean_scores.size());
+  const auto n_adv = static_cast<double>(adversarial_scores.size());
+
+  auto rate_above = [](std::span<const double> xs, double t) {
+    std::size_t n = 0;
+    for (double x : xs) {
+      if (x > t) ++n;
+    }
+    return static_cast<double>(n);
+  };
+
+  // Descending threshold -> ascending FPR.
+  for (auto it = thresholds.rbegin(); it != thresholds.rend(); ++it) {
+    roc_point p;
+    p.threshold = *it;
+    p.fpr = rate_above(clean_scores, *it) / n_clean;
+    p.tpr = rate_above(adversarial_scores, *it) / n_adv;
+    curve.points.push_back(p);
+  }
+  // Sentinel endpoints (flag everything / nothing).
+  curve.points.insert(curve.points.begin(),
+                      roc_point{thresholds.back() + 1.0, 0.0, 0.0});
+  curve.points.push_back(roc_point{thresholds.front() - 1.0, 1.0, 1.0});
+
+  // Trapezoidal AUC over the FPR axis.
+  double auc = 0.0;
+  for (std::size_t i = 1; i < curve.points.size(); ++i) {
+    const auto& a = curve.points[i - 1];
+    const auto& b = curve.points[i];
+    auc += (b.fpr - a.fpr) * 0.5 * (a.tpr + b.tpr);
+  }
+  curve.auc = auc;
+  return curve;
+}
+
+}  // namespace advh::core

@@ -1,0 +1,32 @@
+// ROC analysis over anomaly scores.
+//
+// The paper fixes the operating point with the three-sigma rule; ROC/AUC
+// characterise the detector independently of that choice, which is how the
+// ablation benches compare threshold rules and event sets.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace advh::core {
+
+struct roc_point {
+  double threshold = 0.0;
+  double fpr = 0.0;  ///< false-positive rate at this threshold
+  double tpr = 0.0;  ///< true-positive rate (recall)
+};
+
+struct roc_curve {
+  std::vector<roc_point> points;  ///< sorted by ascending FPR
+  double auc = 0.0;
+
+  /// TPR at the largest threshold whose FPR does not exceed `max_fpr`.
+  double tpr_at_fpr(double max_fpr) const;
+};
+
+/// Builds the ROC of a score where *larger means more anomalous* (NLL).
+/// `clean_scores` are negatives, `adversarial_scores` positives.
+roc_curve compute_roc(std::span<const double> clean_scores,
+                      std::span<const double> adversarial_scores);
+
+}  // namespace advh::core

@@ -1,0 +1,61 @@
+#include "data/dataset.hpp"
+
+#include <map>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "nn/trainer.hpp"
+
+namespace advh::data {
+
+shape dataset::example_shape() const {
+  ADVH_CHECK(images.dims().rank() == 4);
+  return shape{images.dims()[1], images.dims()[2], images.dims()[3]};
+}
+
+std::vector<std::size_t> dataset::indices_of_class(std::size_t label) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == label) out.push_back(i);
+  }
+  return out;
+}
+
+dataset subset(const dataset& d, const std::vector<std::size_t>& indices) {
+  dataset out;
+  out.name = d.name;
+  out.num_classes = d.num_classes;
+  out.class_names = d.class_names;
+  out.images = nn::gather_batch(d.images, indices);
+  out.labels.reserve(indices.size());
+  for (std::size_t i : indices) {
+    ADVH_CHECK(i < d.labels.size());
+    out.labels.push_back(d.labels[i]);
+  }
+  return out;
+}
+
+std::pair<dataset, dataset> stratified_split(const dataset& d,
+                                             double first_fraction,
+                                             std::uint64_t seed) {
+  ADVH_CHECK(first_fraction > 0.0 && first_fraction < 1.0);
+  rng gen(seed);
+
+  std::map<std::size_t, std::vector<std::size_t>> by_class;
+  for (std::size_t i = 0; i < d.labels.size(); ++i) {
+    by_class[d.labels[i]].push_back(i);
+  }
+
+  std::vector<std::size_t> first_idx, second_idx;
+  for (auto& [label, idx] : by_class) {
+    gen.shuffle(idx);
+    const auto cut = static_cast<std::size_t>(
+        first_fraction * static_cast<double>(idx.size()) + 0.5);
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      (i < cut ? first_idx : second_idx).push_back(idx[i]);
+    }
+  }
+  return {subset(d, first_idx), subset(d, second_idx)};
+}
+
+}  // namespace advh::data

@@ -1,0 +1,36 @@
+// Labelled image dataset container and split utilities.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace advh::data {
+
+struct dataset {
+  std::string name;
+  tensor images;  ///< (N, C, H, W), values in [0, 1]
+  std::vector<std::size_t> labels;
+  std::size_t num_classes = 0;
+  std::vector<std::string> class_names;  ///< size num_classes
+
+  std::size_t size() const noexcept { return labels.size(); }
+
+  /// CHW shape of one example.
+  shape example_shape() const;
+
+  /// Returns indices of all examples with the given label.
+  std::vector<std::size_t> indices_of_class(std::size_t label) const;
+};
+
+/// Deterministically splits a dataset into two parts with `first_fraction`
+/// of each class in the first part (stratified).
+std::pair<dataset, dataset> stratified_split(const dataset& d,
+                                             double first_fraction,
+                                             std::uint64_t seed);
+
+/// Builds a new dataset from a subset of indices.
+dataset subset(const dataset& d, const std::vector<std::size_t>& indices);
+
+}  // namespace advh::data

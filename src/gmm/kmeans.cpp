@@ -1,0 +1,126 @@
+#include "gmm/kmeans.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace advh::gmm {
+
+namespace {
+
+double sq_dist(std::span<const double> points, std::size_t dim, std::size_t i,
+               const std::vector<double>& c) {
+  double acc = 0.0;
+  for (std::size_t d = 0; d < dim; ++d) {
+    const double diff = points[i * dim + d] - c[d];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+}  // namespace
+
+kmeans_result kmeans(std::span<const double> points, std::size_t dim,
+                     std::size_t k, rng& gen, std::size_t max_iter) {
+  ADVH_CHECK(dim > 0 && points.size() % dim == 0);
+  const std::size_t n = points.size() / dim;
+  ADVH_CHECK_MSG(n >= k && k > 0, "need at least k points");
+
+  kmeans_result res;
+  res.centroids.reserve(k);
+
+  // k-means++ seeding.
+  std::vector<double> d2(n, std::numeric_limits<double>::max());
+  {
+    const std::size_t first = static_cast<std::size_t>(gen.uniform_index(n));
+    res.centroids.push_back(std::vector<double>(
+        points.begin() + static_cast<std::ptrdiff_t>(first * dim),
+        points.begin() + static_cast<std::ptrdiff_t>((first + 1) * dim)));
+  }
+  while (res.centroids.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      d2[i] = std::min(d2[i], sq_dist(points, dim, i, res.centroids.back()));
+      total += d2[i];
+    }
+    std::size_t chosen = 0;
+    if (total <= 0.0) {
+      chosen = static_cast<std::size_t>(gen.uniform_index(n));
+    } else {
+      double r = gen.uniform() * total;
+      for (std::size_t i = 0; i < n; ++i) {
+        r -= d2[i];
+        if (r <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    }
+    res.centroids.push_back(std::vector<double>(
+        points.begin() + static_cast<std::ptrdiff_t>(chosen * dim),
+        points.begin() + static_cast<std::ptrdiff_t>((chosen + 1) * dim)));
+  }
+
+  // Lloyd iterations.
+  res.assignment.assign(n, 0);
+  for (std::size_t iter = 0; iter < max_iter; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t best = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = sq_dist(points, dim, i, res.centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (res.assignment[i] != best) {
+        res.assignment[i] = best;
+        changed = true;
+      }
+    }
+
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dim, 0.0));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t c = res.assignment[i];
+      ++counts[c];
+      for (std::size_t d = 0; d < dim; ++d) sums[c][d] += points[i * dim + d];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed empty cluster from the point farthest from its centroid.
+        std::size_t far = 0;
+        double far_d = -1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double d =
+              sq_dist(points, dim, i, res.centroids[res.assignment[i]]);
+          if (d > far_d) {
+            far_d = d;
+            far = i;
+          }
+        }
+        for (std::size_t d = 0; d < dim; ++d) {
+          res.centroids[c][d] = points[far * dim + d];
+        }
+        res.assignment[far] = c;
+        changed = true;
+        continue;
+      }
+      for (std::size_t d = 0; d < dim; ++d) {
+        res.centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+    if (!changed) break;
+  }
+
+  res.inertia = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    res.inertia += sq_dist(points, dim, i, res.centroids[res.assignment[i]]);
+  }
+  return res;
+}
+
+}  // namespace advh::gmm

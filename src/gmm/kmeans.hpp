@@ -1,0 +1,23 @@
+// k-means with k-means++ seeding, used to initialise EM.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace advh::gmm {
+
+struct kmeans_result {
+  std::vector<std::vector<double>> centroids;  ///< k x d
+  std::vector<std::size_t> assignment;         ///< per point
+  double inertia = 0.0;                        ///< sum squared distance
+};
+
+/// Clusters `points` (n x d, row-major flattened) into k clusters.
+/// Guarantees every centroid owns at least one point (empty clusters are
+/// re-seeded from the farthest point).
+kmeans_result kmeans(std::span<const double> points, std::size_t dim,
+                     std::size_t k, rng& gen, std::size_t max_iter = 50);
+
+}  // namespace advh::gmm

@@ -1,0 +1,79 @@
+#include "hpc/events.hpp"
+
+#include "common/error.hpp"
+
+namespace advh::hpc {
+
+std::string to_string(hpc_event e) {
+  switch (e) {
+    case hpc_event::instructions:
+      return "instructions";
+    case hpc_event::branches:
+      return "branches";
+    case hpc_event::branch_misses:
+      return "branch-misses";
+    case hpc_event::cache_references:
+      return "cache-references";
+    case hpc_event::cache_misses:
+      return "cache-misses";
+    case hpc_event::l1d_load_misses:
+      return "L1-dcache-load-misses";
+    case hpc_event::l1i_load_misses:
+      return "L1-icache-load-misses";
+    case hpc_event::llc_load_misses:
+      return "LLC-load-misses";
+    case hpc_event::llc_store_misses:
+      return "LLC-store-misses";
+  }
+  return "?";
+}
+
+hpc_event event_from_string(const std::string& name) {
+  for (hpc_event e : all_events()) {
+    if (to_string(e) == name) return e;
+  }
+  throw invariant_error("unknown HPC event: " + name);
+}
+
+std::vector<hpc_event> core_events() {
+  return {hpc_event::instructions, hpc_event::branches,
+          hpc_event::branch_misses, hpc_event::cache_references,
+          hpc_event::cache_misses};
+}
+
+std::vector<hpc_event> cache_ablation_events() {
+  return {hpc_event::l1d_load_misses, hpc_event::l1i_load_misses,
+          hpc_event::llc_load_misses, hpc_event::llc_store_misses};
+}
+
+std::vector<hpc_event> all_events() {
+  auto v = core_events();
+  for (hpc_event e : cache_ablation_events()) v.push_back(e);
+  return v;
+}
+
+std::uint64_t extract(const uarch::uarch_counts& c, hpc_event e) {
+  switch (e) {
+    case hpc_event::instructions:
+      return c.instructions;
+    case hpc_event::branches:
+      return c.branches;
+    case hpc_event::branch_misses:
+      return c.branch_misses;
+    case hpc_event::cache_references:
+      return c.cache_references;
+    case hpc_event::cache_misses:
+      return c.cache_misses;
+    case hpc_event::l1d_load_misses:
+      return c.l1d_load_misses;
+    case hpc_event::l1i_load_misses:
+      return c.l1i_load_misses;
+    case hpc_event::llc_load_misses:
+      return c.llc_load_misses;
+    case hpc_event::llc_store_misses:
+      return c.llc_store_misses;
+  }
+  return 0;
+}
+
+}  // namespace advh::hpc

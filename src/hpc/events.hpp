@@ -1,0 +1,42 @@
+// The nine HPC events the paper studies: five "core" events (main
+// evaluation, Table 2) and four cache-miss-related events (ablation,
+// Table 3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "uarch/trace_gen.hpp"
+
+namespace advh::hpc {
+
+enum class hpc_event {
+  instructions,
+  branches,
+  branch_misses,
+  cache_references,
+  cache_misses,
+  l1d_load_misses,
+  l1i_load_misses,
+  llc_load_misses,
+  llc_store_misses,
+};
+
+/// perf-style event name, e.g. "cache-misses".
+std::string to_string(hpc_event e);
+hpc_event event_from_string(const std::string& name);
+
+/// The five core events of the main evaluation (N = 5).
+std::vector<hpc_event> core_events();
+
+/// The four cache events of the ablation study (N = 4).
+std::vector<hpc_event> cache_ablation_events();
+
+/// All nine supported events.
+std::vector<hpc_event> all_events();
+
+/// Extracts one event's value from a simulated event profile.
+std::uint64_t extract(const uarch::uarch_counts& c, hpc_event e);
+
+}  // namespace advh::hpc

@@ -1,0 +1,30 @@
+#include "hpc/factory.hpp"
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "hpc/perf_backend.hpp"
+
+namespace advh::hpc {
+
+monitor_ptr make_monitor(nn::model& m, backend_kind kind,
+                         const uarch::trace_gen_config& sim_cfg,
+                         std::uint64_t noise_seed) {
+  switch (kind) {
+    case backend_kind::perf:
+      return std::make_unique<perf_backend>(m);
+    case backend_kind::simulator:
+      return std::make_unique<sim_backend>(m, sim_cfg, noise_model{},
+                                           noise_seed);
+    case backend_kind::auto_detect:
+      if (perf_events_available()) {
+        log::info("HPC monitor: native perf_event backend");
+        return std::make_unique<perf_backend>(m);
+      }
+      log::info("HPC monitor: perf_event unavailable, using simulator");
+      return std::make_unique<sim_backend>(m, sim_cfg, noise_model{},
+                                           noise_seed);
+  }
+  throw invariant_error("unknown backend kind");
+}
+
+}  // namespace advh::hpc

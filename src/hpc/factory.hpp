@@ -1,0 +1,21 @@
+// Monitor construction with graceful fallback: prefer the native perf
+// backend when the kernel permits it, otherwise the simulator.
+#pragma once
+
+#include "hpc/monitor.hpp"
+#include "hpc/sim_backend.hpp"
+#include "nn/model.hpp"
+
+namespace advh::hpc {
+
+enum class backend_kind { auto_detect, simulator, perf };
+
+/// Builds a monitor over `m`. With auto_detect, perf is used when
+/// available and the simulator otherwise. The returned monitor borrows the
+/// model; callers keep it alive.
+monitor_ptr make_monitor(nn::model& m,
+                         backend_kind kind = backend_kind::auto_detect,
+                         const uarch::trace_gen_config& sim_cfg = {},
+                         std::uint64_t noise_seed = 99);
+
+}  // namespace advh::hpc

@@ -1,0 +1,47 @@
+// HPC measurement interface.
+//
+// A monitor wraps a DNN deployment the defender can query: it submits one
+// input, observes the hard-label prediction, and returns per-event counter
+// statistics averaged over R measurement repetitions — exactly the
+// defender's view in the paper's threat model (Section 4).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "hpc/events.hpp"
+#include "tensor/tensor.hpp"
+
+namespace advh::hpc {
+
+struct measurement {
+  /// Mean counter value per requested event (the paper's E-bar).
+  std::vector<double> mean_counts;
+  /// Per-event standard deviation across the R repetitions.
+  std::vector<double> stddev_counts;
+  /// The DNN's hard-label prediction for the submitted input.
+  std::size_t predicted = 0;
+};
+
+class hpc_monitor {
+ public:
+  virtual ~hpc_monitor() = default;
+  hpc_monitor(const hpc_monitor&) = delete;
+  hpc_monitor& operator=(const hpc_monitor&) = delete;
+
+  /// Runs inference on one example (batch-of-one tensor), sampling the
+  /// given events `repeats` times (the paper's R; 10 by default there).
+  virtual measurement measure(const tensor& x,
+                              std::span<const hpc_event> events,
+                              std::size_t repeats) = 0;
+
+  virtual std::string backend_name() const = 0;
+
+ protected:
+  hpc_monitor() = default;
+};
+
+using monitor_ptr = std::unique_ptr<hpc_monitor>;
+
+}  // namespace advh::hpc

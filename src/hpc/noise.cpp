@@ -1,0 +1,52 @@
+#include "hpc/noise.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace advh::hpc {
+
+noise_model::noise_model() {
+  specs_.assign(all_events().size(), noise_spec{});
+  // High-rate pipeline events: tiny relative jitter, sizeable background.
+  spec(hpc_event::instructions) = {0.002, 40000.0};
+  spec(hpc_event::branches) = {0.002, 8000.0};
+  spec(hpc_event::branch_misses) = {0.02, 300.0};
+  // Cache events: moderate jitter, small background.
+  spec(hpc_event::cache_references) = {0.03, 900.0};
+  spec(hpc_event::cache_misses) = {0.015, 120.0};
+  spec(hpc_event::l1d_load_misses) = {0.02, 500.0};
+  spec(hpc_event::l1i_load_misses) = {0.03, 150.0};
+  spec(hpc_event::llc_load_misses) = {0.025, 80.0};
+  spec(hpc_event::llc_store_misses) = {0.025, 60.0};
+}
+
+noise_spec& noise_model::spec(hpc_event e) {
+  const auto idx = static_cast<std::size_t>(e);
+  ADVH_CHECK(idx < specs_.size());
+  return specs_[idx];
+}
+
+const noise_spec& noise_model::spec(hpc_event e) const {
+  const auto idx = static_cast<std::size_t>(e);
+  ADVH_CHECK(idx < specs_.size());
+  return specs_[idx];
+}
+
+double noise_model::sample(hpc_event e, double true_count, rng& gen) const {
+  const noise_spec& s = spec(e);
+  double v = true_count;
+  if (s.rel_sigma > 0.0) v *= gen.normal(1.0, s.rel_sigma);
+  if (s.background_mean > 0.0) {
+    v += static_cast<double>(gen.poisson(s.background_mean));
+  }
+  return std::max(v, 0.0);
+}
+
+noise_model noise_model::none() {
+  noise_model m;
+  for (auto& s : m.specs_) s = noise_spec{0.0, 0.0};
+  return m;
+}
+
+}  // namespace advh::hpc

@@ -1,0 +1,41 @@
+// Measurement-noise model for the simulator backend.
+//
+// Real HPC readings vary between repetitions because other processes share
+// the core and the counters (the reason the paper repeats each measurement
+// R = 10 times and averages). Each repetition perturbs the true count with
+// a multiplicative Gaussian term (timing/interleaving jitter proportional
+// to the count) plus an additive Poisson term (background-process events
+// attributed to the monitored task).
+#pragma once
+
+#include "common/rng.hpp"
+#include "hpc/events.hpp"
+
+namespace advh::hpc {
+
+struct noise_spec {
+  double rel_sigma = 0.01;       ///< multiplicative jitter std-dev
+  double background_mean = 0.0;  ///< Poisson mean of additive events
+};
+
+class noise_model {
+ public:
+  /// Default per-event noise calibrated so relative jitter is small for
+  /// high-rate events (instructions) and larger for rare events (misses),
+  /// matching typical perf behaviour.
+  noise_model();
+
+  noise_spec& spec(hpc_event e);
+  const noise_spec& spec(hpc_event e) const;
+
+  /// One noisy observation of a counter with the given true value.
+  double sample(hpc_event e, double true_count, rng& gen) const;
+
+  /// A noise model with all terms zeroed (deterministic measurements).
+  static noise_model none();
+
+ private:
+  std::vector<noise_spec> specs_;  // indexed by static_cast<size_t>(event)
+};
+
+}  // namespace advh::hpc

@@ -1,0 +1,167 @@
+#include "hpc/perf_backend.hpp"
+
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace advh::hpc {
+
+namespace {
+
+long perf_event_open_syscall(perf_event_attr* attr, pid_t pid, int cpu,
+                             int group_fd, unsigned long flags) noexcept {
+  return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+bool event_ids(hpc_event e, std::uint32_t& type, std::uint64_t& config) {
+  constexpr auto hw_cache = [](std::uint64_t id, std::uint64_t op,
+                               std::uint64_t result) {
+    return id | (op << 8) | (result << 16);
+  };
+  switch (e) {
+    case hpc_event::instructions:
+      type = PERF_TYPE_HARDWARE;
+      config = PERF_COUNT_HW_INSTRUCTIONS;
+      return true;
+    case hpc_event::branches:
+      type = PERF_TYPE_HARDWARE;
+      config = PERF_COUNT_HW_BRANCH_INSTRUCTIONS;
+      return true;
+    case hpc_event::branch_misses:
+      type = PERF_TYPE_HARDWARE;
+      config = PERF_COUNT_HW_BRANCH_MISSES;
+      return true;
+    case hpc_event::cache_references:
+      type = PERF_TYPE_HARDWARE;
+      config = PERF_COUNT_HW_CACHE_REFERENCES;
+      return true;
+    case hpc_event::cache_misses:
+      type = PERF_TYPE_HARDWARE;
+      config = PERF_COUNT_HW_CACHE_MISSES;
+      return true;
+    case hpc_event::l1d_load_misses:
+      type = PERF_TYPE_HW_CACHE;
+      config = hw_cache(PERF_COUNT_HW_CACHE_L1D, PERF_COUNT_HW_CACHE_OP_READ,
+                        PERF_COUNT_HW_CACHE_RESULT_MISS);
+      return true;
+    case hpc_event::l1i_load_misses:
+      type = PERF_TYPE_HW_CACHE;
+      config = hw_cache(PERF_COUNT_HW_CACHE_L1I, PERF_COUNT_HW_CACHE_OP_READ,
+                        PERF_COUNT_HW_CACHE_RESULT_MISS);
+      return true;
+    case hpc_event::llc_load_misses:
+      type = PERF_TYPE_HW_CACHE;
+      config = hw_cache(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+                        PERF_COUNT_HW_CACHE_RESULT_MISS);
+      return true;
+    case hpc_event::llc_store_misses:
+      type = PERF_TYPE_HW_CACHE;
+      config = hw_cache(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_WRITE,
+                        PERF_COUNT_HW_CACHE_RESULT_MISS);
+      return true;
+  }
+  return false;
+}
+
+class scoped_fd {
+ public:
+  explicit scoped_fd(int fd) noexcept : fd_(fd) {}
+  ~scoped_fd() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  scoped_fd(const scoped_fd&) = delete;
+  scoped_fd& operator=(const scoped_fd&) = delete;
+  scoped_fd(scoped_fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+
+ private:
+  int fd_;
+};
+
+int open_event_fd(hpc_event e) noexcept {
+  std::uint32_t type = 0;
+  std::uint64_t config = 0;
+  if (!event_ids(e, type, config)) return -1;
+
+  perf_event_attr attr{};
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  return static_cast<int>(
+      perf_event_open_syscall(&attr, 0 /* self */, -1, -1, 0));
+}
+
+}  // namespace
+
+int perf_backend::open_event(hpc_event e) noexcept { return open_event_fd(e); }
+
+bool perf_events_available() noexcept {
+  const int fd = open_event_fd(hpc_event::instructions);
+  if (fd < 0) return false;
+  ::close(fd);
+  return true;
+}
+
+perf_backend::perf_backend(nn::model& m) : model_(m) {
+  if (!perf_events_available()) {
+    throw backend_unavailable(
+        std::string("perf_event_open denied (") + std::strerror(errno) +
+        "); lower /proc/sys/kernel/perf_event_paranoid or use the simulator "
+        "backend");
+  }
+}
+
+perf_backend::~perf_backend() = default;
+
+measurement perf_backend::measure(const tensor& x,
+                                  std::span<const hpc_event> events,
+                                  std::size_t repeats) {
+  ADVH_CHECK(repeats > 0);
+  measurement out;
+  out.mean_counts.assign(events.size(), 0.0);
+  out.stddev_counts.assign(events.size(), 0.0);
+
+  std::vector<stats::running_stats> acc(events.size());
+  for (std::size_t r = 0; r < repeats; ++r) {
+    // One fd per event, counting simultaneously around a real inference.
+    std::vector<scoped_fd> fds;
+    fds.reserve(events.size());
+    for (hpc_event e : events) {
+      fds.emplace_back(open_event(e));
+      ADVH_CHECK_MSG(fds.back().valid(),
+                     "failed to open counter for " + to_string(e));
+      ioctl(fds.back().get(), PERF_EVENT_IOC_RESET, 0);
+    }
+    for (auto& fd : fds) ioctl(fd.get(), PERF_EVENT_IOC_ENABLE, 0);
+
+    out.predicted = model_.predict_one(x);
+
+    for (std::size_t e = 0; e < events.size(); ++e) {
+      ioctl(fds[e].get(), PERF_EVENT_IOC_DISABLE, 0);
+      std::uint64_t value = 0;
+      const ssize_t got = ::read(fds[e].get(), &value, sizeof(value));
+      ADVH_CHECK_MSG(got == static_cast<ssize_t>(sizeof(value)),
+                     "short read from perf counter");
+      acc[e].push(static_cast<double>(value));
+    }
+  }
+
+  for (std::size_t e = 0; e < events.size(); ++e) {
+    out.mean_counts[e] = acc[e].mean();
+    out.stddev_counts[e] = acc[e].stddev();
+  }
+  return out;
+}
+
+}  // namespace advh::hpc

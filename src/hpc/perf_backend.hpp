@@ -1,0 +1,36 @@
+// Native Linux perf_event_open backend.
+//
+// Counts the nine supported events around real inference executions of the
+// wrapped model — what the paper runs on an Intel i7-9700. Container and
+// CI environments usually deny perf_event_open (perf_event_paranoid or
+// seccomp); construction then throws backend_unavailable and callers fall
+// back to the simulator (see make_monitor in hpc/factory.hpp).
+#pragma once
+
+#include "hpc/monitor.hpp"
+#include "nn/model.hpp"
+
+namespace advh::hpc {
+
+/// Returns true if a basic hardware counter can be opened on this system.
+bool perf_events_available() noexcept;
+
+class perf_backend final : public hpc_monitor {
+ public:
+  /// Throws backend_unavailable if perf_event_open is not permitted.
+  explicit perf_backend(nn::model& m);
+  ~perf_backend() override;
+
+  measurement measure(const tensor& x, std::span<const hpc_event> events,
+                      std::size_t repeats) override;
+
+  std::string backend_name() const override { return "perf_event"; }
+
+ private:
+  /// Opens a counter fd for one event; returns -1 on failure.
+  static int open_event(hpc_event e) noexcept;
+
+  nn::model& model_;
+};
+
+}  // namespace advh::hpc

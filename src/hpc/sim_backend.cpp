@@ -1,0 +1,41 @@
+#include "hpc/sim_backend.hpp"
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace advh::hpc {
+
+sim_backend::sim_backend(nn::model& m, const uarch::trace_gen_config& cfg,
+                         noise_model noise, std::uint64_t seed)
+    : model_(m), gen_(cfg), noise_(std::move(noise)), rng_(seed) {}
+
+uarch::uarch_counts sim_backend::profile(const tensor& x,
+                                         std::size_t& predicted) {
+  nn::inference_trace trace = model_.trace_inference(x, predicted);
+  return gen_.run(trace);
+}
+
+measurement sim_backend::measure(const tensor& x,
+                                 std::span<const hpc_event> events,
+                                 std::size_t repeats) {
+  ADVH_CHECK(repeats > 0);
+  measurement out;
+  std::size_t predicted = 0;
+  const uarch::uarch_counts true_counts = profile(x, predicted);
+  out.predicted = predicted;
+
+  out.mean_counts.resize(events.size());
+  out.stddev_counts.resize(events.size());
+  for (std::size_t e = 0; e < events.size(); ++e) {
+    const auto truth = static_cast<double>(extract(true_counts, events[e]));
+    stats::running_stats acc;
+    for (std::size_t r = 0; r < repeats; ++r) {
+      acc.push(noise_.sample(events[e], truth, rng_));
+    }
+    out.mean_counts[e] = acc.mean();
+    out.stddev_counts[e] = acc.stddev();
+  }
+  return out;
+}
+
+}  // namespace advh::hpc

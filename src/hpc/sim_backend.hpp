@@ -1,0 +1,39 @@
+// Simulator-backed HPC monitor.
+//
+// Substitutes for perf on machines (or containers) where perf_event_open
+// is unavailable: the inference runs for real, its data-flow trace is
+// replayed through the microarchitecture simulator, and the resulting true
+// counts are observed R times through the measurement-noise model — the
+// same protocol the paper uses on real counters.
+#pragma once
+
+#include "hpc/monitor.hpp"
+#include "hpc/noise.hpp"
+#include "nn/model.hpp"
+#include "uarch/trace_gen.hpp"
+
+namespace advh::hpc {
+
+class sim_backend final : public hpc_monitor {
+ public:
+  /// The monitor borrows the model; callers keep it alive.
+  explicit sim_backend(nn::model& m, const uarch::trace_gen_config& cfg = {},
+                       noise_model noise = noise_model{},
+                       std::uint64_t seed = 99);
+
+  measurement measure(const tensor& x, std::span<const hpc_event> events,
+                      std::size_t repeats) override;
+
+  std::string backend_name() const override { return "simulator"; }
+
+  /// Deterministic (noise-free) event profile of one input.
+  uarch::uarch_counts profile(const tensor& x, std::size_t& predicted);
+
+ private:
+  nn::model& model_;
+  uarch::trace_generator gen_;
+  noise_model noise_;
+  rng rng_;
+};
+
+}  // namespace advh::hpc

@@ -1,0 +1,42 @@
+#include "nn/activations.hpp"
+
+#include "common/error.hpp"
+
+namespace advh::nn {
+
+tensor relu::forward(const tensor& x, forward_ctx& ctx) {
+  input_ = x;
+  tensor out = x;
+  for (auto& v : out.data()) {
+    if (v < 0.0f) v = 0.0f;
+    if (clip_ > 0.0f && v > clip_) v = clip_;
+  }
+
+  if (ctx.trace != nullptr) {
+    ADVH_CHECK_MSG(x.dims().rank() < 1 || x.dims()[0] == 1,
+                   "tracing requires batch size 1");
+    layer_trace_entry e;
+    e.kind = layer_kind::relu;
+    e.name = name_;
+    e.in_numel = x.numel();
+    e.out_numel = out.numel();
+    e.active_outputs = nonzero_indices(out);
+    ctx.trace->layers.push_back(std::move(e));
+  }
+  return out;
+}
+
+tensor relu::backward(const tensor& grad_out) {
+  ADVH_CHECK_MSG(!input_.empty(), "backward before forward");
+  ADVH_CHECK(grad_out.dims() == input_.dims());
+  tensor grad_in = grad_out;
+  auto g = grad_in.data();
+  auto x = input_.data();
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const bool pass = x[i] > 0.0f && (clip_ <= 0.0f || x[i] < clip_);
+    if (!pass) g[i] = 0.0f;
+  }
+  return grad_in;
+}
+
+}  // namespace advh::nn

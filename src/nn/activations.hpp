@@ -1,0 +1,29 @@
+// Activation layers. ReLU is the workhorse: its firing pattern is the
+// data-flow signal AdvHunter observes, so it records active outputs when
+// tracing. relu6 (clipped) is used by the EfficientNet-style model.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace advh::nn {
+
+class relu final : public layer {
+ public:
+  /// `clip` <= 0 means plain ReLU; a positive clip gives ReLU-`clip`
+  /// (e.g. 6 for ReLU6).
+  explicit relu(std::string name, float clip = 0.0f)
+      : name_(std::move(name)), clip_(clip) {}
+
+  tensor forward(const tensor& x, forward_ctx& ctx) override;
+  tensor backward(const tensor& grad_out) override;
+
+  layer_kind kind() const override { return layer_kind::relu; }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  float clip_;
+  tensor input_;
+};
+
+}  // namespace advh::nn

@@ -1,0 +1,147 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace advh::nn {
+
+batchnorm2d::batchnorm2d(std::string name, std::size_t channels,
+                         float momentum, float eps)
+    : name_(std::move(name)),
+      channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_(name_ + ".gamma", tensor(shape{channels}, 1.0f)),
+      beta_(name_ + ".beta", tensor(shape{channels})),
+      running_mean_(shape{channels}),
+      running_var_(shape{channels}, 1.0f) {
+  ADVH_CHECK(channels_ > 0);
+}
+
+tensor batchnorm2d::forward(const tensor& x, forward_ctx& ctx) {
+  ADVH_CHECK_MSG(x.dims().rank() == 4, name_ + ": expects NCHW");
+  ADVH_CHECK_MSG(x.dims()[1] == channels_, name_ + ": channel mismatch");
+  const std::size_t n = x.dims()[0], h = x.dims()[2], w = x.dims()[3];
+  const std::size_t per_channel = n * h * w;
+  ADVH_CHECK(per_channel > 0);
+
+  cached_training_ = ctx.training;
+  tensor out(x.dims());
+
+  batch_mean_.assign(channels_, 0.0f);
+  batch_var_.assign(channels_, 0.0f);
+
+  if (ctx.training) {
+    for (std::size_t c = 0; c < channels_; ++c) {
+      double sum = 0.0;
+      for (std::size_t b = 0; b < n; ++b)
+        for (std::size_t y = 0; y < h; ++y)
+          for (std::size_t xx = 0; xx < w; ++xx) sum += x.at(b, c, y, xx);
+      const double mean = sum / static_cast<double>(per_channel);
+      double var = 0.0;
+      for (std::size_t b = 0; b < n; ++b)
+        for (std::size_t y = 0; y < h; ++y)
+          for (std::size_t xx = 0; xx < w; ++xx) {
+            const double d = x.at(b, c, y, xx) - mean;
+            var += d * d;
+          }
+      var /= static_cast<double>(per_channel);
+      batch_mean_[c] = static_cast<float>(mean);
+      batch_var_[c] = static_cast<float>(var);
+      running_mean_[c] = (1.0f - momentum_) * running_mean_[c] +
+                         momentum_ * batch_mean_[c];
+      running_var_[c] =
+          (1.0f - momentum_) * running_var_[c] + momentum_ * batch_var_[c];
+    }
+  } else {
+    for (std::size_t c = 0; c < channels_; ++c) {
+      batch_mean_[c] = running_mean_[c];
+      batch_var_[c] = running_var_[c];
+    }
+  }
+
+  input_ = x;
+  xhat_ = tensor(x.dims());
+  for (std::size_t c = 0; c < channels_; ++c) {
+    const float inv_std = 1.0f / std::sqrt(batch_var_[c] + eps_);
+    for (std::size_t b = 0; b < n; ++b)
+      for (std::size_t y = 0; y < h; ++y)
+        for (std::size_t xx = 0; xx < w; ++xx) {
+          const float xh = (x.at(b, c, y, xx) - batch_mean_[c]) * inv_std;
+          xhat_.at(b, c, y, xx) = xh;
+          out.at(b, c, y, xx) = gamma_.value[c] * xh + beta_.value[c];
+        }
+  }
+
+  if (ctx.trace != nullptr) {
+    layer_trace_entry e;
+    e.kind = layer_kind::batchnorm2d;
+    e.name = name_;
+    e.in_numel = x.numel();
+    e.out_numel = out.numel();
+    e.weight_bytes = 4 * channels_ * sizeof(float);  // gamma/beta/mean/var
+    ctx.trace->layers.push_back(std::move(e));
+  }
+  return out;
+}
+
+tensor batchnorm2d::backward(const tensor& grad_out) {
+  ADVH_CHECK_MSG(!input_.empty(), "backward before forward");
+  const std::size_t n = input_.dims()[0], h = input_.dims()[2],
+                    w = input_.dims()[3];
+  const auto m = static_cast<double>(n * h * w);
+  tensor grad_in(input_.dims());
+
+  for (std::size_t c = 0; c < channels_; ++c) {
+    const double inv_std = 1.0 / std::sqrt(batch_var_[c] + eps_);
+    double sum_g = 0.0;
+    double sum_g_xhat = 0.0;
+    for (std::size_t b = 0; b < n; ++b)
+      for (std::size_t y = 0; y < h; ++y)
+        for (std::size_t xx = 0; xx < w; ++xx) {
+          const double g = grad_out.at(b, c, y, xx);
+          sum_g += g;
+          sum_g_xhat += g * xhat_.at(b, c, y, xx);
+        }
+    gamma_.grad[c] += static_cast<float>(sum_g_xhat);
+    beta_.grad[c] += static_cast<float>(sum_g);
+
+    if (cached_training_) {
+      // Full batch-norm gradient (training statistics).
+      for (std::size_t b = 0; b < n; ++b)
+        for (std::size_t y = 0; y < h; ++y)
+          for (std::size_t xx = 0; xx < w; ++xx) {
+            const double g = grad_out.at(b, c, y, xx);
+            const double xh = xhat_.at(b, c, y, xx);
+            const double gi = gamma_.value[c] * inv_std *
+                              (g - sum_g / m - xh * sum_g_xhat / m);
+            grad_in.at(b, c, y, xx) = static_cast<float>(gi);
+          }
+    } else {
+      // Inference mode (used by attacks against a frozen model): running
+      // stats are constants, so the gradient is a plain affine pass-through.
+      for (std::size_t b = 0; b < n; ++b)
+        for (std::size_t y = 0; y < h; ++y)
+          for (std::size_t xx = 0; xx < w; ++xx) {
+            grad_in.at(b, c, y, xx) = static_cast<float>(
+                grad_out.at(b, c, y, xx) * gamma_.value[c] * inv_std);
+          }
+    }
+  }
+  return grad_in;
+}
+
+void batchnorm2d::collect_params(std::vector<parameter*>& out) {
+  out.push_back(&gamma_);
+  out.push_back(&beta_);
+}
+
+void batchnorm2d::collect_state(std::vector<tensor*>& out) {
+  out.push_back(&gamma_.value);
+  out.push_back(&beta_.value);
+  out.push_back(&running_mean_);
+  out.push_back(&running_var_);
+}
+
+}  // namespace advh::nn

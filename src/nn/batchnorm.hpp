@@ -1,0 +1,43 @@
+// Per-channel batch normalisation for NCHW activations, with running
+// statistics for inference mode.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace advh::nn {
+
+class batchnorm2d final : public layer {
+ public:
+  batchnorm2d(std::string name, std::size_t channels, float momentum = 0.1f,
+              float eps = 1e-5f);
+
+  tensor forward(const tensor& x, forward_ctx& ctx) override;
+  tensor backward(const tensor& grad_out) override;
+  void collect_params(std::vector<parameter*>& out) override;
+  void collect_state(std::vector<tensor*>& out) override;
+
+  layer_kind kind() const override { return layer_kind::batchnorm2d; }
+  std::string name() const override { return name_; }
+
+  const tensor& running_mean() const noexcept { return running_mean_; }
+  const tensor& running_var() const noexcept { return running_var_; }
+
+ private:
+  std::string name_;
+  std::size_t channels_;
+  float momentum_;
+  float eps_;
+  parameter gamma_;
+  parameter beta_;
+  tensor running_mean_;
+  tensor running_var_;
+
+  // forward cache (training mode)
+  tensor input_;
+  tensor xhat_;
+  std::vector<float> batch_mean_;
+  std::vector<float> batch_var_;
+  bool cached_training_ = false;
+};
+
+}  // namespace advh::nn

@@ -1,0 +1,65 @@
+// Layer abstraction for the from-scratch NN engine.
+//
+// Every layer supports forward (with optional data-flow tracing) and
+// backward (gradient w.r.t. its input, accumulating parameter gradients),
+// which is what the gradient-based attacks (FGSM/PGD/DeepFool) require even
+// though the *defender* in the paper only ever runs forward.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/trace.hpp"
+#include "tensor/tensor.hpp"
+
+namespace advh::nn {
+
+/// A learnable tensor with its gradient accumulator.
+struct parameter {
+  std::string name;
+  tensor value;
+  tensor grad;
+
+  parameter(std::string n, tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.dims()) {}
+
+  void zero_grad() noexcept { grad.fill(0.0f); }
+};
+
+class layer {
+ public:
+  virtual ~layer() = default;
+
+  layer(const layer&) = delete;
+  layer& operator=(const layer&) = delete;
+
+  /// Computes the layer output; caches whatever backward needs.
+  virtual tensor forward(const tensor& x, forward_ctx& ctx) = 0;
+
+  /// Propagates `grad_out` (d loss / d output) to d loss / d input, adding
+  /// into parameter .grad members. Must follow a forward() call.
+  virtual tensor backward(const tensor& grad_out) = 0;
+
+  /// Appends pointers to this layer's learnable parameters.
+  virtual void collect_params(std::vector<parameter*>& out) { (void)out; }
+
+  /// Appends pointers to *all* persistent tensors (parameters plus
+  /// non-learnable buffers such as batch-norm running stats) for
+  /// serialization.
+  virtual void collect_state(std::vector<tensor*>& out);
+
+  virtual layer_kind kind() const = 0;
+  virtual std::string name() const = 0;
+
+ protected:
+  layer() = default;
+
+  /// Records indices of non-zero elements of `x` into a trace entry's
+  /// active-input list (single-batch tensors only).
+  static std::vector<std::uint32_t> nonzero_indices(const tensor& x);
+};
+
+using layer_ptr = std::unique_ptr<layer>;
+
+}  // namespace advh::nn

@@ -1,0 +1,42 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace advh::nn {
+
+loss_result softmax_cross_entropy(const tensor& logits,
+                                  const std::vector<std::size_t>& labels) {
+  ADVH_CHECK(logits.dims().rank() == 2);
+  const std::size_t batch = logits.dims()[0];
+  const std::size_t classes = logits.dims()[1];
+  ADVH_CHECK_MSG(labels.size() == batch, "labels must match batch size");
+
+  tensor probs = ops::softmax_rows(logits);
+  loss_result out;
+  out.grad_logits = probs;
+  double loss = 0.0;
+  auto g = out.grad_logits.data();
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    ADVH_CHECK(labels[b] < classes);
+    const float p = probs.at(b, labels[b]);
+    loss += -std::log(std::max(p, 1e-12f));
+    g[b * classes + labels[b]] -= 1.0f;
+  }
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] *= inv_batch;
+  out.value = loss / static_cast<double>(batch);
+  return out;
+}
+
+tensor nll_grad_single(const tensor& logits, std::size_t target) {
+  ADVH_CHECK(logits.dims().rank() == 2 && logits.dims()[0] == 1);
+  ADVH_CHECK(target < logits.dims()[1]);
+  tensor grad = ops::softmax_rows(logits);
+  grad[target] -= 1.0f;
+  return grad;
+}
+
+}  // namespace advh::nn

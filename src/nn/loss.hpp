@@ -1,0 +1,24 @@
+// Softmax cross-entropy loss with logits.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace advh::nn {
+
+struct loss_result {
+  double value = 0.0;   ///< mean loss over the batch
+  tensor grad_logits;   ///< d loss / d logits, already divided by batch size
+};
+
+/// Computes mean cross-entropy of rank-2 logits (batch, classes) against
+/// integer labels, and its gradient w.r.t. the logits.
+loss_result softmax_cross_entropy(const tensor& logits,
+                                  const std::vector<std::size_t>& labels);
+
+/// Cross-entropy gradient for a *single* example towards maximising the
+/// logit of `target` (used by targeted attacks): returns d(-log p_target)/d logits.
+tensor nll_grad_single(const tensor& logits, std::size_t target);
+
+}  // namespace advh::nn

@@ -1,0 +1,137 @@
+#include "nn/models/models.hpp"
+
+#include "common/error.hpp"
+#include "nn/blocks.hpp"
+#include "nn/linear.hpp"
+#include "nn/simple_layers.hpp"
+
+namespace advh::nn {
+
+namespace {
+
+std::unique_ptr<model> build_case_study_cnn(shape input, std::size_t classes,
+                                            rng gen) {
+  const std::size_t c = input[0], h = input[1], w = input[2];
+  auto net = std::make_unique<sequential>("case_study_cnn");
+  net->emplace<conv2d>("conv1", conv2d_config{c, 12, 3, 1, 1, true}, gen);
+  net->emplace<relu>("act1");
+  net->emplace<maxpool2d>("pool1", 2);
+  net->emplace<conv2d>("conv2", conv2d_config{12, 24, 3, 1, 1, true}, gen);
+  net->emplace<relu>("act2");
+  net->emplace<conv2d>("conv3", conv2d_config{24, 24, 3, 1, 1, true}, gen);
+  net->emplace<relu>("act3");
+  net->emplace<maxpool2d>("pool2", 2);
+  net->emplace<conv2d>("conv4", conv2d_config{24, 32, 3, 1, 1, true}, gen);
+  net->emplace<relu>("act4");
+  net->emplace<maxpool2d>("pool3", 2);
+  const std::size_t fh = h / 8, fw = w / 8;
+  net->emplace<flatten>("flat");
+  net->emplace<linear>("fc1", 32 * fh * fw, 64, gen);
+  net->emplace<relu>("act5");
+  net->emplace<linear>("fc2", 64, classes, gen);
+  return std::make_unique<model>("case_study_cnn", std::move(net), input,
+                                 classes);
+}
+
+std::unique_ptr<model> build_efficientnet_lite(shape input,
+                                               std::size_t classes, rng gen) {
+  const std::size_t c = input[0];
+  auto net = std::make_unique<sequential>("efficientnet_lite");
+  net->emplace<conv2d>("stem", conv2d_config{c, 8, 3, 1, 1, false}, gen);
+  net->emplace<batchnorm2d>("stem_bn", 8);
+  net->emplace<relu>("stem_act", 6.0f);
+  net->add(make_separable_block("sep1", 8, 16, 2, gen));
+  net->add(make_separable_block("sep2", 16, 24, 2, gen));
+  net->add(make_separable_block("sep3", 24, 32, 2, gen));
+  net->emplace<global_avgpool>("gap");
+  net->emplace<linear>("head", 32, classes, gen);
+  return std::make_unique<model>("efficientnet_lite", std::move(net), input,
+                                 classes);
+}
+
+std::unique_ptr<model> build_resnet_small(shape input, std::size_t classes,
+                                          rng gen) {
+  const std::size_t c = input[0];
+  auto net = std::make_unique<sequential>("resnet_small");
+  net->emplace<conv2d>("stem", conv2d_config{c, 8, 3, 1, 1, false}, gen);
+  net->emplace<batchnorm2d>("stem_bn", 8);
+  net->emplace<relu>("stem_act");
+  net->emplace<residual_block>("block1", 8, 8, 1, gen);
+  net->emplace<residual_block>("block2", 8, 16, 2, gen);
+  net->emplace<residual_block>("block3", 16, 32, 2, gen);
+  net->emplace<residual_block>("block4", 32, 64, 2, gen);
+  net->emplace<global_avgpool>("gap");
+  net->emplace<linear>("head", 64, classes, gen);
+  return std::make_unique<model>("resnet_small", std::move(net), input,
+                                 classes);
+}
+
+std::unique_ptr<model> build_densenet_small(shape input, std::size_t classes,
+                                            rng gen) {
+  const std::size_t c = input[0];
+  auto net = std::make_unique<sequential>("densenet_small");
+  net->emplace<conv2d>("stem", conv2d_config{c, 8, 3, 1, 1, false}, gen);
+
+  auto& db1 = net->emplace<dense_block>("dense1", 8, 6, 3, gen);
+  const std::size_t c1 = db1.out_channels();          // 8 + 18 = 26
+  net->add(make_dense_transition("trans1", c1, c1 / 2, gen));
+
+  auto& db2 = net->emplace<dense_block>("dense2", c1 / 2, 6, 3, gen);
+  const std::size_t c2 = db2.out_channels();
+  net->add(make_dense_transition("trans2", c2, c2 / 2, gen));
+
+  auto& db3 = net->emplace<dense_block>("dense3", c2 / 2, 6, 3, gen);
+  const std::size_t c3 = db3.out_channels();
+
+  net->emplace<batchnorm2d>("final_bn", c3);
+  net->emplace<relu>("final_act");
+  net->emplace<global_avgpool>("gap");
+  net->emplace<linear>("head", c3, classes, gen);
+  return std::make_unique<model>("densenet_small", std::move(net), input,
+                                 classes);
+}
+
+}  // namespace
+
+std::string to_string(architecture a) {
+  switch (a) {
+    case architecture::case_study_cnn:
+      return "case_study_cnn";
+    case architecture::efficientnet_lite:
+      return "efficientnet_lite";
+    case architecture::resnet_small:
+      return "resnet_small";
+    case architecture::densenet_small:
+      return "densenet_small";
+  }
+  return "unknown";
+}
+
+architecture architecture_from_string(const std::string& s) {
+  if (s == "case_study_cnn") return architecture::case_study_cnn;
+  if (s == "efficientnet_lite") return architecture::efficientnet_lite;
+  if (s == "resnet_small") return architecture::resnet_small;
+  if (s == "densenet_small") return architecture::densenet_small;
+  throw invariant_error("unknown architecture: " + s);
+}
+
+std::unique_ptr<model> make_model(architecture a, shape input,
+                                  std::size_t classes, std::uint64_t seed) {
+  ADVH_CHECK(input.rank() == 3);
+  rng gen(seed);
+  switch (a) {
+    case architecture::case_study_cnn:
+      ADVH_CHECK_MSG(input[1] % 8 == 0 && input[2] % 8 == 0,
+                     "case_study_cnn needs spatial dims divisible by 8");
+      return build_case_study_cnn(input, classes, gen);
+    case architecture::efficientnet_lite:
+      return build_efficientnet_lite(input, classes, gen);
+    case architecture::resnet_small:
+      return build_resnet_small(input, classes, gen);
+    case architecture::densenet_small:
+      return build_densenet_small(input, classes, gen);
+  }
+  throw invariant_error("unhandled architecture");
+}
+
+}  // namespace advh::nn

@@ -1,0 +1,31 @@
+// Model zoo: the paper's case-study CNN plus scaled-down versions of the
+// three scenario architectures (Table 1). Sizes are chosen so that training
+// and traced inference stay laptop-fast while keeping each family's
+// structural signature (depthwise-separable / residual / dense
+// connectivity), which is what shapes the data-flow traces.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/model.hpp"
+
+namespace advh::nn {
+
+enum class architecture {
+  case_study_cnn,    ///< 4 conv + 2 FC CNN from the Figure-1 case study
+  efficientnet_lite, ///< S1: depthwise-separable stack (EfficientNet family)
+  resnet_small,      ///< S2: residual stack (ResNet18 family)
+  densenet_small,    ///< S3: dense-connectivity stack (DenseNet201 family)
+};
+
+std::string to_string(architecture a);
+architecture architecture_from_string(const std::string& s);
+
+/// Builds a freshly initialised model.
+/// `input` is the CHW shape of one example; `classes` the output width;
+/// `seed` drives weight initialisation.
+std::unique_ptr<model> make_model(architecture a, shape input,
+                                  std::size_t classes, std::uint64_t seed);
+
+}  // namespace advh::nn

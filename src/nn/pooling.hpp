@@ -1,0 +1,67 @@
+// Pooling layers: max, average, and global average.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace advh::nn {
+
+class maxpool2d final : public layer {
+ public:
+  maxpool2d(std::string name, std::size_t window, std::size_t stride = 0)
+      : name_(std::move(name)),
+        window_(window),
+        stride_(stride == 0 ? window : stride) {}
+
+  tensor forward(const tensor& x, forward_ctx& ctx) override;
+  tensor backward(const tensor& grad_out) override;
+
+  layer_kind kind() const override { return layer_kind::maxpool2d; }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::size_t window_;
+  std::size_t stride_;
+  shape in_shape_;
+  std::vector<std::size_t> argmax_;  // flat input index per output element
+};
+
+class avgpool2d final : public layer {
+ public:
+  avgpool2d(std::string name, std::size_t window, std::size_t stride = 0)
+      : name_(std::move(name)),
+        window_(window),
+        stride_(stride == 0 ? window : stride) {}
+
+  tensor forward(const tensor& x, forward_ctx& ctx) override;
+  tensor backward(const tensor& grad_out) override;
+
+  layer_kind kind() const override { return layer_kind::avgpool2d; }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::size_t window_;
+  std::size_t stride_;
+  shape in_shape_;
+};
+
+/// Reduces (N, C, H, W) to (N, C) by spatial averaging.
+class global_avgpool final : public layer {
+ public:
+  explicit global_avgpool(std::string name) : name_(std::move(name)) {}
+
+  tensor forward(const tensor& x, forward_ctx& ctx) override;
+  tensor backward(const tensor& grad_out) override;
+
+  layer_kind kind() const override { return layer_kind::global_avgpool; }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  shape in_shape_;
+};
+
+}  // namespace advh::nn

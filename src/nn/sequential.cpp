@@ -1,0 +1,40 @@
+#include "nn/sequential.hpp"
+
+#include "common/error.hpp"
+
+namespace advh::nn {
+
+sequential& sequential::add(layer_ptr l) {
+  ADVH_CHECK(l != nullptr);
+  layers_.push_back(std::move(l));
+  return *this;
+}
+
+tensor sequential::forward(const tensor& x, forward_ctx& ctx) {
+  tensor cur = x;
+  for (auto& l : layers_) cur = l->forward(cur, ctx);
+  return cur;
+}
+
+tensor sequential::backward(const tensor& grad_out) {
+  tensor cur = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    cur = (*it)->backward(cur);
+  }
+  return cur;
+}
+
+void sequential::collect_params(std::vector<parameter*>& out) {
+  for (auto& l : layers_) l->collect_params(out);
+}
+
+void sequential::collect_state(std::vector<tensor*>& out) {
+  for (auto& l : layers_) l->collect_state(out);
+}
+
+layer& sequential::at(std::size_t i) {
+  ADVH_CHECK(i < layers_.size());
+  return *layers_[i];
+}
+
+}  // namespace advh::nn

@@ -1,0 +1,45 @@
+// Sequential container. It is itself a layer, so architecture blocks can
+// nest containers arbitrarily deep (residual/dense blocks do).
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace advh::nn {
+
+class sequential : public layer {
+ public:
+  explicit sequential(std::string name) : name_(std::move(name)) {}
+
+  /// Appends a layer; returns a reference to this for chaining.
+  sequential& add(layer_ptr l);
+
+  /// Constructs a layer in place and appends it.
+  template <typename L, typename... Args>
+  L& emplace(Args&&... args) {
+    auto l = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *l;
+    add(std::move(l));
+    return ref;
+  }
+
+  tensor forward(const tensor& x, forward_ctx& ctx) override;
+  tensor backward(const tensor& grad_out) override;
+  void collect_params(std::vector<parameter*>& out) override;
+  void collect_state(std::vector<tensor*>& out) override;
+
+  layer_kind kind() const override { return layer_kind::input; }
+  std::string name() const override { return name_; }
+
+  std::size_t size() const noexcept { return layers_.size(); }
+  layer& at(std::size_t i);
+
+ private:
+  std::string name_;
+  std::vector<layer_ptr> layers_;
+};
+
+}  // namespace advh::nn

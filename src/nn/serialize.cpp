@@ -1,0 +1,79 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace advh::nn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x41445648;  // "ADVH"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  ADVH_CHECK_MSG(is.good(), "truncated state file");
+  return v;
+}
+}  // namespace
+
+void save_state(model& m, const std::string& path) {
+  std::vector<tensor*> state;
+  m.net().collect_state(state);
+
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream os(p, std::ios::binary);
+  ADVH_CHECK_MSG(os.good(), "cannot open " + path + " for writing");
+
+  write_pod(os, kMagic);
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<std::uint64_t>(state.size()));
+  for (tensor* t : state) {
+    write_pod(os, static_cast<std::uint64_t>(t->numel()));
+    os.write(reinterpret_cast<const char*>(t->data().data()),
+             static_cast<std::streamsize>(t->numel() * sizeof(float)));
+  }
+  ADVH_CHECK_MSG(os.good(), "write failed for " + path);
+}
+
+void load_state(model& m, const std::string& path) {
+  std::vector<tensor*> state;
+  m.net().collect_state(state);
+
+  std::ifstream is(path, std::ios::binary);
+  ADVH_CHECK_MSG(is.good(), "cannot open " + path);
+  ADVH_CHECK_MSG(read_pod<std::uint32_t>(is) == kMagic,
+                 path + " is not an AdvHunter state file");
+  ADVH_CHECK_MSG(read_pod<std::uint32_t>(is) == kVersion,
+                 path + ": unsupported version");
+  const auto count = read_pod<std::uint64_t>(is);
+  ADVH_CHECK_MSG(count == state.size(),
+                 path + ": state tensor count mismatch (architecture drift?)");
+  for (tensor* t : state) {
+    const auto numel = read_pod<std::uint64_t>(is);
+    ADVH_CHECK_MSG(numel == t->numel(), path + ": tensor size mismatch");
+    is.read(reinterpret_cast<char*>(t->data().data()),
+            static_cast<std::streamsize>(numel * sizeof(float)));
+    ADVH_CHECK_MSG(is.good(), path + ": truncated payload");
+  }
+}
+
+bool is_state_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) return false;
+  std::uint32_t magic = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  return is.good() && magic == kMagic;
+}
+
+}  // namespace advh::nn

@@ -1,0 +1,24 @@
+// Binary (de)serialization of model state.
+//
+// Format: magic, version, tensor count, then per tensor the element count
+// and raw float32 payload. Architecture is reconstructed by the model zoo
+// from its name, so only state tensors are stored — mirroring how the
+// benches cache trained scenario models between runs.
+#pragma once
+
+#include <string>
+
+#include "nn/model.hpp"
+
+namespace advh::nn {
+
+/// Writes all persistent tensors (weights + batch-norm statistics).
+void save_state(model& m, const std::string& path);
+
+/// Loads state saved by save_state; tensor count and shapes must match.
+void load_state(model& m, const std::string& path);
+
+/// True if `path` exists and carries the serialization magic.
+bool is_state_file(const std::string& path);
+
+}  // namespace advh::nn

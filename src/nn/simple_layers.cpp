@@ -1,0 +1,66 @@
+#include "nn/simple_layers.hpp"
+
+#include "common/error.hpp"
+
+namespace advh::nn {
+
+tensor flatten::forward(const tensor& x, forward_ctx& ctx) {
+  ADVH_CHECK_MSG(x.dims().rank() >= 2, name_ + ": expects rank >= 2");
+  in_shape_ = x.dims();
+  const std::size_t batch = x.dims()[0];
+  tensor out = x.reshaped(shape{batch, x.numel() / batch});
+  if (ctx.trace != nullptr) {
+    layer_trace_entry e;
+    e.kind = layer_kind::flatten;
+    e.name = name_;
+    e.in_numel = x.numel();
+    e.out_numel = out.numel();
+    ctx.trace->layers.push_back(std::move(e));
+  }
+  return out;
+}
+
+tensor flatten::backward(const tensor& grad_out) {
+  ADVH_CHECK_MSG(in_shape_.rank() >= 2, "backward before forward");
+  return grad_out.reshaped(in_shape_);
+}
+
+tensor dropout::forward(const tensor& x, forward_ctx& ctx) {
+  ADVH_CHECK(rate_ >= 0.0f && rate_ < 1.0f);
+  cached_training_ = ctx.training;
+  if (!ctx.training || rate_ == 0.0f) {
+    if (ctx.trace != nullptr) {
+      layer_trace_entry e;
+      e.kind = layer_kind::dropout;
+      e.name = name_;
+      e.in_numel = x.numel();
+      e.out_numel = x.numel();
+      ctx.trace->layers.push_back(std::move(e));
+    }
+    return x;
+  }
+  mask_ = tensor(x.dims());
+  tensor out = x;
+  const float keep = 1.0f - rate_;
+  auto m = mask_.data();
+  auto o = out.data();
+  for (std::size_t i = 0; i < o.size(); ++i) {
+    const bool kept = gen_.bernoulli(keep);
+    m[i] = kept ? 1.0f / keep : 0.0f;
+    o[i] *= m[i];
+  }
+  return out;
+}
+
+tensor dropout::backward(const tensor& grad_out) {
+  if (!cached_training_ || rate_ == 0.0f) return grad_out;
+  ADVH_CHECK_MSG(!mask_.empty(), "backward before forward");
+  ADVH_CHECK(grad_out.dims() == mask_.dims());
+  tensor grad_in = grad_out;
+  auto g = grad_in.data();
+  auto m = mask_.data();
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] *= m[i];
+  return grad_in;
+}
+
+}  // namespace advh::nn

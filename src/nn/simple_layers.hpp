@@ -1,0 +1,44 @@
+// Structural layers without learnable state: flatten and dropout.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace advh::nn {
+
+/// Collapses (N, C, H, W) to (N, C*H*W).
+class flatten final : public layer {
+ public:
+  explicit flatten(std::string name) : name_(std::move(name)) {}
+
+  tensor forward(const tensor& x, forward_ctx& ctx) override;
+  tensor backward(const tensor& grad_out) override;
+
+  layer_kind kind() const override { return layer_kind::flatten; }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  shape in_shape_;
+};
+
+/// Inverted dropout; identity in inference mode.
+class dropout final : public layer {
+ public:
+  dropout(std::string name, float rate, rng& gen)
+      : name_(std::move(name)), rate_(rate), gen_(gen.split()) {}
+
+  tensor forward(const tensor& x, forward_ctx& ctx) override;
+  tensor backward(const tensor& grad_out) override;
+
+  layer_kind kind() const override { return layer_kind::dropout; }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  float rate_;
+  rng gen_;
+  tensor mask_;
+  bool cached_training_ = false;
+};
+
+}  // namespace advh::nn

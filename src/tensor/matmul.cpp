@@ -1,0 +1,89 @@
+#include "tensor/matmul.hpp"
+
+#include "common/error.hpp"
+
+namespace advh::ops {
+
+namespace {
+void check_rank2(const tensor& t, const char* name) {
+  ADVH_CHECK_MSG(t.dims().rank() == 2, std::string(name) + " must be rank 2");
+}
+}  // namespace
+
+tensor matmul(const tensor& a, const tensor& b) {
+  check_rank2(a, "a");
+  check_rank2(b, "b");
+  const std::size_t m = a.dims()[0];
+  const std::size_t k = a.dims()[1];
+  ADVH_CHECK_MSG(b.dims()[0] == k, "inner dimensions must agree");
+  const std::size_t n = b.dims()[1];
+
+  tensor c(shape{m, n});
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  // ikj loop order keeps the inner loop contiguous over B and C rows.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float av = pa[i * k + kk];
+      if (av == 0.0f) continue;  // sparsity fast-path (post-ReLU inputs)
+      const float* brow = pb + kk * n;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+tensor matmul_at_b(const tensor& a, const tensor& b) {
+  check_rank2(a, "a");
+  check_rank2(b, "b");
+  const std::size_t m = a.dims()[0];
+  const std::size_t k = a.dims()[1];
+  ADVH_CHECK_MSG(b.dims()[0] == m, "outer dimensions must agree");
+  const std::size_t n = b.dims()[1];
+
+  tensor c(shape{k, n});
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    const float* brow = pb + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      float* crow = pc + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+tensor matmul_a_bt(const tensor& a, const tensor& b) {
+  check_rank2(a, "a");
+  check_rank2(b, "b");
+  const std::size_t m = a.dims()[0];
+  const std::size_t k = a.dims()[1];
+  ADVH_CHECK_MSG(b.dims()[1] == k, "inner dimensions must agree");
+  const std::size_t n = b.dims()[0];
+
+  tensor c(shape{m, n});
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(arow[kk]) * brow[kk];
+      }
+      pc[i * n + j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+}  // namespace advh::ops

@@ -1,0 +1,173 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace advh::ops {
+
+namespace {
+void check_same_shape(const tensor& a, const tensor& b) {
+  if (a.dims() != b.dims()) {
+    throw shape_error("shape mismatch: " + a.dims().to_string() + " vs " +
+                      b.dims().to_string());
+  }
+}
+}  // namespace
+
+tensor add(const tensor& a, const tensor& b) {
+  check_same_shape(a, b);
+  tensor out = a;
+  auto o = out.data();
+  auto bb = b.data();
+  for (std::size_t i = 0; i < o.size(); ++i) o[i] += bb[i];
+  return out;
+}
+
+tensor sub(const tensor& a, const tensor& b) {
+  check_same_shape(a, b);
+  tensor out = a;
+  auto o = out.data();
+  auto bb = b.data();
+  for (std::size_t i = 0; i < o.size(); ++i) o[i] -= bb[i];
+  return out;
+}
+
+tensor mul(const tensor& a, const tensor& b) {
+  check_same_shape(a, b);
+  tensor out = a;
+  auto o = out.data();
+  auto bb = b.data();
+  for (std::size_t i = 0; i < o.size(); ++i) o[i] *= bb[i];
+  return out;
+}
+
+tensor scale(const tensor& a, float s) {
+  tensor out = a;
+  for (auto& v : out.data()) v *= s;
+  return out;
+}
+
+void axpy(tensor& a, const tensor& b, float s) {
+  check_same_shape(a, b);
+  auto aa = a.data();
+  auto bb = b.data();
+  for (std::size_t i = 0; i < aa.size(); ++i) aa[i] += bb[i] * s;
+}
+
+tensor sign(const tensor& a) {
+  tensor out = a;
+  for (auto& v : out.data()) v = v > 0.0f ? 1.0f : (v < 0.0f ? -1.0f : 0.0f);
+  return out;
+}
+
+tensor clamp(const tensor& a, float lo, float hi) {
+  tensor out = a;
+  clamp_inplace(out, lo, hi);
+  return out;
+}
+
+void clamp_inplace(tensor& a, float lo, float hi) {
+  ADVH_CHECK(lo <= hi);
+  for (auto& v : a.data()) v = std::clamp(v, lo, hi);
+}
+
+tensor project_linf(const tensor& a, const tensor& center, float eps) {
+  check_same_shape(a, center);
+  ADVH_CHECK(eps >= 0.0f);
+  tensor out = a;
+  auto o = out.data();
+  auto c = center.data();
+  for (std::size_t i = 0; i < o.size(); ++i) {
+    o[i] = std::clamp(o[i], c[i] - eps, c[i] + eps);
+  }
+  return out;
+}
+
+double sum(const tensor& a) noexcept {
+  double acc = 0.0;
+  for (float v : a.data()) acc += v;
+  return acc;
+}
+
+double mean(const tensor& a) noexcept {
+  if (a.numel() == 0) return 0.0;
+  return sum(a) / static_cast<double>(a.numel());
+}
+
+double l2_norm(const tensor& a) noexcept {
+  double acc = 0.0;
+  for (float v : a.data()) acc += static_cast<double>(v) * v;
+  return std::sqrt(acc);
+}
+
+double linf_norm(const tensor& a) noexcept {
+  double m = 0.0;
+  for (float v : a.data()) m = std::max(m, static_cast<double>(std::fabs(v)));
+  return m;
+}
+
+double dot(const tensor& a, const tensor& b) {
+  check_same_shape(a, b);
+  double acc = 0.0;
+  auto aa = a.data();
+  auto bb = b.data();
+  for (std::size_t i = 0; i < aa.size(); ++i) {
+    acc += static_cast<double>(aa[i]) * bb[i];
+  }
+  return acc;
+}
+
+std::size_t argmax(const tensor& a) {
+  ADVH_CHECK(a.numel() > 0);
+  auto d = a.data();
+  return static_cast<std::size_t>(
+      std::max_element(d.begin(), d.end()) - d.begin());
+}
+
+tensor softmax_rows(const tensor& logits) {
+  ADVH_CHECK(logits.dims().rank() == 2);
+  const std::size_t rows = logits.dims()[0];
+  const std::size_t cols = logits.dims()[1];
+  tensor out = logits;
+  auto d = out.data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* row = d.data() + r * cols;
+    const float mx = *std::max_element(row, row + cols);
+    double denom = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      row[c] = std::exp(row[c] - mx);
+      denom += row[c];
+    }
+    for (std::size_t c = 0; c < cols; ++c) {
+      row[c] = static_cast<float>(row[c] / denom);
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> argmax_rows(const tensor& logits) {
+  ADVH_CHECK(logits.dims().rank() == 2);
+  const std::size_t rows = logits.dims()[0];
+  const std::size_t cols = logits.dims()[1];
+  ADVH_CHECK(cols > 0);
+  std::vector<std::size_t> out(rows);
+  auto d = logits.data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* row = d.data() + r * cols;
+    out[r] = static_cast<std::size_t>(
+        std::max_element(row, row + cols) - row);
+  }
+  return out;
+}
+
+std::size_t count_greater(const tensor& a, float threshold) noexcept {
+  std::size_t n = 0;
+  for (float v : a.data()) {
+    if (v > threshold) ++n;
+  }
+  return n;
+}
+
+}  // namespace advh::ops

@@ -1,0 +1,57 @@
+// Elementwise and reduction kernels on tensors.
+//
+// These free functions back both the NN layers and the attack
+// implementations (sign/clamp for FGSM & PGD projection, L2 normalisation
+// for DeepFool steps).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace advh::ops {
+
+/// c = a + b (shapes must match).
+tensor add(const tensor& a, const tensor& b);
+/// c = a - b.
+tensor sub(const tensor& a, const tensor& b);
+/// c = a * b (elementwise).
+tensor mul(const tensor& a, const tensor& b);
+/// c = a * s.
+tensor scale(const tensor& a, float s);
+/// a += b * s (axpy, in place).
+void axpy(tensor& a, const tensor& b, float s);
+/// Elementwise sign (+1 / 0 / -1).
+tensor sign(const tensor& a);
+/// Elementwise clamp to [lo, hi].
+tensor clamp(const tensor& a, float lo, float hi);
+/// In-place clamp.
+void clamp_inplace(tensor& a, float lo, float hi);
+/// Clamps a to lie within the L-infinity ball of radius eps around center.
+tensor project_linf(const tensor& a, const tensor& center, float eps);
+
+/// Sum of all elements.
+double sum(const tensor& a) noexcept;
+/// Mean of all elements; 0 for empty tensors.
+double mean(const tensor& a) noexcept;
+/// L2 norm over all elements.
+double l2_norm(const tensor& a) noexcept;
+/// L-infinity norm over all elements.
+double linf_norm(const tensor& a) noexcept;
+/// Dot product of two equal-shape tensors (flattened).
+double dot(const tensor& a, const tensor& b);
+
+/// Index of the maximum element (first on ties); requires non-empty.
+std::size_t argmax(const tensor& a);
+
+/// Row-wise softmax of a rank-2 (batch, classes) tensor, numerically stable.
+tensor softmax_rows(const tensor& logits);
+
+/// Row-wise argmax for a rank-2 tensor; one index per row.
+std::vector<std::size_t> argmax_rows(const tensor& logits);
+
+/// Count of elements strictly greater than `threshold`.
+std::size_t count_greater(const tensor& a, float threshold) noexcept;
+
+}  // namespace advh::ops

@@ -1,0 +1,54 @@
+#include "tensor/shape.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace advh {
+
+shape::shape(std::initializer_list<std::size_t> dims) {
+  ADVH_CHECK_MSG(dims.size() <= max_rank, "shape rank exceeds max_rank");
+  for (std::size_t d : dims) dims_[rank_++] = d;
+}
+
+std::size_t shape::operator[](std::size_t i) const {
+  ADVH_CHECK(i < rank_);
+  return dims_[i];
+}
+
+std::size_t shape::numel() const noexcept {
+  std::size_t n = 1;
+  for (std::size_t i = 0; i < rank_; ++i) n *= dims_[i];
+  return n;
+}
+
+bool shape::operator==(const shape& other) const noexcept {
+  if (rank_ != other.rank_) return false;
+  for (std::size_t i = 0; i < rank_; ++i) {
+    if (dims_[i] != other.dims_[i]) return false;
+  }
+  return true;
+}
+
+std::array<std::size_t, shape::max_rank> shape::strides() const noexcept {
+  std::array<std::size_t, max_rank> s{};
+  std::size_t acc = 1;
+  for (std::size_t i = rank_; i-- > 0;) {
+    s[i] = acc;
+    acc *= dims_[i];
+  }
+  return s;
+}
+
+std::string shape::to_string() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < rank_; ++i) {
+    if (i) os << ", ";
+    os << dims_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace advh

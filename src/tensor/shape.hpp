@@ -1,0 +1,44 @@
+// Tensor shape algebra.
+//
+// Shapes are small (rank <= 4 in this library: NCHW activations, OIHW
+// weights) so a fixed-capacity inline vector keeps them cheap to copy.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+
+namespace advh {
+
+/// Dimension list with value semantics; rank 0 means "scalar".
+class shape {
+ public:
+  static constexpr std::size_t max_rank = 4;
+
+  shape() = default;
+  shape(std::initializer_list<std::size_t> dims);
+
+  std::size_t rank() const noexcept { return rank_; }
+  std::size_t operator[](std::size_t i) const;
+  std::size_t dim(std::size_t i) const { return (*this)[i]; }
+
+  /// Total number of elements (1 for rank-0).
+  std::size_t numel() const noexcept;
+
+  bool operator==(const shape& other) const noexcept;
+  bool operator!=(const shape& other) const noexcept {
+    return !(*this == other);
+  }
+
+  /// Row-major strides, innermost dimension contiguous.
+  std::array<std::size_t, max_rank> strides() const noexcept;
+
+  std::string to_string() const;
+
+ private:
+  std::array<std::size_t, max_rank> dims_{};
+  std::size_t rank_ = 0;
+};
+
+}  // namespace advh

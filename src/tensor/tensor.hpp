@@ -1,0 +1,65 @@
+// Dense float32 tensor with value semantics.
+//
+// Activations are NCHW, convolution weights OIHW, linear weights
+// (out, in). All kernels in this library operate on contiguous row-major
+// storage exposed via std::span.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/shape.hpp"
+
+namespace advh {
+
+class tensor {
+ public:
+  tensor() = default;
+
+  /// Allocates a zero-filled tensor of the given shape.
+  explicit tensor(shape s);
+
+  /// Allocates and fills with `value`.
+  tensor(shape s, float value);
+
+  /// Wraps existing data (copied); data.size() must equal s.numel().
+  tensor(shape s, std::vector<float> data);
+
+  static tensor zeros(shape s) { return tensor(std::move(s)); }
+  static tensor full(shape s, float value) { return tensor(std::move(s), value); }
+  /// I.i.d. normal entries with the given std-dev.
+  static tensor randn(shape s, rng& gen, float stddev = 1.0f);
+  /// I.i.d. uniform entries in [lo, hi).
+  static tensor rand_uniform(shape s, rng& gen, float lo, float hi);
+
+  const shape& dims() const noexcept { return shape_; }
+  std::size_t numel() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  std::span<float> data() noexcept { return data_; }
+  std::span<const float> data() const noexcept { return data_; }
+
+  float& operator[](std::size_t i);
+  float operator[](std::size_t i) const;
+
+  /// NCHW element access (rank-4 tensors).
+  float& at(std::size_t n, std::size_t c, std::size_t h, std::size_t w);
+  float at(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const;
+
+  /// Rank-2 element access.
+  float& at(std::size_t r, std::size_t c);
+  float at(std::size_t r, std::size_t c) const;
+
+  /// Returns a copy with a new shape of equal numel.
+  tensor reshaped(shape s) const;
+
+  /// Sets every element to `value`.
+  void fill(float value) noexcept;
+
+ private:
+  shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace advh

@@ -1,0 +1,36 @@
+#include "uarch/branch_predictor.hpp"
+
+#include "common/error.hpp"
+
+namespace advh::uarch {
+
+gshare_predictor::gshare_predictor(std::size_t table_bits)
+    : table_bits_(table_bits) {
+  ADVH_CHECK(table_bits_ >= 4 && table_bits_ <= 24);
+  table_.assign(std::size_t{1} << table_bits_, 1);  // weakly not-taken
+}
+
+bool gshare_predictor::execute(std::uint64_t pc, bool taken) {
+  const std::uint64_t mask = (std::uint64_t{1} << table_bits_) - 1;
+  const std::size_t idx =
+      static_cast<std::size_t>(((pc >> 2) ^ history_) & mask);
+  std::uint8_t& ctr = table_[idx];
+  const bool predicted_taken = ctr >= 2;
+
+  ++stats_.branches;
+  const bool correct = predicted_taken == taken;
+  if (!correct) ++stats_.mispredictions;
+
+  if (taken && ctr < 3) ++ctr;
+  if (!taken && ctr > 0) --ctr;
+  history_ = ((history_ << 1) | (taken ? 1 : 0)) & mask;
+  return correct;
+}
+
+void gshare_predictor::reset() noexcept {
+  for (auto& c : table_) c = 1;
+  history_ = 0;
+  stats_ = branch_stats{};
+}
+
+}  // namespace advh::uarch

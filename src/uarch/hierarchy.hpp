@@ -1,0 +1,61 @@
+// Three-cache memory hierarchy: split L1 (data / instruction) in front of
+// a unified last-level cache. perf-style event counts are derived from the
+// per-level statistics:
+//
+//   cache-references      = LLC accesses (L1 misses that reach the LLC)
+//   cache-misses          = LLC misses
+//   L1-dcache-load-misses = L1-D load misses
+//   L1-icache-load-misses = L1-I fetch misses
+//   LLC-load-misses       = LLC misses on the load path
+//   LLC-store-misses      = LLC misses on the store path
+#pragma once
+
+#include "uarch/cache.hpp"
+#include "uarch/prefetcher.hpp"
+
+namespace advh::uarch {
+
+struct hierarchy_config {
+  cache_config l1d{"L1-D", 8 * 1024, 64, 4};
+  cache_config l1i{"L1-I", 8 * 1024, 64, 4};
+  cache_config llc{"LLC", 64 * 1024, 64, 8};
+  /// L1-D demand-miss prefetcher (fills L1-D and the LLC).
+  prefetcher_kind l1d_prefetch = prefetcher_kind::none;
+};
+
+class memory_hierarchy {
+ public:
+  explicit memory_hierarchy(const hierarchy_config& cfg = {});
+
+  /// Data load/store through L1-D, falling through to the LLC on miss.
+  void data_access(std::uint64_t addr, access_type type);
+
+  /// Instruction fetch through L1-I, falling through to the LLC on miss.
+  void fetch(std::uint64_t addr);
+
+  void reset() noexcept;
+
+  const cache& l1d() const noexcept { return l1d_; }
+  const prefetcher& l1d_prefetcher() const noexcept { return prefetch_; }
+  const cache& l1i() const noexcept { return l1i_; }
+  const cache& llc() const noexcept { return llc_; }
+
+  std::uint64_t llc_references() const noexcept {
+    return llc_.stats().accesses();
+  }
+  std::uint64_t llc_misses() const noexcept { return llc_.stats().misses(); }
+  std::uint64_t llc_load_misses() const noexcept {
+    return llc_.stats().load_misses;
+  }
+  std::uint64_t llc_store_misses() const noexcept {
+    return llc_.stats().store_misses;
+  }
+
+ private:
+  cache l1d_;
+  cache l1i_;
+  cache llc_;
+  prefetcher prefetch_;
+};
+
+}  // namespace advh::uarch

@@ -1,0 +1,45 @@
+#include "uarch/prefetcher.hpp"
+
+namespace advh::uarch {
+
+std::uint64_t prefetcher::observe(std::uint64_t line) {
+  switch (kind_) {
+    case prefetcher_kind::none:
+      return 0;
+    case prefetcher_kind::next_line:
+      ++stats_.issued;
+      return line + 1;
+    case prefetcher_kind::stride: {
+      const std::int64_t stride =
+          static_cast<std::int64_t>(line) -
+          static_cast<std::int64_t>(last_line_);
+      std::uint64_t target = 0;
+      if (stride != 0 && stride == last_stride_) {
+        // Two identical strides in a row: confirmed stream.
+        stride_confirmed_ = true;
+      } else if (stride != last_stride_) {
+        stride_confirmed_ = false;
+      }
+      if (stride_confirmed_) {
+        const std::int64_t t = static_cast<std::int64_t>(line) + stride;
+        if (t > 0) {
+          target = static_cast<std::uint64_t>(t);
+          ++stats_.issued;
+        }
+      }
+      last_stride_ = stride;
+      last_line_ = line;
+      return target;
+    }
+  }
+  return 0;
+}
+
+void prefetcher::reset() noexcept {
+  last_line_ = 0;
+  last_stride_ = 0;
+  stride_confirmed_ = false;
+  stats_ = prefetch_stats{};
+}
+
+}  // namespace advh::uarch

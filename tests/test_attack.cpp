@@ -1,0 +1,252 @@
+// Attack tests against a small trained model: success semantics, norm
+// budgets, and gradient plumbing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attack/attack.hpp"
+#include "attack/fgsm.hpp"
+#include "attack/metrics.hpp"
+#include "common/error.hpp"
+#include "data/synthetic.hpp"
+#include "nn/models/models.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/ops.hpp"
+
+namespace advh::attack {
+namespace {
+
+/// Shared fixture: a small CNN trained once on a 4-class synthetic set.
+class AttackTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::synthetic_spec spec;
+    spec.name = "attack_test";
+    spec.channels = 1;
+    spec.height = 16;
+    spec.width = 16;
+    spec.classes = 4;
+    spec.seed = 77;
+    spec.confusable_pairs = false;
+    spec.hard_fraction = 0.0;
+    train_set_ = new data::dataset(data::make_synthetic(spec, 60));
+    spec.sample_seed = 1;
+    test_set_ = new data::dataset(data::make_synthetic(spec, 20));
+
+    model_ = nn::make_model(nn::architecture::case_study_cnn,
+                            shape{1, 16, 16}, 4, /*seed=*/5)
+                 .release();
+    nn::train_config cfg;
+    cfg.epochs = 4;
+    cfg.batch_size = 16;
+    nn::train_classifier(*model_, train_set_->images, train_set_->labels, cfg);
+    ASSERT_GT(model_->accuracy(test_set_->images, test_set_->labels), 0.9);
+  }
+
+  static void TearDownTestSuite() {
+    delete model_;
+    delete train_set_;
+    delete test_set_;
+    model_ = nullptr;
+    train_set_ = nullptr;
+    test_set_ = nullptr;
+  }
+
+  /// First test example that the model classifies correctly.
+  static std::pair<tensor, std::size_t> correctly_classified_example(
+      std::size_t skip = 0) {
+    for (std::size_t i = 0; i < test_set_->size(); ++i) {
+      tensor x = nn::single_example(test_set_->images, i);
+      if (model_->predict_one(x) == test_set_->labels[i]) {
+        if (skip == 0) return {x, test_set_->labels[i]};
+        --skip;
+      }
+    }
+    throw invariant_error("no correctly classified example");
+  }
+
+  static nn::model* model_;
+  static data::dataset* train_set_;
+  static data::dataset* test_set_;
+};
+
+nn::model* AttackTest::model_ = nullptr;
+data::dataset* AttackTest::train_set_ = nullptr;
+data::dataset* AttackTest::test_set_ = nullptr;
+
+TEST_F(AttackTest, InputGradientMatchesFiniteDifference) {
+  auto [x, label] = correctly_classified_example();
+  std::size_t pred = 0;
+  tensor g = input_gradient(*model_, x, label, pred);
+  ASSERT_EQ(g.dims(), x.dims());
+
+  // Probe a few coordinates against central differences of the loss.
+  auto loss_at = [&](const tensor& input) {
+    tensor logits = model_->forward(input);
+    tensor probs = ops::softmax_rows(logits);
+    return -std::log(std::max(probs[label], 1e-12f));
+  };
+  rng gen(3);
+  const float eps = 1e-2f;
+  for (int p = 0; p < 10; ++p) {
+    const std::size_t i =
+        static_cast<std::size_t>(gen.uniform_index(x.numel()));
+    tensor xp = x;
+    xp[i] += eps;
+    tensor xm = x;
+    xm[i] -= eps;
+    const double fd = (loss_at(xp) - loss_at(xm)) / (2.0 * eps);
+    EXPECT_NEAR(g[i], fd, 2e-2 * std::max(1.0, std::fabs(fd)));
+  }
+}
+
+TEST_F(AttackTest, FgsmRespectsLinfBudget) {
+  auto [x, label] = correctly_classified_example();
+  attack_config cfg;
+  cfg.epsilon = 0.03f;
+  fgsm atk(cfg);
+  auto r = atk.run(*model_, x, label);
+  EXPECT_LE(r.linf_distortion, 0.03f + 1e-6);
+  // Adversarial image stays a valid image.
+  EXPECT_GE(ops::l2_norm(r.adversarial), 0.0);
+  for (float v : r.adversarial.data()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST_F(AttackTest, FgsmZeroEpsilonIsNoop) {
+  auto [x, label] = correctly_classified_example();
+  attack_config cfg;
+  cfg.epsilon = 0.0f;
+  fgsm atk(cfg);
+  auto r = atk.run(*model_, x, label);
+  EXPECT_EQ(r.linf_distortion, 0.0);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.adversarial_prediction, label);
+}
+
+TEST_F(AttackTest, FgsmUntargetedSucceedsAtHighEpsilon) {
+  attack_config cfg;
+  cfg.epsilon = 0.25f;
+  auto atk = make_attack(attack_kind::fgsm, cfg);
+  auto out = attack_batch(*model_, *atk, *test_set_);
+  EXPECT_GT(static_cast<double>(out.stats.succeeded) /
+                static_cast<double>(out.stats.attempted),
+            0.6);
+}
+
+TEST_F(AttackTest, PgdStrongerThanFgsm) {
+  attack_config cfg;
+  cfg.epsilon = 0.05f;
+  cfg.steps = 10;
+  auto f = make_attack(attack_kind::fgsm, cfg);
+  auto p = make_attack(attack_kind::pgd, cfg);
+  auto fo = attack_batch(*model_, *f, *test_set_);
+  auto po = attack_batch(*model_, *p, *test_set_);
+  EXPECT_GE(po.stats.succeeded, fo.stats.succeeded);
+}
+
+TEST_F(AttackTest, PgdRespectsLinfBudget) {
+  auto [x, label] = correctly_classified_example();
+  attack_config cfg;
+  cfg.epsilon = 0.02f;
+  cfg.steps = 8;
+  auto atk = make_attack(attack_kind::pgd, cfg);
+  auto r = atk->run(*model_, x, label);
+  EXPECT_LE(r.linf_distortion, 0.02f + 1e-6);
+}
+
+TEST_F(AttackTest, TargetedSuccessSemantics) {
+  auto [x, label] = correctly_classified_example();
+  const std::size_t target = (label + 1) % 4;
+  attack_config cfg;
+  cfg.goal = attack_goal::targeted;
+  cfg.target_class = target;
+  cfg.epsilon = 0.3f;
+  cfg.steps = 20;
+  auto atk = make_attack(attack_kind::pgd, cfg);
+  auto r = atk->run(*model_, x, label);
+  // Success if and only if the prediction equals the target.
+  EXPECT_EQ(r.success, r.adversarial_prediction == target);
+}
+
+TEST_F(AttackTest, DeepFoolFindsSmallPerturbation) {
+  auto [x, label] = correctly_classified_example();
+  attack_config cfg;
+  cfg.max_iter = 50;
+  auto df = make_attack(attack_kind::deepfool, cfg);
+  auto r = df->run(*model_, x, label);
+  EXPECT_TRUE(r.success);
+  // DeepFool's perturbations are much smaller than a high-eps FGSM.
+  attack_config fcfg;
+  fcfg.epsilon = 0.25f;
+  fgsm f(fcfg);
+  auto rf = f.run(*model_, x, label);
+  EXPECT_LT(r.l2_distortion, rf.l2_distortion);
+}
+
+TEST_F(AttackTest, DeepFoolTargetedReachesTarget) {
+  auto [x, label] = correctly_classified_example();
+  const std::size_t target = (label + 2) % 4;
+  attack_config cfg;
+  cfg.goal = attack_goal::targeted;
+  cfg.target_class = target;
+  cfg.max_iter = 60;
+  auto df = make_attack(attack_kind::deepfool, cfg);
+  auto r = df->run(*model_, x, label);
+  if (r.success) {
+    EXPECT_EQ(r.adversarial_prediction, target);
+  }
+  // Either way the result must be a valid image.
+  for (float v : r.adversarial.data()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST_F(AttackTest, BatchSkipsTargetClassForTargetedAttacks) {
+  attack_config cfg;
+  cfg.goal = attack_goal::targeted;
+  cfg.target_class = 2;
+  cfg.epsilon = 0.1f;
+  auto atk = make_attack(attack_kind::fgsm, cfg);
+  auto out = attack_batch(*model_, *atk, *test_set_);
+  std::size_t class2 = 0;
+  for (std::size_t l : test_set_->labels) {
+    if (l == 2) ++class2;
+  }
+  EXPECT_EQ(out.stats.attempted, test_set_->size() - class2);
+}
+
+TEST_F(AttackTest, BatchStatsConsistent) {
+  attack_config cfg;
+  cfg.epsilon = 0.1f;
+  auto atk = make_attack(attack_kind::fgsm, cfg);
+  auto out = attack_batch(*model_, *atk, *test_set_);
+  EXPECT_EQ(out.results.size(), out.stats.attempted);
+  EXPECT_EQ(out.source_indices.size(), out.stats.attempted);
+  std::size_t succeeded = 0;
+  for (const auto& r : out.results) {
+    if (r.success) ++succeeded;
+  }
+  EXPECT_EQ(succeeded, out.stats.succeeded);
+  // Untargeted: model accuracy under attack complements success rate.
+  EXPECT_NEAR(out.stats.model_accuracy_under_attack,
+              1.0 - static_cast<double>(succeeded) /
+                        static_cast<double>(out.stats.attempted),
+              1e-9);
+}
+
+TEST_F(AttackTest, AttackNamesAndFactory) {
+  EXPECT_EQ(to_string(attack_kind::fgsm), "FGSM");
+  EXPECT_EQ(to_string(attack_kind::pgd), "PGD");
+  EXPECT_EQ(to_string(attack_kind::deepfool), "DeepFool");
+  attack_config cfg;
+  EXPECT_EQ(make_attack(attack_kind::fgsm, cfg)->name(), "FGSM");
+  EXPECT_EQ(make_attack(attack_kind::pgd, cfg)->name(), "PGD");
+  EXPECT_EQ(make_attack(attack_kind::deepfool, cfg)->name(), "DeepFool");
+}
+
+}  // namespace
+}  // namespace advh::attack

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/error.hpp"
+#include "data/scenarios.hpp"
+#include "data/synthetic.hpp"
+#include "tensor/ops.hpp"
+
+namespace advh::data {
+namespace {
+
+synthetic_spec tiny_spec() {
+  synthetic_spec s;
+  s.name = "tiny";
+  s.channels = 1;
+  s.height = 16;
+  s.width = 16;
+  s.classes = 4;
+  s.seed = 9;
+  return s;
+}
+
+TEST(Synthetic, ShapeAndLabels) {
+  auto d = make_synthetic(tiny_spec(), 10);
+  EXPECT_EQ(d.size(), 40u);
+  EXPECT_EQ(d.images.dims(), shape({40, 1, 16, 16}));
+  EXPECT_EQ(d.num_classes, 4u);
+  std::map<std::size_t, std::size_t> counts;
+  for (std::size_t l : d.labels) ++counts[l];
+  for (std::size_t c = 0; c < 4; ++c) EXPECT_EQ(counts[c], 10u);
+}
+
+TEST(Synthetic, PixelsInUnitRange) {
+  auto d = make_synthetic(tiny_spec(), 5);
+  for (float v : d.images.data()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(Synthetic, DeterministicForSameSpec) {
+  auto a = make_synthetic(tiny_spec(), 5);
+  auto b = make_synthetic(tiny_spec(), 5);
+  for (std::size_t i = 0; i < a.images.numel(); ++i) {
+    EXPECT_EQ(a.images[i], b.images[i]);
+  }
+}
+
+TEST(Synthetic, SampleSeedChangesSamplesNotClasses) {
+  auto spec = tiny_spec();
+  auto a = make_synthetic(spec, 5);
+  spec.sample_seed = 1;
+  auto b = make_synthetic(spec, 5);
+  // Different draws...
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.images.numel() && !any_diff; ++i) {
+    any_diff = a.images[i] != b.images[i];
+  }
+  EXPECT_TRUE(any_diff);
+  // ...but same class structure: images of class c in both sets are much
+  // closer to each other than to other classes (prototype distance).
+  const std::size_t stride = 16 * 16;
+  auto class_mean = [&](const dataset& d, std::size_t cls) {
+    std::vector<double> mean(stride, 0.0);
+    const auto idx = d.indices_of_class(cls);
+    for (std::size_t i : idx) {
+      for (std::size_t j = 0; j < stride; ++j) {
+        mean[j] += d.images[i * stride + j];
+      }
+    }
+    for (auto& v : mean) v /= static_cast<double>(idx.size());
+    return mean;
+  };
+  auto dist = [&](const std::vector<double>& x, const std::vector<double>& y) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < stride; ++j) {
+      acc += (x[j] - y[j]) * (x[j] - y[j]);
+    }
+    return acc;
+  };
+  for (std::size_t c = 0; c < 4; ++c) {
+    const auto ma = class_mean(a, c);
+    const auto mb = class_mean(b, c);
+    const auto other = class_mean(b, (c + 2) % 4);  // avoid the twin (c+1)
+    EXPECT_LT(dist(ma, mb), dist(ma, other));
+  }
+}
+
+TEST(Synthetic, DifferentSeedDifferentTask) {
+  auto spec = tiny_spec();
+  auto a = make_synthetic(spec, 3);
+  spec.seed = 1234;
+  auto b = make_synthetic(spec, 3);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.images.numel() && !any_diff; ++i) {
+    any_diff = a.images[i] != b.images[i];
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Synthetic, ConfusablePairsAreCloserThanOtherClasses) {
+  auto spec = tiny_spec();
+  spec.confusable_pairs = true;
+  spec.confusable_delta = 0.1;
+  auto d = make_synthetic(spec, 20);
+  const std::size_t stride = 16 * 16;
+  auto class_mean = [&](std::size_t cls) {
+    std::vector<double> mean(stride, 0.0);
+    const auto idx = d.indices_of_class(cls);
+    for (std::size_t i : idx) {
+      for (std::size_t j = 0; j < stride; ++j) {
+        mean[j] += d.images[i * stride + j];
+      }
+    }
+    for (auto& v : mean) v /= static_cast<double>(idx.size());
+    return mean;
+  };
+  auto dist = [&](const std::vector<double>& x, const std::vector<double>& y) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < stride; ++j) {
+      acc += (x[j] - y[j]) * (x[j] - y[j]);
+    }
+    return acc;
+  };
+  const auto m0 = class_mean(0), m1 = class_mean(1), m2 = class_mean(2);
+  EXPECT_LT(dist(m0, m1), dist(m0, m2));  // twin closer than stranger
+}
+
+TEST(Synthetic, NamedSpecsMatchPaperShapes) {
+  const auto fm = fashion_mnist_like();
+  EXPECT_EQ(fm.channels, 1u);
+  EXPECT_EQ(fm.height, 28u);
+  EXPECT_EQ(fm.classes, 10u);
+  EXPECT_EQ(fm.class_names[6], "shirt");  // paper's S1 target class
+
+  const auto c10 = cifar10_like();
+  EXPECT_EQ(c10.channels, 3u);
+  EXPECT_EQ(c10.height, 32u);
+  EXPECT_EQ(c10.class_names[6], "frog");  // paper's S2 target class
+
+  const auto gt = gtsrb_like();
+  EXPECT_EQ(gt.classes, 43u);
+  EXPECT_EQ(gt.class_names[1], "speed limit (30km/h)");  // S3 target
+  EXPECT_EQ(gt.class_names.size(), 43u);
+}
+
+TEST(Dataset, IndicesOfClass) {
+  auto d = make_synthetic(tiny_spec(), 4);
+  const auto idx = d.indices_of_class(2);
+  EXPECT_EQ(idx.size(), 4u);
+  for (std::size_t i : idx) EXPECT_EQ(d.labels[i], 2u);
+}
+
+TEST(Dataset, SubsetPreservesRows) {
+  auto d = make_synthetic(tiny_spec(), 4);
+  auto s = subset(d, {0, 5, 10});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.labels[1], d.labels[5]);
+  const std::size_t stride = 16 * 16;
+  for (std::size_t j = 0; j < stride; ++j) {
+    EXPECT_EQ(s.images[1 * stride + j], d.images[5 * stride + j]);
+  }
+}
+
+TEST(Dataset, StratifiedSplitKeepsClassBalance) {
+  auto d = make_synthetic(tiny_spec(), 20);
+  auto [first, second] = stratified_split(d, 0.25, 1);
+  EXPECT_EQ(first.size(), 20u);
+  EXPECT_EQ(second.size(), 60u);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(first.indices_of_class(c).size(), 5u);
+    EXPECT_EQ(second.indices_of_class(c).size(), 15u);
+  }
+}
+
+TEST(Dataset, ExampleShape) {
+  auto d = make_synthetic(tiny_spec(), 2);
+  EXPECT_EQ(d.example_shape(), shape({1, 16, 16}));
+}
+
+TEST(Scenarios, AllThreeDefined) {
+  const auto scenarios = all_scenarios();
+  ASSERT_EQ(scenarios.size(), 3u);
+  EXPECT_EQ(scenarios[0].label, "S1");
+  EXPECT_EQ(scenarios[0].arch, nn::architecture::efficientnet_lite);
+  EXPECT_EQ(scenarios[1].dataset_spec.name, "cifar10_like");
+  EXPECT_EQ(scenarios[1].target_class_name, "frog");
+  EXPECT_EQ(scenarios[2].dataset_spec.classes, 43u);
+  EXPECT_EQ(scenarios[2].target_class, 1u);
+}
+
+TEST(Scenarios, RoundTripNames) {
+  for (auto id : {scenario_id::s1, scenario_id::s2, scenario_id::s3}) {
+    EXPECT_EQ(scenario_from_string(to_string(id)), id);
+  }
+  EXPECT_THROW(scenario_from_string("S9"), invariant_error);
+}
+
+}  // namespace
+}  // namespace advh::data

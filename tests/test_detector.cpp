@@ -1,0 +1,210 @@
+// Detector-core tests: template bookkeeping, GMM bank + thresholds,
+// verdict semantics, and the detection metrics.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/detector.hpp"
+#include "core/metrics.hpp"
+
+namespace advh::core {
+namespace {
+
+detector_config two_event_config() {
+  detector_config cfg;
+  cfg.events = {hpc::hpc_event::cache_misses, hpc::hpc_event::instructions};
+  cfg.repeats = 5;
+  cfg.k_max = 3;
+  return cfg;
+}
+
+/// Template with class 0 clustered around (1000, 5000) and class 1 bimodal
+/// on the first event.
+benign_template synthetic_template(std::size_t rows_per_class = 40) {
+  benign_template tpl(2, 2);
+  rng gen(42);
+  for (std::size_t m = 0; m < rows_per_class; ++m) {
+    const double a = gen.normal(1000.0, 10.0);
+    const double b = gen.normal(5000.0, 20.0);
+    tpl.add_row(0, std::vector<double>{a, b});
+    const double mode = gen.bernoulli(0.5) ? 2000.0 : 2600.0;
+    tpl.add_row(1, std::vector<double>{gen.normal(mode, 15.0),
+                                       gen.normal(7000.0, 25.0)});
+  }
+  return tpl;
+}
+
+TEST(BenignTemplate, RowBookkeeping) {
+  benign_template tpl(3, 2);
+  EXPECT_EQ(tpl.rows(0), 0u);
+  tpl.add_row(1, std::vector<double>{1.0, 2.0});
+  tpl.add_row(1, std::vector<double>{3.0, 4.0});
+  EXPECT_EQ(tpl.rows(1), 2u);
+  EXPECT_EQ(tpl.column(1, 0), (std::vector<double>{1.0, 3.0}));
+  EXPECT_EQ(tpl.column(1, 1), (std::vector<double>{2.0, 4.0}));
+}
+
+TEST(BenignTemplate, WidthValidated) {
+  benign_template tpl(2, 2);
+  EXPECT_THROW(tpl.add_row(0, std::vector<double>{1.0}), invariant_error);
+  EXPECT_THROW(tpl.add_row(5, std::vector<double>{1.0, 2.0}),
+               invariant_error);
+}
+
+TEST(Detector, CleanValuesBelowThreshold) {
+  auto tpl = synthetic_template();
+  auto det = detector::fit(tpl, two_event_config());
+  rng gen(7);
+  std::size_t false_flags = 0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    const std::vector<double> x{gen.normal(1000.0, 10.0),
+                                gen.normal(5000.0, 20.0)};
+    auto v = det.score(0, x);
+    if (v.adversarial_any) ++false_flags;
+  }
+  // Three-sigma rule: a small single-digit-percent false-positive rate.
+  EXPECT_LT(static_cast<double>(false_flags) / n, 0.10);
+}
+
+TEST(Detector, OutlierValuesFlagged) {
+  auto tpl = synthetic_template();
+  auto det = detector::fit(tpl, two_event_config());
+  // 20 sigma away on the first event.
+  auto v = det.score(0, std::vector<double>{1200.0, 5000.0});
+  EXPECT_TRUE(v.flagged[0]);
+  EXPECT_FALSE(v.flagged[1]);
+  EXPECT_TRUE(v.adversarial_any);
+}
+
+TEST(Detector, LowOutliersAlsoFlagged) {
+  // NLL is high at both tails; an abnormally *low* count is anomalous too.
+  auto tpl = synthetic_template();
+  auto det = detector::fit(tpl, two_event_config());
+  auto v = det.score(0, std::vector<double>{800.0, 5000.0});
+  EXPECT_TRUE(v.flagged[0]);
+}
+
+TEST(Detector, BimodalClassAcceptsBothModes) {
+  auto tpl = synthetic_template();
+  auto det = detector::fit(tpl, two_event_config());
+  auto v1 = det.score(1, std::vector<double>{2000.0, 7000.0});
+  auto v2 = det.score(1, std::vector<double>{2600.0, 7000.0});
+  EXPECT_FALSE(v1.flagged[0]);
+  EXPECT_FALSE(v2.flagged[0]);
+  // The valley between the modes is unlikely under the mixture.
+  auto mid = det.score(1, std::vector<double>{2300.0, 7000.0});
+  EXPECT_GT(mid.nll[0], v1.nll[0]);
+}
+
+TEST(Detector, BicFindsBimodalStructure) {
+  auto tpl = synthetic_template(60);
+  auto det = detector::fit(tpl, two_event_config());
+  const auto& bimodal_model = det.model_for(1, 0);
+  ASSERT_TRUE(bimodal_model.has_value());
+  EXPECT_GE(bimodal_model->model.order(), 2u);
+  const auto& unimodal_model = det.model_for(0, 0);
+  ASSERT_TRUE(unimodal_model.has_value());
+  EXPECT_EQ(unimodal_model->model.order(), 1u);
+}
+
+TEST(Detector, ThresholdIsMeanPlusThreeSigma) {
+  auto tpl = synthetic_template();
+  detector_config cfg = two_event_config();
+  auto det = detector::fit(tpl, cfg);
+  const auto& em = det.model_for(0, 0);
+  ASSERT_TRUE(em.has_value());
+  EXPECT_NEAR(em->threshold, em->nll_mean + 3.0 * em->nll_stddev, 1e-9);
+}
+
+TEST(Detector, SigmaMultiplierAdjustsThreshold) {
+  auto tpl = synthetic_template();
+  detector_config strict = two_event_config();
+  strict.sigma_multiplier = 1.0;
+  detector_config lax = two_event_config();
+  lax.sigma_multiplier = 5.0;
+  auto det_strict = detector::fit(tpl, strict);
+  auto det_lax = detector::fit(tpl, lax);
+  EXPECT_LT(det_strict.model_for(0, 0)->threshold,
+            det_lax.model_for(0, 0)->threshold);
+}
+
+TEST(Detector, UnmodelledClassNeverFlags) {
+  benign_template tpl(2, 1);
+  rng gen(1);
+  for (int i = 0; i < 30; ++i) {
+    tpl.add_row(0, std::vector<double>{gen.normal(10.0, 1.0)});
+  }
+  detector_config cfg;
+  cfg.events = {hpc::hpc_event::cache_misses};
+  auto det = detector::fit(tpl, cfg);
+  // Class 1 had no template rows.
+  auto v = det.score(1, std::vector<double>{1e9});
+  EXPECT_FALSE(v.adversarial_any);
+  EXPECT_FALSE(det.model_for(1, 0).has_value());
+}
+
+TEST(Detector, MeasurementWidthValidated) {
+  auto tpl = synthetic_template();
+  auto det = detector::fit(tpl, two_event_config());
+  EXPECT_THROW(det.score(0, std::vector<double>{1.0}), invariant_error);
+  EXPECT_THROW(det.score(7, std::vector<double>{1.0, 2.0}), invariant_error);
+}
+
+TEST(Detector, ConfigTemplateEventMismatchThrows) {
+  benign_template tpl(1, 3);
+  EXPECT_THROW(detector::fit(tpl, two_event_config()), invariant_error);
+}
+
+TEST(Metrics, ConfusionCounts) {
+  detection_confusion c;
+  c.push(true, true);    // TP
+  c.push(true, false);   // FN
+  c.push(false, true);   // FP
+  c.push(false, false);  // TN
+  EXPECT_EQ(c.true_positives(), 1u);
+  EXPECT_EQ(c.false_negatives(), 1u);
+  EXPECT_EQ(c.false_positives(), 1u);
+  EXPECT_EQ(c.true_negatives(), 1u);
+  EXPECT_DOUBLE_EQ(c.accuracy(), 0.5);
+  EXPECT_DOUBLE_EQ(c.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(c.recall(), 0.5);
+  EXPECT_DOUBLE_EQ(c.f1(), 0.5);
+}
+
+TEST(Metrics, PerfectDetector) {
+  detection_confusion c;
+  for (int i = 0; i < 10; ++i) {
+    c.push(true, true);
+    c.push(false, false);
+  }
+  EXPECT_DOUBLE_EQ(c.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(c.f1(), 1.0);
+}
+
+TEST(Metrics, NeverFlagsGivesZeroF1) {
+  detection_confusion c;
+  for (int i = 0; i < 10; ++i) {
+    c.push(true, false);
+    c.push(false, false);
+  }
+  EXPECT_DOUBLE_EQ(c.accuracy(), 0.5);
+  EXPECT_DOUBLE_EQ(c.f1(), 0.0);
+}
+
+TEST(Metrics, EmptyConfusionSafe) {
+  detection_confusion c;
+  EXPECT_DOUBLE_EQ(c.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(c.f1(), 0.0);
+}
+
+TEST(Metrics, MergeAccumulates) {
+  detection_confusion a, b;
+  a.push(true, true);
+  b.push(false, true);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 2u);
+  EXPECT_EQ(a.false_positives(), 1u);
+}
+
+}  // namespace
+}  // namespace advh::core

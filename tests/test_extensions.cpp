@@ -1,0 +1,328 @@
+// Tests for the extension modules: prefetcher, joint multivariate
+// detector, ROC analysis, detector persistence, and the minimal-epsilon
+// adaptive attack.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "attack/min_eps.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "core/detector_io.hpp"
+#include "core/joint_detector.hpp"
+#include "core/roc.hpp"
+#include "data/synthetic.hpp"
+#include "nn/models/models.hpp"
+#include "nn/trainer.hpp"
+#include "uarch/hierarchy.hpp"
+#include "uarch/prefetcher.hpp"
+
+namespace advh {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Prefetcher.
+
+TEST(Prefetcher, NoneNeverIssues) {
+  uarch::prefetcher p(uarch::prefetcher_kind::none);
+  for (std::uint64_t l = 1; l < 100; ++l) EXPECT_EQ(p.observe(l), 0u);
+  EXPECT_EQ(p.stats().issued, 0u);
+}
+
+TEST(Prefetcher, NextLinePrefetchesSuccessor) {
+  uarch::prefetcher p(uarch::prefetcher_kind::next_line);
+  EXPECT_EQ(p.observe(10), 11u);
+  EXPECT_EQ(p.observe(42), 43u);
+  EXPECT_EQ(p.stats().issued, 2u);
+}
+
+TEST(Prefetcher, StrideDetectsStreamAfterConfirmation) {
+  uarch::prefetcher p(uarch::prefetcher_kind::stride);
+  EXPECT_EQ(p.observe(10), 0u);  // no history yet
+  EXPECT_EQ(p.observe(14), 0u);  // first stride observed, unconfirmed
+  EXPECT_EQ(p.observe(18), 22u);  // stride 4 confirmed
+  EXPECT_EQ(p.observe(22), 26u);
+}
+
+TEST(Prefetcher, StrideResetsOnIrregularPattern) {
+  uarch::prefetcher p(uarch::prefetcher_kind::stride);
+  p.observe(10);
+  p.observe(14);
+  EXPECT_NE(p.observe(18), 0u);
+  EXPECT_EQ(p.observe(100), 0u);  // stream broken
+  EXPECT_EQ(p.observe(107), 0u);  // new stride, unconfirmed
+}
+
+TEST(Prefetcher, HierarchySweepMissesDropWithNextLine) {
+  // A long sequential sweep: next-line prefetching must remove most
+  // demand misses compared to no prefetching.
+  uarch::hierarchy_config plain;
+  uarch::hierarchy_config pf = plain;
+  pf.l1d_prefetch = uarch::prefetcher_kind::next_line;
+
+  uarch::memory_hierarchy a(plain), b(pf);
+  for (std::uint64_t l = 0; l < 4096; ++l) {
+    a.data_access(0x100000 + l * 64, uarch::access_type::load);
+    b.data_access(0x100000 + l * 64, uarch::access_type::load);
+  }
+  EXPECT_LT(b.l1d().stats().load_misses, a.l1d().stats().load_misses / 2);
+  EXPECT_GT(b.l1d().stats().prefetch_fills, 0u);
+}
+
+TEST(Prefetcher, RandomAccessesGainLittle) {
+  uarch::hierarchy_config pf;
+  pf.l1d_prefetch = uarch::prefetcher_kind::stride;
+  uarch::memory_hierarchy mem(pf);
+  rng gen(5);
+  for (int i = 0; i < 4000; ++i) {
+    mem.data_access(gen.uniform_index(1 << 24) * 64, uarch::access_type::load);
+  }
+  // Stride prefetcher should stay almost silent on random traffic.
+  EXPECT_LT(mem.l1d_prefetcher().stats().issued, 400u);
+}
+
+// ---------------------------------------------------------------------------
+// Joint detector.
+
+core::benign_template correlated_template() {
+  // Class 0: two events strongly correlated (x, x + noise).
+  core::benign_template tpl(1, 2);
+  rng gen(9);
+  for (int i = 0; i < 80; ++i) {
+    const double x = gen.normal(1000.0, 30.0);
+    tpl.add_row(0, std::vector<double>{x, x + gen.normal(0.0, 3.0)});
+  }
+  return tpl;
+}
+
+core::detector_config two_event_cfg() {
+  core::detector_config cfg;
+  cfg.events = {hpc::hpc_event::cache_misses,
+                hpc::hpc_event::llc_load_misses};
+  return cfg;
+}
+
+TEST(JointDetector, AcceptsInDistributionPoints) {
+  auto det = core::joint_detector::fit(correlated_template(), two_event_cfg());
+  rng gen(10);
+  std::size_t flagged = 0;
+  for (int i = 0; i < 100; ++i) {
+    const double x = gen.normal(1000.0, 30.0);
+    const auto v = det.score(0, std::vector<double>{x, x + gen.normal(0.0, 3.0)});
+    if (v.adversarial) ++flagged;
+  }
+  EXPECT_LT(flagged, 12u);
+}
+
+TEST(JointDetector, CatchesCorrelationBreakers) {
+  // Marginally plausible but jointly impossible: x high, y low.
+  // The per-event detector cannot flag this; the joint detector must.
+  const auto tpl = correlated_template();
+  const auto cfg = two_event_cfg();
+  auto joint = core::joint_detector::fit(tpl, cfg);
+  auto marginal = core::detector::fit(tpl, cfg);
+
+  const std::vector<double> breaker{1050.0, 950.0};  // each within range
+  EXPECT_TRUE(joint.score(0, breaker).adversarial);
+  const auto mv = marginal.score(0, breaker);
+  EXPECT_FALSE(mv.flagged[0]);
+  EXPECT_FALSE(mv.flagged[1]);
+}
+
+TEST(JointDetector, UnmodelledClassNeverFlags) {
+  core::benign_template tpl(2, 2);
+  rng gen(11);
+  for (int i = 0; i < 30; ++i) {
+    tpl.add_row(0, std::vector<double>{gen.normal(5.0, 1.0),
+                                       gen.normal(5.0, 1.0)});
+  }
+  auto det = core::joint_detector::fit(tpl, two_event_cfg());
+  EXPECT_FALSE(det.score(1, std::vector<double>{1e9, 1e9}).adversarial);
+  EXPECT_FALSE(det.model_for(1).has_value());
+}
+
+TEST(JointDetector, ThresholdFollowsSigmaRule) {
+  auto det = core::joint_detector::fit(correlated_template(), two_event_cfg());
+  const auto& jm = det.model_for(0);
+  ASSERT_TRUE(jm.has_value());
+  EXPECT_NEAR(jm->threshold, jm->nll_mean + 3.0 * jm->nll_stddev, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// ROC.
+
+TEST(Roc, PerfectSeparationGivesUnitAuc) {
+  std::vector<double> clean{1.0, 2.0, 3.0};
+  std::vector<double> adv{10.0, 11.0, 12.0};
+  const auto roc = core::compute_roc(clean, adv);
+  EXPECT_NEAR(roc.auc, 1.0, 1e-9);
+  EXPECT_NEAR(roc.tpr_at_fpr(0.0), 1.0, 1e-9);
+}
+
+TEST(Roc, IdenticalDistributionsNearHalf) {
+  rng gen(12);
+  std::vector<double> clean, adv;
+  for (int i = 0; i < 500; ++i) {
+    clean.push_back(gen.normal(0.0, 1.0));
+    adv.push_back(gen.normal(0.0, 1.0));
+  }
+  const auto roc = core::compute_roc(clean, adv);
+  EXPECT_NEAR(roc.auc, 0.5, 0.05);
+}
+
+TEST(Roc, MonotoneNonDecreasing) {
+  rng gen(13);
+  std::vector<double> clean, adv;
+  for (int i = 0; i < 200; ++i) {
+    clean.push_back(gen.normal(0.0, 1.0));
+    adv.push_back(gen.normal(1.5, 1.0));
+  }
+  const auto roc = core::compute_roc(clean, adv);
+  for (std::size_t i = 1; i < roc.points.size(); ++i) {
+    EXPECT_GE(roc.points[i].fpr, roc.points[i - 1].fpr);
+    EXPECT_GE(roc.points[i].tpr, roc.points[i - 1].tpr);
+  }
+  EXPECT_GT(roc.auc, 0.7);
+  EXPECT_LT(roc.auc, 1.0);
+}
+
+TEST(Roc, EmptyPopulationRejected) {
+  std::vector<double> empty, some{1.0};
+  EXPECT_THROW(core::compute_roc(empty, some), invariant_error);
+}
+
+// ---------------------------------------------------------------------------
+// Detector persistence.
+
+TEST(DetectorIo, RoundTripPreservesVerdicts) {
+  core::benign_template tpl(3, 2);
+  rng gen(14);
+  for (std::size_t cls = 0; cls < 3; ++cls) {
+    for (int i = 0; i < 40; ++i) {
+      const double base = 100.0 * static_cast<double>(cls + 1);
+      tpl.add_row(cls, std::vector<double>{gen.normal(base, 5.0),
+                                           gen.normal(2.0 * base, 8.0)});
+    }
+  }
+  auto cfg = two_event_cfg();
+  const auto det = core::detector::fit(tpl, cfg);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "advh_det.bin").string();
+  core::save_detector(det, path);
+  const auto loaded = core::load_detector(path);
+
+  EXPECT_EQ(loaded.num_classes(), det.num_classes());
+  EXPECT_EQ(loaded.config().events, det.config().events);
+  rng probe(15);
+  for (int i = 0; i < 50; ++i) {
+    const std::size_t cls = probe.uniform_index(3);
+    const std::vector<double> x{probe.uniform(50.0, 700.0),
+                                probe.uniform(100.0, 1400.0)};
+    const auto a = det.score(cls, x);
+    const auto b = loaded.score(cls, x);
+    EXPECT_EQ(a.adversarial_any, b.adversarial_any);
+    for (std::size_t e = 0; e < 2; ++e) {
+      EXPECT_NEAR(a.nll[e], b.nll[e], 1e-9);
+      EXPECT_EQ(a.flagged[e], b.flagged[e]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DetectorIo, CorruptFileRejected) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "advh_det_bad.bin").string();
+  write_file(path, "not a detector");
+  EXPECT_THROW(core::load_detector(path), invariant_error);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Minimal-epsilon adaptive attack.
+
+class MinEpsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::synthetic_spec spec;
+    spec.channels = 1;
+    spec.height = 16;
+    spec.width = 16;
+    spec.classes = 3;
+    spec.seed = 61;
+    spec.confusable_pairs = false;
+    spec.hard_fraction = 0.0;
+    auto train = data::make_synthetic(spec, 50);
+    model_ = nn::make_model(nn::architecture::case_study_cnn,
+                            shape{1, 16, 16}, 3, 4)
+                 .release();
+    nn::train_config cfg;
+    cfg.epochs = 3;
+    nn::train_classifier(*model_, train.images, train.labels, cfg);
+    spec.sample_seed = 1;
+    eval_ = new data::dataset(data::make_synthetic(spec, 5));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete eval_;
+    model_ = nullptr;
+    eval_ = nullptr;
+  }
+  static nn::model* model_;
+  static data::dataset* eval_;
+};
+
+nn::model* MinEpsTest::model_ = nullptr;
+data::dataset* MinEpsTest::eval_ = nullptr;
+
+TEST_F(MinEpsTest, FindsSuccessfulMinimalAttack) {
+  attack::min_eps_config cfg;
+  cfg.kind = attack::attack_kind::pgd;
+  std::size_t found = 0;
+  for (std::size_t i = 0; i < eval_->size(); ++i) {
+    tensor x = nn::single_example(eval_->images, i);
+    if (model_->predict_one(x) != eval_->labels[i]) continue;
+    auto r = attack::find_minimal_epsilon(*model_, x, eval_->labels[i], cfg);
+    if (!r.found) continue;
+    ++found;
+    EXPECT_TRUE(r.result.success);
+    EXPECT_LE(r.result.linf_distortion, r.epsilon + 1e-5);
+
+    // Minimality: a clearly weaker attack at eps/2 fails (bisection is
+    // within tolerance of the success boundary).
+    attack::attack_config half;
+    half.epsilon = r.epsilon * 0.5f;
+    half.steps = cfg.pgd_steps;
+    auto weaker = attack::make_attack(cfg.kind, half)
+                      ->run(*model_, x, eval_->labels[i]);
+    if (r.epsilon > 4.0f * cfg.tolerance) {
+      EXPECT_FALSE(weaker.success);
+    }
+  }
+  EXPECT_GT(found, 5u);
+}
+
+TEST_F(MinEpsTest, MinimalEpsilonSmallerThanDefault) {
+  attack::min_eps_config cfg;
+  cfg.kind = attack::attack_kind::pgd;
+  for (std::size_t i = 0; i < 4; ++i) {
+    tensor x = nn::single_example(eval_->images, i);
+    if (model_->predict_one(x) != eval_->labels[i]) continue;
+    auto r = attack::find_minimal_epsilon(*model_, x, eval_->labels[i], cfg);
+    if (r.found) {
+      EXPECT_LT(r.epsilon, cfg.eps_hi + 1e-6);
+    }
+  }
+}
+
+TEST_F(MinEpsTest, DeepFoolRejected) {
+  attack::min_eps_config cfg;
+  cfg.kind = attack::attack_kind::deepfool;
+  tensor x = nn::single_example(eval_->images, 0);
+  EXPECT_THROW(attack::find_minimal_epsilon(*model_, x, 0, cfg),
+               invariant_error);
+}
+
+}  // namespace
+}  // namespace advh

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "hpc/factory.hpp"
+#include "hpc/noise.hpp"
+#include "hpc/perf_backend.hpp"
+#include "hpc/sim_backend.hpp"
+#include "nn/models/models.hpp"
+
+namespace advh::hpc {
+namespace {
+
+TEST(Events, NamesRoundTrip) {
+  for (hpc_event e : all_events()) {
+    EXPECT_EQ(event_from_string(to_string(e)), e);
+  }
+  EXPECT_THROW(event_from_string("bogus-event"), invariant_error);
+}
+
+TEST(Events, CoreAndAblationSetsMatchPaper) {
+  EXPECT_EQ(core_events().size(), 5u);   // N = 5 in the main evaluation
+  EXPECT_EQ(cache_ablation_events().size(), 4u);  // N = 4 in the ablation
+  EXPECT_EQ(all_events().size(), 9u);
+  EXPECT_EQ(to_string(core_events()[4]), "cache-misses");
+  EXPECT_EQ(to_string(cache_ablation_events()[0]), "L1-dcache-load-misses");
+}
+
+TEST(Events, ExtractMapsAllFields) {
+  uarch::uarch_counts c;
+  c.instructions = 1;
+  c.branches = 2;
+  c.branch_misses = 3;
+  c.cache_references = 4;
+  c.cache_misses = 5;
+  c.l1d_load_misses = 6;
+  c.l1i_load_misses = 7;
+  c.llc_load_misses = 8;
+  c.llc_store_misses = 9;
+  std::uint64_t expected = 1;
+  for (hpc_event e : all_events()) {
+    EXPECT_EQ(extract(c, e), expected++);
+  }
+}
+
+TEST(Noise, ZeroModelIsDeterministic) {
+  noise_model none = noise_model::none();
+  rng gen(1);
+  for (hpc_event e : all_events()) {
+    EXPECT_DOUBLE_EQ(none.sample(e, 1234.0, gen), 1234.0);
+  }
+}
+
+TEST(Noise, MeanApproximatesTruthPlusBackground) {
+  noise_model nm;
+  rng gen(2);
+  const double truth = 100000.0;
+  double acc = 0.0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    acc += nm.sample(hpc_event::cache_misses, truth, gen);
+  }
+  const double expected = truth + nm.spec(hpc_event::cache_misses).background_mean;
+  EXPECT_NEAR(acc / n, expected, expected * 0.01);
+}
+
+TEST(Noise, NeverNegative) {
+  noise_model nm;
+  nm.spec(hpc_event::cache_misses) = {2.0, 0.0};  // wild multiplicative noise
+  rng gen(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(nm.sample(hpc_event::cache_misses, 10.0, gen), 0.0);
+  }
+}
+
+class SimBackendTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    model_ = nn::make_model(nn::architecture::case_study_cnn,
+                            shape{1, 16, 16}, 4, /*seed=*/11)
+                 .release();
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    model_ = nullptr;
+  }
+  static nn::model* model_;
+};
+
+nn::model* SimBackendTest::model_ = nullptr;
+
+TEST_F(SimBackendTest, MeasurementShapeMatchesRequest) {
+  sim_backend mon(*model_);
+  rng gen(4);
+  tensor x = tensor::rand_uniform(shape{1, 1, 16, 16}, gen, 0.0f, 1.0f);
+  const auto events = core_events();
+  auto m = mon.measure(x, events, 10);
+  EXPECT_EQ(m.mean_counts.size(), events.size());
+  EXPECT_EQ(m.stddev_counts.size(), events.size());
+  EXPECT_LT(m.predicted, 4u);
+}
+
+TEST_F(SimBackendTest, NoiseFreeMeasurementIsExact) {
+  sim_backend mon(*model_, {}, noise_model::none());
+  rng gen(5);
+  tensor x = tensor::rand_uniform(shape{1, 1, 16, 16}, gen, 0.0f, 1.0f);
+  std::size_t pred = 0;
+  const auto counts = mon.profile(x, pred);
+  auto m = mon.measure(x, core_events(), 10);
+  EXPECT_DOUBLE_EQ(m.mean_counts[4],
+                   static_cast<double>(counts.cache_misses));
+  EXPECT_DOUBLE_EQ(m.stddev_counts[4], 0.0);
+}
+
+TEST_F(SimBackendTest, SameInputSameTrueCounts) {
+  sim_backend mon(*model_, {}, noise_model::none());
+  rng gen(6);
+  tensor x = tensor::rand_uniform(shape{1, 1, 16, 16}, gen, 0.0f, 1.0f);
+  auto a = mon.measure(x, core_events(), 3);
+  auto b = mon.measure(x, core_events(), 3);
+  for (std::size_t e = 0; e < a.mean_counts.size(); ++e) {
+    EXPECT_DOUBLE_EQ(a.mean_counts[e], b.mean_counts[e]);
+  }
+}
+
+TEST_F(SimBackendTest, RepeatsReduceNoiseInMean) {
+  sim_backend mon1(*model_, {}, noise_model{}, /*seed=*/1);
+  sim_backend mon2(*model_, {}, noise_model{}, /*seed=*/1);
+  rng gen(7);
+  tensor x = tensor::rand_uniform(shape{1, 1, 16, 16}, gen, 0.0f, 1.0f);
+  // Spread of the mean across re-measurements must shrink with R.
+  auto spread = [&](sim_backend& mon, std::size_t repeats) {
+    stats::running_stats rs;
+    for (int i = 0; i < 30; ++i) {
+      auto m = mon.measure(x, std::vector<hpc_event>{hpc_event::cache_misses},
+                           repeats);
+      rs.push(m.mean_counts[0]);
+    }
+    return rs.stddev();
+  };
+  EXPECT_LT(spread(mon1, 20), spread(mon2, 1));
+}
+
+TEST_F(SimBackendTest, DifferentInputsDifferentFootprints) {
+  sim_backend mon(*model_, {}, noise_model::none());
+  rng gen(8);
+  tensor a = tensor::rand_uniform(shape{1, 1, 16, 16}, gen, 0.0f, 1.0f);
+  tensor b = tensor::rand_uniform(shape{1, 1, 16, 16}, gen, 0.0f, 1.0f);
+  std::size_t pa = 0, pb = 0;
+  const auto ca = mon.profile(a, pa);
+  const auto cb = mon.profile(b, pb);
+  // Shape-driven events agree; data-driven events differ.
+  EXPECT_EQ(ca.instructions, cb.instructions);
+  EXPECT_NE(ca.cache_references, cb.cache_references);
+}
+
+TEST_F(SimBackendTest, RepeatsMustBePositive) {
+  sim_backend mon(*model_);
+  tensor x(shape{1, 1, 16, 16});
+  EXPECT_THROW(mon.measure(x, core_events(), 0), invariant_error);
+}
+
+TEST(PerfBackend, UnavailableThrowsCleanly) {
+  auto model = nn::make_model(nn::architecture::case_study_cnn,
+                              shape{1, 16, 16}, 4, 1);
+  if (perf_events_available()) {
+    // Real counters present (rare in CI): measuring must work end to end.
+    perf_backend mon(*model);
+    rng gen(9);
+    tensor x = tensor::rand_uniform(shape{1, 1, 16, 16}, gen, 0.0f, 1.0f);
+    auto m = mon.measure(x, std::vector<hpc_event>{hpc_event::instructions}, 3);
+    EXPECT_GT(m.mean_counts[0], 0.0);
+  } else {
+    EXPECT_THROW(perf_backend{*model}, backend_unavailable);
+  }
+}
+
+TEST(Factory, AutoDetectAlwaysProducesMonitor) {
+  auto model = nn::make_model(nn::architecture::case_study_cnn,
+                              shape{1, 16, 16}, 4, 1);
+  auto mon = make_monitor(*model);
+  ASSERT_NE(mon, nullptr);
+  if (!perf_events_available()) {
+    EXPECT_EQ(mon->backend_name(), "simulator");
+  }
+}
+
+TEST(Factory, ExplicitSimulator) {
+  auto model = nn::make_model(nn::architecture::case_study_cnn,
+                              shape{1, 16, 16}, 4, 1);
+  auto mon = make_monitor(*model, backend_kind::simulator);
+  EXPECT_EQ(mon->backend_name(), "simulator");
+}
+
+}  // namespace
+}  // namespace advh::hpc

@@ -1,0 +1,160 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace advh {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  rng g(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = g.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  rng g(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = g.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  rng g(99);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += g.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexBounded) {
+  rng g(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(g.uniform_index(17), 17u);
+  }
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  rng g(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(g.uniform_index(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  rng g(11);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = g.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaled) {
+  rng g(13);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += g.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, PoissonMeanMatchesLambdaSmall) {
+  rng g(17);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(g.poisson(3.5));
+  EXPECT_NEAR(sum / n, 3.5, 0.1);
+}
+
+TEST(Rng, PoissonMeanMatchesLambdaLarge) {
+  rng g(17);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(g.poisson(200.0));
+  EXPECT_NEAR(sum / n, 200.0, 2.0);
+}
+
+TEST(Rng, PoissonZeroLambda) {
+  rng g(1);
+  EXPECT_EQ(g.poisson(0.0), 0u);
+  EXPECT_EQ(g.poisson(-1.0), 0u);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  rng g(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (g.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, SplitProducesDecorrelatedStream) {
+  rng parent(42);
+  rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent() == child()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, RepeatedSplitsDistinct) {
+  rng parent(42);
+  rng c1 = parent.split();
+  rng c2 = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (c1() == c2()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  rng g(3);
+  auto p = g.permutation(100);
+  std::set<std::size_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(Rng, ShuffleKeepsElements) {
+  rng g(3);
+  std::vector<int> v{1, 2, 3, 4, 5};
+  auto orig = v;
+  g.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+}  // namespace
+}  // namespace advh

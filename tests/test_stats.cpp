@@ -1,0 +1,170 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace advh::stats {
+namespace {
+
+TEST(Stats, MeanBasic) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+}
+
+TEST(Stats, MeanEmptyIsZero) {
+  std::vector<double> v;
+  EXPECT_DOUBLE_EQ(mean(v), 0.0);
+}
+
+TEST(Stats, VariancePopulationVsSample) {
+  std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(variance(v), 4.0);
+  EXPECT_NEAR(sample_variance(v), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Stats, StddevIsSqrtOfVariance) {
+  std::vector<double> v{1.0, 3.0, 5.0};
+  EXPECT_DOUBLE_EQ(stddev(v), std::sqrt(variance(v)));
+}
+
+TEST(Stats, MinMax) {
+  std::vector<double> v{3.0, -1.0, 7.0, 2.0};
+  EXPECT_DOUBLE_EQ(min(v), -1.0);
+  EXPECT_DOUBLE_EQ(max(v), 7.0);
+}
+
+TEST(Stats, MinThrowsOnEmpty) {
+  std::vector<double> v;
+  EXPECT_THROW(min(v), invariant_error);
+}
+
+TEST(Stats, MedianOdd) {
+  std::vector<double> v{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median(v), 3.0);
+}
+
+TEST(Stats, MedianEvenInterpolates) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(median(v), 2.5);
+}
+
+TEST(Stats, QuantileEndpoints) {
+  std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 3.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(Stats, PearsonAnticorrelation) {
+  std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y{3.0, 2.0, 1.0};
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSeriesIsZero) {
+  std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+}
+
+TEST(RunningStats, MatchesBatchComputation) {
+  rng gen(9);
+  std::vector<double> v;
+  running_stats rs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = gen.normal(5.0, 2.0);
+    v.push_back(x);
+    rs.push(x);
+  }
+  EXPECT_NEAR(rs.mean(), mean(v), 1e-9);
+  EXPECT_NEAR(rs.variance(), variance(v), 1e-9);
+  EXPECT_DOUBLE_EQ(rs.min(), min(v));
+  EXPECT_DOUBLE_EQ(rs.max(), max(v));
+  EXPECT_EQ(rs.count(), v.size());
+}
+
+TEST(RunningStats, MergeEqualsCombined) {
+  rng gen(10);
+  running_stats a, b, all;
+  for (int i = 0; i < 500; ++i) {
+    const double x = gen.uniform(-1.0, 4.0);
+    (i % 2 ? a : b).push(x);
+    all.push(x);
+  }
+  a.merge(b);
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.count(), all.count());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  running_stats a, empty;
+  a.push(1.0);
+  a.push(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+}
+
+TEST(Histogram, CountsAndClamping) {
+  histogram h(0.0, 10.0, 10);
+  h.push(0.5);   // bin 0
+  h.push(9.5);   // bin 9
+  h.push(-5.0);  // clamped to bin 0
+  h.push(15.0);  // clamped to bin 9
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, FrequencyNormalised) {
+  histogram h(0.0, 1.0, 2);
+  h.push(0.1);
+  h.push(0.2);
+  h.push(0.9);
+  EXPECT_NEAR(h.frequency(0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(h.frequency(1), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Histogram, BinGeometry) {
+  histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(2), 5.0);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(histogram(1.0, 1.0, 4), invariant_error);
+  EXPECT_THROW(histogram(0.0, 1.0, 0), invariant_error);
+}
+
+TEST(AutoHistogram, CoversData) {
+  std::vector<double> v{1.0, 2.0, 3.0};
+  auto h = auto_histogram(v, 4);
+  for (double x : v) h.push(x);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_LT(h.bin_lo(0), 1.0);
+  EXPECT_GT(h.bin_hi(3), 3.0);
+}
+
+TEST(AutoHistogram, DegenerateDataWidens) {
+  std::vector<double> v{2.0, 2.0, 2.0};
+  auto h = auto_histogram(v, 4);
+  h.push(2.0);
+  EXPECT_EQ(h.total(), 1u);
+}
+
+}  // namespace
+}  // namespace advh::stats

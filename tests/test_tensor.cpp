@@ -1,0 +1,122 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace advh {
+namespace {
+
+TEST(Shape, RankAndNumel) {
+  shape s{2, 3, 4, 5};
+  EXPECT_EQ(s.rank(), 4u);
+  EXPECT_EQ(s.numel(), 120u);
+  EXPECT_EQ(s[2], 4u);
+}
+
+TEST(Shape, ScalarShape) {
+  shape s;
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_EQ(s.numel(), 1u);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ(shape({2, 3}), shape({2, 3}));
+  EXPECT_NE(shape({2, 3}), shape({3, 2}));
+  EXPECT_NE(shape({2, 3}), shape({2, 3, 1}));
+}
+
+TEST(Shape, StridesRowMajor) {
+  shape s{2, 3, 4, 5};
+  const auto st = s.strides();
+  EXPECT_EQ(st[0], 60u);
+  EXPECT_EQ(st[1], 20u);
+  EXPECT_EQ(st[2], 5u);
+  EXPECT_EQ(st[3], 1u);
+}
+
+TEST(Shape, IndexOutOfRangeThrows) {
+  shape s{2, 3};
+  EXPECT_THROW(s[2], invariant_error);
+}
+
+TEST(Shape, ToStringReadable) {
+  EXPECT_EQ(shape({1, 3, 32, 32}).to_string(), "[1, 3, 32, 32]");
+}
+
+TEST(Tensor, ZeroInitialised) {
+  tensor t(shape{2, 3});
+  for (float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, FullFills) {
+  tensor t = tensor::full(shape{4}, 2.5f);
+  for (float v : t.data()) EXPECT_EQ(v, 2.5f);
+}
+
+TEST(Tensor, ConstructFromDataValidatesSize) {
+  EXPECT_THROW(tensor(shape{3}, std::vector<float>{1.0f, 2.0f}),
+               invariant_error);
+}
+
+TEST(Tensor, At4dMatchesFlatLayout) {
+  tensor t(shape{2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 7.0f;
+  EXPECT_EQ(t[1 * 60 + 2 * 20 + 3 * 5 + 4], 7.0f);
+}
+
+TEST(Tensor, At2dMatchesFlatLayout) {
+  tensor t(shape{3, 4});
+  t.at(2, 1) = 9.0f;
+  EXPECT_EQ(t[2 * 4 + 1], 9.0f);
+}
+
+TEST(Tensor, AtBoundsChecked) {
+  tensor t(shape{1, 1, 2, 2});
+  EXPECT_THROW(t.at(0, 0, 2, 0), invariant_error);
+  EXPECT_THROW(t.at(0, 1, 0, 0), invariant_error);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  tensor t(shape{2, 3});
+  for (std::size_t i = 0; i < 6; ++i) t[i] = static_cast<float>(i);
+  tensor r = t.reshaped(shape{3, 2});
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(r[i], static_cast<float>(i));
+  EXPECT_THROW(t.reshaped(shape{4, 2}), invariant_error);
+}
+
+TEST(Tensor, RandnStatistics) {
+  rng gen(5);
+  tensor t = tensor::randn(shape{4, 1000}, gen, 2.0f);
+  double sum = 0.0, sumsq = 0.0;
+  for (float v : t.data()) {
+    sum += v;
+    sumsq += static_cast<double>(v) * v;
+  }
+  const double n = static_cast<double>(t.numel());
+  EXPECT_NEAR(sum / n, 0.0, 0.1);
+  EXPECT_NEAR(sumsq / n, 4.0, 0.2);
+}
+
+TEST(Tensor, RandUniformBounds) {
+  rng gen(5);
+  tensor t = tensor::rand_uniform(shape{1000}, gen, -1.0f, 1.0f);
+  for (float v : t.data()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(Tensor, FillOverwrites) {
+  tensor t(shape{10}, 3.0f);
+  t.fill(-1.0f);
+  for (float v : t.data()) EXPECT_EQ(v, -1.0f);
+}
+
+TEST(Tensor, IndexingBoundsChecked) {
+  tensor t(shape{2});
+  EXPECT_THROW(t[2], invariant_error);
+}
+
+}  // namespace
+}  // namespace advh

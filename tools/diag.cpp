@@ -1,0 +1,200 @@
+// Developer diagnostic: prints noise-free simulated event profiles for
+// clean per-class images and adversarial examples, to inspect separability
+// of each HPC event before GMM modelling.
+#include <iostream>
+#include <set>
+#include <algorithm>
+
+#include "attack/metrics.hpp"
+#include "common/stats.hpp"
+#include "core/pipeline.hpp"
+#include "hpc/sim_backend.hpp"
+#include "nn/trainer.hpp"
+
+using namespace advh;
+
+int main() {
+  core::scenario_runtime rt = core::prepare_scenario(data::scenario_id::s2);
+  hpc::sim_backend mon(*rt.net, {}, hpc::noise_model::none());
+
+  const std::size_t target = rt.spec.target_class;
+  const auto events = hpc::all_events();
+
+  auto print_group = [&](const std::string& label,
+                         const std::vector<tensor>& inputs) {
+    std::vector<stats::running_stats> acc(events.size());
+    for (const auto& x : inputs) {
+      std::size_t pred = 0;
+      const auto c = mon.profile(x, pred);
+      for (std::size_t e = 0; e < events.size(); ++e) {
+        acc[e].push(static_cast<double>(hpc::extract(c, events[e])));
+      }
+    }
+    std::cout << label << " (" << inputs.size() << " inputs)\n";
+    for (std::size_t e = 0; e < events.size(); ++e) {
+      std::cout << "  " << to_string(events[e]) << ": mean " << acc[e].mean()
+                << " sd " << acc[e].stddev() << " min " << acc[e].min()
+                << " max " << acc[e].max() << "\n";
+    }
+  };
+
+  // Clean 'frog' test images.
+  std::vector<tensor> clean;
+  for (std::size_t i = 0; i < rt.test.size() && clean.size() < 40; ++i) {
+    if (rt.test.labels[i] == target &&
+        rt.net->predict_one(nn::single_example(rt.test.images, i)) == target) {
+      clean.push_back(nn::single_example(rt.test.images, i));
+    }
+  }
+  print_group("clean frog", clean);
+
+  // Clean images of another class for contrast.
+  std::vector<tensor> other;
+  for (std::size_t i = 0; i < rt.test.size() && other.size() < 40; ++i) {
+    if (rt.test.labels[i] == 0) {
+      other.push_back(nn::single_example(rt.test.images, i));
+    }
+  }
+  print_group("clean airplane", other);
+
+  // Targeted FGSM AEs predicted as 'frog'.
+  attack::attack_config acfg;
+  acfg.goal = attack::attack_goal::targeted;
+  acfg.target_class = target;
+  acfg.epsilon = 0.5f;
+  auto atk = attack::make_attack(attack::attack_kind::fgsm, acfg);
+  std::vector<tensor> adv;
+  for (std::size_t i = 0; i < rt.test.size() && adv.size() < 40; ++i) {
+    if (rt.test.labels[i] == target) continue;
+    auto r = atk->run(*rt.net, nn::single_example(rt.test.images, i),
+                      rt.test.labels[i]);
+    if (r.success) adv.push_back(std::move(r.adversarial));
+  }
+  print_group("FGSM-targeted AEs", adv);
+
+  // Per-layer active-unit statistics at (channel, spatial-block)
+  // granularity — the units the trace generator's gather operates on.
+  auto layer_unit_stats = [&](const std::vector<tensor>& inputs,
+                              const std::string& label) {
+    std::vector<stats::running_stats> per_layer;
+    std::vector<std::string> names;
+    for (const auto& x : inputs) {
+      std::size_t pred = 0;
+      auto tr = rt.net->trace_inference(x, pred);
+      std::size_t li = 0;
+      for (const auto& e : tr.layers) {
+        if (e.active_inputs.empty()) continue;
+        const std::size_t spatial = std::max<std::size_t>(e.in_spatial, 1);
+        std::set<std::uint64_t> units;
+        for (std::uint32_t i : e.active_inputs) {
+          const std::size_t c = i / spatial;
+          const std::size_t b = (i % spatial) / 4;
+          units.insert((static_cast<std::uint64_t>(c) << 32) | b);
+        }
+        if (li >= per_layer.size()) {
+          per_layer.emplace_back();
+          names.push_back(e.name);
+        }
+        per_layer[li].push(static_cast<double>(units.size()));
+        ++li;
+      }
+    }
+    std::cout << label << " per-layer active (channel,block) units:\n";
+    for (std::size_t l = 0; l < per_layer.size(); ++l) {
+      std::cout << "  " << names[l] << ": mean " << per_layer[l].mean()
+                << " sd " << per_layer[l].stddev() << " range ["
+                << per_layer[l].min() << ", " << per_layer[l].max() << "]\n";
+    }
+  };
+  layer_unit_stats(clean, "clean frog");
+  layer_unit_stats(adv, "AEs");
+
+  auto dump_sorted = [&](const std::vector<tensor>& inputs,
+                         const std::string& label) {
+    std::vector<double> vals;
+    for (const auto& x : inputs) {
+      std::size_t pred = 0;
+      const auto c = mon.profile(x, pred);
+      vals.push_back(static_cast<double>(c.cache_misses));
+    }
+    std::sort(vals.begin(), vals.end());
+    std::cout << label << " cache-misses sorted:";
+    for (double v : vals) std::cout << " " << v;
+    std::cout << "\n";
+  };
+  dump_sorted(clean, "clean frog");
+  dump_sorted(adv, "AE");
+
+  // Set-distance analysis: Hamming distance between active-unit sets,
+  // within clean frog vs AE-to-clean-frog, per layer. This bounds how
+  // separable ANY footprint statistic can be.
+  auto unit_sets = [&](const tensor& x) {
+    std::size_t pred = 0;
+    auto tr = rt.net->trace_inference(x, pred);
+    std::vector<std::set<std::uint64_t>> sets;
+    for (const auto& e : tr.layers) {
+      if (e.active_inputs.empty()) continue;
+      const std::size_t spatial = std::max<std::size_t>(e.in_spatial, 1);
+      std::set<std::uint64_t> units;
+      for (std::uint32_t i : e.active_inputs) {
+        units.insert((static_cast<std::uint64_t>(i / spatial) << 32) |
+                     ((i % spatial) / 4));
+      }
+      sets.push_back(std::move(units));
+    }
+    return sets;
+  };
+  // Attack-success sweep.
+  for (auto kind : {attack::attack_kind::fgsm, attack::attack_kind::pgd,
+                    attack::attack_kind::deepfool}) {
+    for (bool targeted : {false, true}) {
+      for (float eps : {0.05f, 0.1f, 0.3f, 0.5f}) {
+        if (kind == attack::attack_kind::deepfool && eps != 0.05f) continue;
+        attack::attack_config cfg;
+        cfg.goal = targeted ? attack::attack_goal::targeted
+                            : attack::attack_goal::untargeted;
+        cfg.target_class = target;
+        cfg.epsilon = eps;
+        auto a = attack::make_attack(kind, cfg);
+        std::size_t ok = 0, n = 0;
+        for (std::size_t i = 0; i < rt.test.size() && n < 50; i += 7) {
+          if (targeted && rt.test.labels[i] == target) continue;
+          auto r = a->run(*rt.net, nn::single_example(rt.test.images, i),
+                          rt.test.labels[i]);
+          ++n;
+          if (r.success) ++ok;
+        }
+        std::cout << "attack " << to_string(kind)
+                  << (targeted ? " targeted" : " untargeted") << " eps " << eps
+                  << ": " << ok << "/" << n << "\n";
+      }
+    }
+  }
+
+  std::vector<std::vector<std::set<std::uint64_t>>> clean_sets, adv_sets;
+  for (std::size_t i = 0; i < std::min<std::size_t>(clean.size(), 15); ++i)
+    clean_sets.push_back(unit_sets(clean[i]));
+  for (std::size_t i = 0; i < std::min<std::size_t>(adv.size(), 15); ++i)
+    adv_sets.push_back(unit_sets(adv[i]));
+
+  const std::size_t layers = clean_sets[0].size();
+  for (std::size_t l = 0; l < layers; ++l) {
+    stats::running_stats within, between;
+    auto hamming = [&](const std::set<std::uint64_t>& a,
+                       const std::set<std::uint64_t>& b) {
+      std::size_t inter = 0;
+      for (auto u : a) inter += b.count(u);
+      return static_cast<double>(a.size() + b.size() - 2 * inter);
+    };
+    for (std::size_t i = 0; i < clean_sets.size(); ++i)
+      for (std::size_t j = i + 1; j < clean_sets.size(); ++j)
+        within.push(hamming(clean_sets[i][l], clean_sets[j][l]));
+    for (const auto& a : adv_sets)
+      for (const auto& c : clean_sets) between.push(hamming(a[l], c[l]));
+    std::cout << "layer " << l << ": hamming clean-clean " << within.mean()
+              << " AE-clean " << between.mean() << " ratio "
+              << (within.mean() > 0 ? between.mean() / within.mean() : 0.0)
+              << "\n";
+  }
+  return 0;
+}
