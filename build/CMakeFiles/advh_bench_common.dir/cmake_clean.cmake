@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advh_bench_common.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/advh_bench_common.dir/bench/bench_common.cpp.o.d"
+  "libadvh_bench_common.a"
+  "libadvh_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advh_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

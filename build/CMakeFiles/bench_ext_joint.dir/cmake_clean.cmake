@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_joint.dir/bench/bench_ext_joint.cpp.o"
+  "CMakeFiles/bench_ext_joint.dir/bench/bench_ext_joint.cpp.o.d"
+  "bench/bench_ext_joint"
+  "bench/bench_ext_joint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_joint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

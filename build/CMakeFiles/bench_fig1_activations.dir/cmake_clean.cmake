@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_activations.dir/bench/bench_fig1_activations.cpp.o"
+  "CMakeFiles/bench_fig1_activations.dir/bench/bench_fig1_activations.cpp.o.d"
+  "bench/bench_fig1_activations"
+  "bench/bench_fig1_activations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_activations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_attack_sweep.dir/bench/bench_fig4_attack_sweep.cpp.o"
+  "CMakeFiles/bench_fig4_attack_sweep.dir/bench/bench_fig4_attack_sweep.cpp.o.d"
+  "bench/bench_fig4_attack_sweep"
+  "bench/bench_fig4_attack_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_attack_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

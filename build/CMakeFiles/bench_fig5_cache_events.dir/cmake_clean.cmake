@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_cache_events.dir/bench/bench_fig5_cache_events.cpp.o"
+  "CMakeFiles/bench_fig5_cache_events.dir/bench/bench_fig5_cache_events.cpp.o.d"
+  "bench/bench_fig5_cache_events"
+  "bench/bench_fig5_cache_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_cache_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_scenarios.cpp" "CMakeFiles/bench_table1_scenarios.dir/bench/bench_table1_scenarios.cpp.o" "gcc" "CMakeFiles/bench_table1_scenarios.dir/bench/bench_table1_scenarios.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/advh_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/advh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/advh_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpc/CMakeFiles/advh_hpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/advh_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/gmm/CMakeFiles/advh_gmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/advh_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/advh_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/advh_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/advh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

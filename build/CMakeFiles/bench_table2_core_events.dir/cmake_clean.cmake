@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_core_events.dir/bench/bench_table2_core_events.cpp.o"
+  "CMakeFiles/bench_table2_core_events.dir/bench/bench_table2_core_events.cpp.o.d"
+  "bench/bench_table2_core_events"
+  "bench/bench_table2_core_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_core_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

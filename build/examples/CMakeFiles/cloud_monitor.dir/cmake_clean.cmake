@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_monitor.dir/cloud_monitor.cpp.o"
+  "CMakeFiles/cloud_monitor.dir/cloud_monitor.cpp.o.d"
+  "cloud_monitor"
+  "cloud_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_probe.dir/hpc_probe.cpp.o"
+  "CMakeFiles/hpc_probe.dir/hpc_probe.cpp.o.d"
+  "hpc_probe"
+  "hpc_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

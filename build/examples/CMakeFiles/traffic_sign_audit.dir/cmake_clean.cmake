@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_sign_audit.dir/traffic_sign_audit.cpp.o"
+  "CMakeFiles/traffic_sign_audit.dir/traffic_sign_audit.cpp.o.d"
+  "traffic_sign_audit"
+  "traffic_sign_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_sign_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/attack.cpp" "src/attack/CMakeFiles/advh_attack.dir/attack.cpp.o" "gcc" "src/attack/CMakeFiles/advh_attack.dir/attack.cpp.o.d"
+  "/root/repo/src/attack/deepfool.cpp" "src/attack/CMakeFiles/advh_attack.dir/deepfool.cpp.o" "gcc" "src/attack/CMakeFiles/advh_attack.dir/deepfool.cpp.o.d"
+  "/root/repo/src/attack/fgsm.cpp" "src/attack/CMakeFiles/advh_attack.dir/fgsm.cpp.o" "gcc" "src/attack/CMakeFiles/advh_attack.dir/fgsm.cpp.o.d"
+  "/root/repo/src/attack/metrics.cpp" "src/attack/CMakeFiles/advh_attack.dir/metrics.cpp.o" "gcc" "src/attack/CMakeFiles/advh_attack.dir/metrics.cpp.o.d"
+  "/root/repo/src/attack/min_eps.cpp" "src/attack/CMakeFiles/advh_attack.dir/min_eps.cpp.o" "gcc" "src/attack/CMakeFiles/advh_attack.dir/min_eps.cpp.o.d"
+  "/root/repo/src/attack/pgd.cpp" "src/attack/CMakeFiles/advh_attack.dir/pgd.cpp.o" "gcc" "src/attack/CMakeFiles/advh_attack.dir/pgd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/advh_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/advh_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/advh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/advh_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advh_attack.dir/attack.cpp.o"
+  "CMakeFiles/advh_attack.dir/attack.cpp.o.d"
+  "CMakeFiles/advh_attack.dir/deepfool.cpp.o"
+  "CMakeFiles/advh_attack.dir/deepfool.cpp.o.d"
+  "CMakeFiles/advh_attack.dir/fgsm.cpp.o"
+  "CMakeFiles/advh_attack.dir/fgsm.cpp.o.d"
+  "CMakeFiles/advh_attack.dir/metrics.cpp.o"
+  "CMakeFiles/advh_attack.dir/metrics.cpp.o.d"
+  "CMakeFiles/advh_attack.dir/min_eps.cpp.o"
+  "CMakeFiles/advh_attack.dir/min_eps.cpp.o.d"
+  "CMakeFiles/advh_attack.dir/pgd.cpp.o"
+  "CMakeFiles/advh_attack.dir/pgd.cpp.o.d"
+  "libadvh_attack.a"
+  "libadvh_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advh_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advh_common.dir/ascii_plot.cpp.o"
+  "CMakeFiles/advh_common.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/advh_common.dir/cli.cpp.o"
+  "CMakeFiles/advh_common.dir/cli.cpp.o.d"
+  "CMakeFiles/advh_common.dir/logging.cpp.o"
+  "CMakeFiles/advh_common.dir/logging.cpp.o.d"
+  "CMakeFiles/advh_common.dir/rng.cpp.o"
+  "CMakeFiles/advh_common.dir/rng.cpp.o.d"
+  "CMakeFiles/advh_common.dir/stats.cpp.o"
+  "CMakeFiles/advh_common.dir/stats.cpp.o.d"
+  "CMakeFiles/advh_common.dir/table.cpp.o"
+  "CMakeFiles/advh_common.dir/table.cpp.o.d"
+  "libadvh_common.a"
+  "libadvh_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advh_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

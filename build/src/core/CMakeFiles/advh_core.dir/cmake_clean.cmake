@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advh_core.dir/detector.cpp.o"
+  "CMakeFiles/advh_core.dir/detector.cpp.o.d"
+  "CMakeFiles/advh_core.dir/detector_io.cpp.o"
+  "CMakeFiles/advh_core.dir/detector_io.cpp.o.d"
+  "CMakeFiles/advh_core.dir/joint_detector.cpp.o"
+  "CMakeFiles/advh_core.dir/joint_detector.cpp.o.d"
+  "CMakeFiles/advh_core.dir/metrics.cpp.o"
+  "CMakeFiles/advh_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/advh_core.dir/pipeline.cpp.o"
+  "CMakeFiles/advh_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/advh_core.dir/roc.cpp.o"
+  "CMakeFiles/advh_core.dir/roc.cpp.o.d"
+  "libadvh_core.a"
+  "libadvh_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advh_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

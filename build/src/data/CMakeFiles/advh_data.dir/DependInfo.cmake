@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/advh_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/advh_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/scenarios.cpp" "src/data/CMakeFiles/advh_data.dir/scenarios.cpp.o" "gcc" "src/data/CMakeFiles/advh_data.dir/scenarios.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/data/CMakeFiles/advh_data.dir/synthetic.cpp.o" "gcc" "src/data/CMakeFiles/advh_data.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/advh_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/advh_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/advh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advh_data.dir/dataset.cpp.o"
+  "CMakeFiles/advh_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/advh_data.dir/scenarios.cpp.o"
+  "CMakeFiles/advh_data.dir/scenarios.cpp.o.d"
+  "CMakeFiles/advh_data.dir/synthetic.cpp.o"
+  "CMakeFiles/advh_data.dir/synthetic.cpp.o.d"
+  "libadvh_data.a"
+  "libadvh_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advh_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

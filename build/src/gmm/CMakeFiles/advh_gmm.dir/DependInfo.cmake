@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gmm/gmm.cpp" "src/gmm/CMakeFiles/advh_gmm.dir/gmm.cpp.o" "gcc" "src/gmm/CMakeFiles/advh_gmm.dir/gmm.cpp.o.d"
+  "/root/repo/src/gmm/kmeans.cpp" "src/gmm/CMakeFiles/advh_gmm.dir/kmeans.cpp.o" "gcc" "src/gmm/CMakeFiles/advh_gmm.dir/kmeans.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/advh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advh_gmm.dir/gmm.cpp.o"
+  "CMakeFiles/advh_gmm.dir/gmm.cpp.o.d"
+  "CMakeFiles/advh_gmm.dir/kmeans.cpp.o"
+  "CMakeFiles/advh_gmm.dir/kmeans.cpp.o.d"
+  "libadvh_gmm.a"
+  "libadvh_gmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advh_gmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hpc/events.cpp" "src/hpc/CMakeFiles/advh_hpc.dir/events.cpp.o" "gcc" "src/hpc/CMakeFiles/advh_hpc.dir/events.cpp.o.d"
+  "/root/repo/src/hpc/factory.cpp" "src/hpc/CMakeFiles/advh_hpc.dir/factory.cpp.o" "gcc" "src/hpc/CMakeFiles/advh_hpc.dir/factory.cpp.o.d"
+  "/root/repo/src/hpc/noise.cpp" "src/hpc/CMakeFiles/advh_hpc.dir/noise.cpp.o" "gcc" "src/hpc/CMakeFiles/advh_hpc.dir/noise.cpp.o.d"
+  "/root/repo/src/hpc/perf_backend.cpp" "src/hpc/CMakeFiles/advh_hpc.dir/perf_backend.cpp.o" "gcc" "src/hpc/CMakeFiles/advh_hpc.dir/perf_backend.cpp.o.d"
+  "/root/repo/src/hpc/sim_backend.cpp" "src/hpc/CMakeFiles/advh_hpc.dir/sim_backend.cpp.o" "gcc" "src/hpc/CMakeFiles/advh_hpc.dir/sim_backend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uarch/CMakeFiles/advh_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/advh_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/advh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/advh_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advh_hpc.dir/events.cpp.o"
+  "CMakeFiles/advh_hpc.dir/events.cpp.o.d"
+  "CMakeFiles/advh_hpc.dir/factory.cpp.o"
+  "CMakeFiles/advh_hpc.dir/factory.cpp.o.d"
+  "CMakeFiles/advh_hpc.dir/noise.cpp.o"
+  "CMakeFiles/advh_hpc.dir/noise.cpp.o.d"
+  "CMakeFiles/advh_hpc.dir/perf_backend.cpp.o"
+  "CMakeFiles/advh_hpc.dir/perf_backend.cpp.o.d"
+  "CMakeFiles/advh_hpc.dir/sim_backend.cpp.o"
+  "CMakeFiles/advh_hpc.dir/sim_backend.cpp.o.d"
+  "libadvh_hpc.a"
+  "libadvh_hpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advh_hpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

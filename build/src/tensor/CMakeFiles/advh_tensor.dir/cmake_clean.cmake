@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advh_tensor.dir/im2col.cpp.o"
+  "CMakeFiles/advh_tensor.dir/im2col.cpp.o.d"
+  "CMakeFiles/advh_tensor.dir/matmul.cpp.o"
+  "CMakeFiles/advh_tensor.dir/matmul.cpp.o.d"
+  "CMakeFiles/advh_tensor.dir/ops.cpp.o"
+  "CMakeFiles/advh_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/advh_tensor.dir/shape.cpp.o"
+  "CMakeFiles/advh_tensor.dir/shape.cpp.o.d"
+  "CMakeFiles/advh_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/advh_tensor.dir/tensor.cpp.o.d"
+  "libadvh_tensor.a"
+  "libadvh_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advh_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

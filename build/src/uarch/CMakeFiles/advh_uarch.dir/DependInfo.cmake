@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/branch_predictor.cpp" "src/uarch/CMakeFiles/advh_uarch.dir/branch_predictor.cpp.o" "gcc" "src/uarch/CMakeFiles/advh_uarch.dir/branch_predictor.cpp.o.d"
+  "/root/repo/src/uarch/cache.cpp" "src/uarch/CMakeFiles/advh_uarch.dir/cache.cpp.o" "gcc" "src/uarch/CMakeFiles/advh_uarch.dir/cache.cpp.o.d"
+  "/root/repo/src/uarch/hierarchy.cpp" "src/uarch/CMakeFiles/advh_uarch.dir/hierarchy.cpp.o" "gcc" "src/uarch/CMakeFiles/advh_uarch.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/uarch/prefetcher.cpp" "src/uarch/CMakeFiles/advh_uarch.dir/prefetcher.cpp.o" "gcc" "src/uarch/CMakeFiles/advh_uarch.dir/prefetcher.cpp.o.d"
+  "/root/repo/src/uarch/trace_gen.cpp" "src/uarch/CMakeFiles/advh_uarch.dir/trace_gen.cpp.o" "gcc" "src/uarch/CMakeFiles/advh_uarch.dir/trace_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/advh_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/advh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/advh_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

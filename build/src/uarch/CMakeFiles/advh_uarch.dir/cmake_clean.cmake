@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advh_uarch.dir/branch_predictor.cpp.o"
+  "CMakeFiles/advh_uarch.dir/branch_predictor.cpp.o.d"
+  "CMakeFiles/advh_uarch.dir/cache.cpp.o"
+  "CMakeFiles/advh_uarch.dir/cache.cpp.o.d"
+  "CMakeFiles/advh_uarch.dir/hierarchy.cpp.o"
+  "CMakeFiles/advh_uarch.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/advh_uarch.dir/prefetcher.cpp.o"
+  "CMakeFiles/advh_uarch.dir/prefetcher.cpp.o.d"
+  "CMakeFiles/advh_uarch.dir/trace_gen.cpp.o"
+  "CMakeFiles/advh_uarch.dir/trace_gen.cpp.o.d"
+  "libadvh_uarch.a"
+  "libadvh_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advh_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

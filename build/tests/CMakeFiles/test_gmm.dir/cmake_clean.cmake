@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gmm.dir/test_gmm.cpp.o"
+  "CMakeFiles/test_gmm.dir/test_gmm.cpp.o.d"
+  "test_gmm"
+  "test_gmm.pdb"
+  "test_gmm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

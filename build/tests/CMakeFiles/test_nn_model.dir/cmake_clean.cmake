@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_model.dir/test_nn_model.cpp.o"
+  "CMakeFiles/test_nn_model.dir/test_nn_model.cpp.o.d"
+  "test_nn_model"
+  "test_nn_model.pdb"
+  "test_nn_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diag.dir/diag.cpp.o"
+  "CMakeFiles/diag.dir/diag.cpp.o.d"
+  "diag"
+  "diag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
