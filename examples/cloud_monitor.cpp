@@ -36,10 +36,13 @@ int main(int argc, char** argv) {
   cli.add_flag("queries", "60", "stream length");
   cli.add_flag("adversarial-fraction", "0.4", "fraction of attack queries");
   cli.add_flag("seed", "2024", "stream RNG seed");
+  cli.add_flag("no-verify", "false",
+               "skip static model verification (escape hatch)");
   if (!cli.parse(argc, argv)) return 0;
 
   auto rt = core::prepare_scenario(
-      data::scenario_from_string(cli.get("scenario")));
+      data::scenario_from_string(cli.get("scenario")), "advh_models", 1234,
+      !cli.get_bool("no-verify"));
   auto monitor = hpc::make_monitor(*rt.net, hpc::backend_kind::simulator);
 
   // Offline phase.

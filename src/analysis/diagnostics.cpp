@@ -1,0 +1,154 @@
+#include "analysis/diagnostics.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace advh::analysis {
+
+const char* to_string(diag_code code) {
+  switch (code) {
+    case diag_code::no_shape_inference:
+      return "no-shape-inference";
+    case diag_code::shape_mismatch:
+      return "shape-mismatch";
+    case diag_code::output_head_mismatch:
+      return "output-head-mismatch";
+    case diag_code::non_finite_param:
+      return "non-finite-param";
+    case diag_code::uninitialized_param:
+      return "uninitialized-param";
+    case diag_code::duplicate_param:
+      return "duplicate-param";
+    case diag_code::unregistered_params:
+      return "unregistered-params";
+    case diag_code::param_invisible:
+      return "param-invisible";
+    case diag_code::param_not_serialized:
+      return "param-not-serialized";
+    case diag_code::missing_trace_contract:
+      return "missing-trace-contract";
+    case diag_code::incomplete_trace_contract:
+      return "incomplete-trace-contract";
+    case diag_code::dead_layer:
+      return "dead-layer";
+    case diag_code::trailing_activation:
+      return "trailing-activation";
+    case diag_code::batchnorm_epsilon:
+      return "batchnorm-epsilon";
+    case diag_code::batchnorm_momentum:
+      return "batchnorm-momentum";
+  }
+  return "unknown";
+}
+
+const char* to_string(severity sev) {
+  return sev == severity::error ? "error" : "warning";
+}
+
+std::size_t verification_report::error_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& d : diags) n += d.sev == severity::error ? 1 : 0;
+  return n;
+}
+
+std::size_t verification_report::warning_count() const noexcept {
+  return diags.size() - error_count();
+}
+
+void verification_report::add(severity sev, diag_code code,
+                              std::size_t layer_index, std::string layer_path,
+                              std::string message) {
+  diags.push_back(diagnostic{sev, code, layer_index, std::move(layer_path),
+                             std::move(message)});
+}
+
+std::string verification_report::to_text() const {
+  std::ostringstream os;
+  os << "verify " << model_name << " (input " << input_shape << ", "
+     << num_classes << " classes): " << layers_checked << " layers, "
+     << error_count() << " error(s), " << warning_count() << " warning(s)\n";
+  for (const auto& d : diags) {
+    os << "  [" << to_string(d.sev) << "] " << to_string(d.code);
+    if (d.layer_index != no_layer_index) os << " @layer " << d.layer_index;
+    if (!d.layer_path.empty()) os << " (" << d.layer_path << ")";
+    os << ": " << d.message << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string verification_report::to_json() const {
+  std::ostringstream os;
+  os << "{\"model\":\"" << json_escape(model_name) << "\",";
+  os << "\"input\":\"" << json_escape(input_shape) << "\",";
+  os << "\"classes\":" << num_classes << ",";
+  os << "\"layers_checked\":" << layers_checked << ",";
+  os << "\"errors\":" << error_count() << ",";
+  os << "\"warnings\":" << warning_count() << ",";
+  os << "\"diagnostics\":[";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const auto& d = diags[i];
+    if (i > 0) os << ",";
+    os << "{\"severity\":\"" << to_string(d.sev) << "\",";
+    os << "\"code\":\"" << to_string(d.code) << "\",";
+    if (d.layer_index != no_layer_index) {
+      os << "\"layer_index\":" << d.layer_index << ",";
+    } else {
+      os << "\"layer_index\":null,";
+    }
+    os << "\"layer\":\"" << json_escape(d.layer_path) << "\",";
+    os << "\"message\":\"" << json_escape(d.message) << "\"}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+namespace {
+std::string summarize(const verification_report& r,
+                      const std::string& context) {
+  std::string s = (context.empty() ? r.model_name : context + ": " +
+                   r.model_name) +
+                  ": model graph failed static verification (" +
+                  std::to_string(r.error_count()) + " error(s))\n" +
+                  r.to_text();
+  if (!s.empty() && s.back() == '\n') s.pop_back();
+  return s;
+}
+}  // namespace
+
+verification_error::verification_error(verification_report report,
+                                       const std::string& context)
+    : advh::error(summarize(report, context)), report_(std::move(report)) {}
+
+}  // namespace advh::analysis

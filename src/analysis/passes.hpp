@@ -1,0 +1,22 @@
+// Internal pass interface of the static verifier. Each pass appends
+// diagnostics to the shared report; passes are independent so one failing
+// pass never masks another's findings.
+#pragma once
+
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/walk.hpp"
+#include "nn/model.hpp"
+
+namespace advh::analysis::detail {
+
+void run_shape_pass(nn::model& m, verification_report& report);
+void run_param_pass(nn::model& m, const std::vector<walk_entry>& graph,
+                    verification_report& report);
+void run_trace_pass(const std::vector<walk_entry>& graph,
+                    verification_report& report);
+void run_structure_pass(nn::model& m, const std::vector<walk_entry>& graph,
+                        verification_report& report);
+
+}  // namespace advh::analysis::detail

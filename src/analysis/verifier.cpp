@@ -1,0 +1,37 @@
+#include "analysis/verifier.hpp"
+
+#include "analysis/passes.hpp"
+#include "analysis/walk.hpp"
+#include "common/logging.hpp"
+
+namespace advh::analysis {
+
+verification_report verify_model(nn::model& m, const verify_options& opts) {
+  verification_report report;
+  report.model_name = m.name();
+  report.input_shape = m.input_shape().to_string();
+  report.num_classes = m.num_classes();
+
+  const std::vector<walk_entry> graph = walk_graph(m.net());
+  for (const walk_entry& e : graph) report.layers_checked += e.leaf ? 1 : 0;
+
+  if (opts.check_shapes) detail::run_shape_pass(m, report);
+  if (opts.check_params) detail::run_param_pass(m, graph, report);
+  if (opts.check_trace) detail::run_trace_pass(graph, report);
+  if (opts.check_structure) detail::run_structure_pass(m, graph, report);
+  return report;
+}
+
+void ensure_verified(nn::model& m, const std::string& context,
+                     const verify_options& opts) {
+  verification_report report = verify_model(m, opts);
+  if (report.has_errors()) {
+    throw verification_error(std::move(report), context);
+  }
+  if (report.warning_count() > 0) {
+    log::warn(context, ": model ", m.name(), " verified with ",
+              report.warning_count(), " warning(s)\n", report.to_text());
+  }
+}
+
+}  // namespace advh::analysis

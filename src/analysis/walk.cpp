@@ -1,0 +1,31 @@
+#include "analysis/walk.hpp"
+
+namespace advh::analysis {
+
+namespace {
+
+void visit(const nn::layer& l, std::size_t top_index, std::size_t depth,
+           std::vector<walk_entry>& out) {
+  walk_entry e;
+  e.node = &l;
+  e.top_index = top_index;
+  e.depth = depth;
+  std::size_t children = 0;
+  l.for_each_child([&](const nn::layer&) { ++children; });
+  e.leaf = children == 0;
+  out.push_back(e);
+  l.for_each_child(
+      [&](const nn::layer& c) { visit(c, top_index, depth + 1, out); });
+}
+
+}  // namespace
+
+std::vector<walk_entry> walk_graph(const nn::sequential& root) {
+  std::vector<walk_entry> out;
+  for (std::size_t i = 0; i < root.size(); ++i) {
+    visit(root.at(i), i, 0, out);
+  }
+  return out;
+}
+
+}  // namespace advh::analysis

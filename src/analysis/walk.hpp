@@ -1,0 +1,31 @@
+// Flattening walk over a layer graph.
+//
+// Containers (sequential) and composite blocks (residual/dense) expose
+// their direct sub-layers via layer::for_each_child; the walk linearises
+// the whole tree in execution order while remembering, for every node,
+// the index of the top-level layer that owns it — the coordinate the
+// verifier's diagnostics report.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/sequential.hpp"
+
+namespace advh::analysis {
+
+struct walk_entry {
+  const nn::layer* node = nullptr;
+  /// Index of the owning top-level layer within the root graph.
+  std::size_t top_index = 0;
+  /// Nesting depth: 0 for top-level layers themselves.
+  std::size_t depth = 0;
+  /// True when the node owns no sub-layers (a computational leaf).
+  bool leaf = true;
+};
+
+/// Linearises `root`'s layer tree in execution order. The root container
+/// itself is not included.
+std::vector<walk_entry> walk_graph(const nn::sequential& root);
+
+}  // namespace advh::analysis

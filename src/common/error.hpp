@@ -35,6 +35,14 @@ class backend_unavailable : public error {
   using error::error;
 };
 
+/// Thrown when a component lacks a statically-declared capability the
+/// caller requires (e.g. a layer without shape inference under the static
+/// verifier).
+class unsupported_error : public error {
+ public:
+  using error::error;
+};
+
 namespace detail {
 [[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
                                              int line, const std::string& msg) {

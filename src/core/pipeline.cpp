@@ -2,6 +2,7 @@
 
 #include <filesystem>
 
+#include "analysis/verifier.hpp"
 #include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "nn/serialize.hpp"
@@ -20,7 +21,7 @@ std::string cache_path(const std::string& cache_dir,
 
 scenario_runtime prepare_scenario(data::scenario_id id,
                                   const std::string& cache_dir,
-                                  std::uint64_t seed) {
+                                  std::uint64_t seed, bool verify) {
   scenario_runtime rt;
   rt.spec = data::get_scenario(id);
 
@@ -34,10 +35,15 @@ scenario_runtime prepare_scenario(data::scenario_id id,
   rt.net = nn::make_model(rt.spec.arch, rt.train.example_shape(),
                           rt.train.num_classes, seed);
 
+  // Gate the run on the static verifier *before* training: a broken graph
+  // fails in seconds here instead of after minutes of training (and the
+  // load path re-verifies the deserialized parameters).
+  if (verify) analysis::ensure_verified(*rt.net, rt.spec.label);
+
   const std::string path = cache_path(cache_dir, rt.spec);
   if (nn::is_state_file(path)) {
     log::info(rt.spec.label, ": loading cached model from ", path);
-    nn::load_state(*rt.net, path);
+    nn::load_state(*rt.net, path, verify);
   } else {
     log::info(rt.spec.label, ": training ", to_string(rt.spec.arch), " (",
               rt.train.size(), " examples, ", rt.spec.train_epochs,

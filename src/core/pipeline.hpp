@@ -24,10 +24,14 @@ struct scenario_runtime {
 
 /// Synthesises the scenario's dataset and trains its model (or loads a
 /// cached state file from `cache_dir` when one exists). Deterministic in
-/// the scenario spec and `seed`.
+/// the scenario spec and `seed`. Before the runtime is handed out, the
+/// model passes the static verifier (src/analysis) and
+/// analysis::verification_error is raised on a broken graph; `verify`
+/// false (the tools' --no-verify escape hatch) skips that gate.
 scenario_runtime prepare_scenario(data::scenario_id id,
                                   const std::string& cache_dir = "advh_models",
-                                  std::uint64_t seed = 1234);
+                                  std::uint64_t seed = 1234,
+                                  bool verify = true);
 
 /// Draws up to `per_class` validation examples of every class from `d`
 /// (in dataset order after a seeded shuffle) and measures them into a

@@ -19,6 +19,10 @@ class relu final : public layer {
 
   layer_kind kind() const override { return layer_kind::relu; }
   std::string name() const override { return name_; }
+  shape infer_output_shape(const shape& in) const override { return in; }
+  trace_contract trace_info() const override { return {true, false, true}; }
+
+  float clip() const noexcept { return clip_; }
 
  private:
   std::string name_;

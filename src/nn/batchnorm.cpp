@@ -19,6 +19,19 @@ batchnorm2d::batchnorm2d(std::string name, std::size_t channels,
   ADVH_CHECK(channels_ > 0);
 }
 
+shape batchnorm2d::infer_output_shape(const shape& in) const {
+  if (in.rank() != 4) {
+    throw shape_error(name_ + ": batchnorm2d expects NCHW input, got " +
+                      in.to_string());
+  }
+  if (in[1] != channels_) {
+    throw shape_error(name_ + ": channel mismatch, normalises " +
+                      std::to_string(channels_) +
+                      " channels but would receive " + std::to_string(in[1]));
+  }
+  return in;
+}
+
 tensor batchnorm2d::forward(const tensor& x, forward_ctx& ctx) {
   ADVH_CHECK_MSG(x.dims().rank() == 4, name_ + ": expects NCHW");
   ADVH_CHECK_MSG(x.dims()[1] == channels_, name_ + ": channel mismatch");

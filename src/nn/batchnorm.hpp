@@ -18,9 +18,14 @@ class batchnorm2d final : public layer {
 
   layer_kind kind() const override { return layer_kind::batchnorm2d; }
   std::string name() const override { return name_; }
+  shape infer_output_shape(const shape& in) const override;
+  trace_contract trace_info() const override { return {true, false, false}; }
 
   const tensor& running_mean() const noexcept { return running_mean_; }
   const tensor& running_var() const noexcept { return running_var_; }
+  std::size_t channels() const noexcept { return channels_; }
+  float momentum() const noexcept { return momentum_; }
+  float epsilon() const noexcept { return eps_; }
 
  private:
   std::string name_;

@@ -65,6 +65,27 @@ residual_block::residual_block(std::string name, std::size_t in_channels,
   }
 }
 
+shape residual_block::infer_output_shape(const shape& in) const {
+  const shape main_out = main_.infer_output_shape(in);
+  const shape skip_out =
+      projection_ ? projection_->infer_output_shape(in) : in;
+  if (main_out != skip_out) {
+    throw shape_error(
+        name_ + ": residual add mismatch, main path produces " +
+        main_out.to_string() + " but skip path carries " +
+        skip_out.to_string() +
+        (projection_ ? "" : " (identity skip needs matching shapes)"));
+  }
+  return out_relu_.infer_output_shape(main_out);
+}
+
+void residual_block::for_each_child(
+    const std::function<void(const layer&)>& fn) const {
+  fn(main_);
+  if (projection_) fn(*projection_);
+  fn(out_relu_);
+}
+
 tensor residual_block::forward(const tensor& x, forward_ctx& ctx) {
   tensor main_out = main_.forward(x, ctx);
   tensor skip_out = projection_ ? projection_->forward(x, ctx) : x;
@@ -111,6 +132,28 @@ dense_block::dense_block(std::string name, std::size_t in_channels,
                           conv2d_config{c_in, growth, 3, 1, 1, false}, gen);
     units_.push_back(std::move(unit));
   }
+}
+
+shape dense_block::infer_output_shape(const shape& in) const {
+  shape cur = in;
+  for (const auto& unit : units_) {
+    const shape y = unit->infer_output_shape(cur);
+    if (y.rank() != 4 || y[0] != cur[0] || y[1] != growth_ ||
+        y[2] != cur[2] || y[3] != cur[3]) {
+      throw shape_error(unit->name() + ": dense unit must produce " +
+                        std::to_string(growth_) +
+                        " growth channels at the block's spatial size, " +
+                        "would produce " + y.to_string() + " from " +
+                        cur.to_string());
+    }
+    cur = shape{cur[0], cur[1] + growth_, cur[2], cur[3]};
+  }
+  return cur;
+}
+
+void dense_block::for_each_child(
+    const std::function<void(const layer&)>& fn) const {
+  for (const auto& u : units_) fn(*u);
 }
 
 tensor dense_block::forward(const tensor& x, forward_ctx& ctx) {

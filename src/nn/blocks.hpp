@@ -28,6 +28,10 @@ class residual_block final : public layer {
 
   layer_kind kind() const override { return layer_kind::residual_add; }
   std::string name() const override { return name_; }
+  shape infer_output_shape(const shape& in) const override;
+  trace_contract trace_info() const override { return {true, false, false}; }
+  void for_each_child(
+      const std::function<void(const layer&)>& fn) const override;
 
  private:
   std::string name_;
@@ -50,6 +54,10 @@ class dense_block final : public layer {
 
   layer_kind kind() const override { return layer_kind::concat; }
   std::string name() const override { return name_; }
+  shape infer_output_shape(const shape& in) const override;
+  trace_contract trace_info() const override { return {true, false, false}; }
+  void for_each_child(
+      const std::function<void(const layer&)>& fn) const override;
 
   std::size_t out_channels() const noexcept {
     return in_channels_ + growth_ * units_.size();

@@ -28,6 +28,28 @@ conv2d::conv2d(std::string name, const conv2d_config& cfg, rng& gen)
   }
 }
 
+shape conv2d::infer_output_shape(const shape& in) const {
+  if (in.rank() != 4) {
+    throw shape_error(name_ + ": conv2d expects NCHW input, got rank " +
+                      std::to_string(in.rank()) + " shape " + in.to_string());
+  }
+  if (in[1] != cfg_.in_channels) {
+    throw shape_error(name_ + ": channel mismatch, configured for " +
+                      std::to_string(cfg_.in_channels) +
+                      " input channels but would receive " +
+                      std::to_string(in[1]));
+  }
+  if (in[2] + 2 * cfg_.pad < cfg_.kernel || in[3] + 2 * cfg_.pad < cfg_.kernel) {
+    throw shape_error(name_ + ": " + std::to_string(cfg_.kernel) + "x" +
+                      std::to_string(cfg_.kernel) +
+                      " kernel (pad " + std::to_string(cfg_.pad) +
+                      ") does not fit input " + in.to_string());
+  }
+  const ops::conv_geometry g{cfg_.in_channels, in[2],       in[3], cfg_.kernel,
+                             cfg_.kernel,      cfg_.stride, cfg_.pad};
+  return shape{in[0], cfg_.out_channels, g.out_h(), g.out_w()};
+}
+
 tensor conv2d::forward(const tensor& x, forward_ctx& ctx) {
   ADVH_CHECK_MSG(x.dims().rank() == 4, "conv2d expects NCHW input");
   ADVH_CHECK_MSG(x.dims()[1] == cfg_.in_channels,

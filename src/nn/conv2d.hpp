@@ -28,6 +28,8 @@ class conv2d final : public layer {
 
   layer_kind kind() const override { return layer_kind::conv2d; }
   std::string name() const override { return name_; }
+  shape infer_output_shape(const shape& in) const override;
+  trace_contract trace_info() const override { return {true, true, false}; }
 
   const conv2d_config& config() const noexcept { return cfg_; }
   parameter& weight() noexcept { return weight_; }

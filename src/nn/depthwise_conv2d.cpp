@@ -21,6 +21,27 @@ depthwise_conv2d::depthwise_conv2d(std::string name,
   }
 }
 
+shape depthwise_conv2d::infer_output_shape(const shape& in) const {
+  if (in.rank() != 4) {
+    throw shape_error(name_ + ": depthwise_conv2d expects NCHW input, got " +
+                      in.to_string());
+  }
+  if (in[1] != cfg_.channels) {
+    throw shape_error(name_ + ": channel mismatch, configured for " +
+                      std::to_string(cfg_.channels) +
+                      " channels but would receive " + std::to_string(in[1]));
+  }
+  if (in[2] + 2 * cfg_.pad < cfg_.kernel || in[3] + 2 * cfg_.pad < cfg_.kernel) {
+    throw shape_error(name_ + ": " + std::to_string(cfg_.kernel) + "x" +
+                      std::to_string(cfg_.kernel) + " kernel (pad " +
+                      std::to_string(cfg_.pad) + ") does not fit input " +
+                      in.to_string());
+  }
+  const std::size_t oh = (in[2] + 2 * cfg_.pad - cfg_.kernel) / cfg_.stride + 1;
+  const std::size_t ow = (in[3] + 2 * cfg_.pad - cfg_.kernel) / cfg_.stride + 1;
+  return shape{in[0], cfg_.channels, oh, ow};
+}
+
 tensor depthwise_conv2d::forward(const tensor& x, forward_ctx& ctx) {
   ADVH_CHECK_MSG(x.dims().rank() == 4, "depthwise_conv2d expects NCHW");
   ADVH_CHECK_MSG(x.dims()[1] == cfg_.channels, name_ + ": channel mismatch");

@@ -28,6 +28,10 @@ class depthwise_conv2d final : public layer {
 
   layer_kind kind() const override { return layer_kind::depthwise_conv2d; }
   std::string name() const override { return name_; }
+  shape infer_output_shape(const shape& in) const override;
+  trace_contract trace_info() const override { return {true, true, false}; }
+
+  const depthwise_conv2d_config& config() const noexcept { return cfg_; }
 
  private:
   std::string name_;

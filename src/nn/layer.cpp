@@ -1,5 +1,7 @@
 #include "nn/layer.hpp"
 
+#include "common/error.hpp"
+
 namespace advh::nn {
 
 std::string to_string(layer_kind kind) {
@@ -38,6 +40,12 @@ std::size_t inference_trace::total_active_neurons() const noexcept {
   std::size_t n = 0;
   for (const auto& e : layers) n += e.active_outputs.size();
   return n;
+}
+
+shape layer::infer_output_shape(const shape& in) const {
+  (void)in;
+  throw unsupported_error(name() + " (" + to_string(kind()) +
+                          "): layer declares no static shape inference");
 }
 
 void layer::collect_state(std::vector<tensor*>& out) {

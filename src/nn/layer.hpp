@@ -6,6 +6,7 @@
 // though the *defender* in the paper only ever runs forward.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -51,6 +52,27 @@ class layer {
 
   virtual layer_kind kind() const = 0;
   virtual std::string name() const = 0;
+
+  /// Computes the shape this layer would output for input shape `in`
+  /// *without executing it* — the basis of the static verifier's symbolic
+  /// shape propagation. Throws advh::shape_error with a layer-precise
+  /// message when `in` violates the layer's geometry. The default throws
+  /// advh::unsupported_error; every shipped layer type overrides it.
+  virtual shape infer_output_shape(const shape& in) const;
+
+  /// Declares what this layer's forward() contributes to an inference
+  /// trace. The default declares *nothing*, which the static verifier
+  /// flags as an error: a layer that computes but emits no trace is
+  /// invisible to the HPC simulator and corrupts detection fidelity.
+  virtual trace_contract trace_info() const { return {}; }
+
+  /// Invokes `fn` on each directly-owned sub-layer (containers and
+  /// composite blocks only); leaves do nothing. Drives the verifier's
+  /// graph walk.
+  virtual void for_each_child(
+      const std::function<void(const layer&)>& fn) const {
+    (void)fn;
+  }
 
  protected:
   layer() = default;

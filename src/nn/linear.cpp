@@ -19,6 +19,21 @@ linear::linear(std::string name, std::size_t in_features,
   if (with_bias) bias_.emplace(name_ + ".bias", tensor(shape{out_}));
 }
 
+shape linear::infer_output_shape(const shape& in) const {
+  if (in.rank() != 2) {
+    throw shape_error(name_ + ": linear expects rank-2 (batch, features) " +
+                      "input, got " + in.to_string() +
+                      (in.rank() == 4 ? " (missing flatten?)" : ""));
+  }
+  if (in[1] != in_) {
+    throw shape_error(name_ + ": feature-width mismatch, weight matrix is " +
+                      std::to_string(out_) + "x" + std::to_string(in_) +
+                      " but would receive " + std::to_string(in[1]) +
+                      " features");
+  }
+  return shape{in[0], out_};
+}
+
 tensor linear::forward(const tensor& x, forward_ctx& ctx) {
   ADVH_CHECK_MSG(x.dims().rank() == 2, name_ + ": linear expects rank-2 input");
   ADVH_CHECK_MSG(x.dims()[1] == in_, name_ + ": feature mismatch");

@@ -18,6 +18,8 @@ class linear final : public layer {
 
   layer_kind kind() const override { return layer_kind::linear; }
   std::string name() const override { return name_; }
+  shape infer_output_shape(const shape& in) const override;
+  trace_contract trace_info() const override { return {true, true, false}; }
 
   std::size_t in_features() const noexcept { return in_; }
   std::size_t out_features() const noexcept { return out_; }

@@ -7,6 +7,21 @@
 namespace advh::nn {
 
 namespace {
+shape infer_pool_shape(const std::string& name, const shape& in,
+                       std::size_t window, std::size_t stride) {
+  if (in.rank() != 4) {
+    throw shape_error(name + ": pooling expects NCHW input, got " +
+                      in.to_string());
+  }
+  if (in[2] < window || in[3] < window) {
+    throw shape_error(name + ": " + std::to_string(window) + "x" +
+                      std::to_string(window) + " window does not fit input " +
+                      in.to_string());
+  }
+  return shape{in[0], in[1], (in[2] - window) / stride + 1,
+               (in[3] - window) / stride + 1};
+}
+
 void record_pool_trace(forward_ctx& ctx, layer_kind kind,
                        const std::string& name, const tensor& x,
                        const tensor& out) {
@@ -19,6 +34,10 @@ void record_pool_trace(forward_ctx& ctx, layer_kind kind,
   ctx.trace->layers.push_back(std::move(e));
 }
 }  // namespace
+
+shape maxpool2d::infer_output_shape(const shape& in) const {
+  return infer_pool_shape(name_, in, window_, stride_);
+}
 
 tensor maxpool2d::forward(const tensor& x, forward_ctx& ctx) {
   ADVH_CHECK_MSG(x.dims().rank() == 4, name_ + ": expects NCHW");
@@ -73,6 +92,10 @@ tensor maxpool2d::backward(const tensor& grad_out) {
   return grad_in;
 }
 
+shape avgpool2d::infer_output_shape(const shape& in) const {
+  return infer_pool_shape(name_, in, window_, stride_);
+}
+
 tensor avgpool2d::forward(const tensor& x, forward_ctx& ctx) {
   ADVH_CHECK_MSG(x.dims().rank() == 4, name_ + ": expects NCHW");
   const std::size_t n = x.dims()[0], c = x.dims()[1], h = x.dims()[2],
@@ -124,6 +147,14 @@ tensor avgpool2d::backward(const tensor& grad_out) {
     }
   }
   return grad_in;
+}
+
+shape global_avgpool::infer_output_shape(const shape& in) const {
+  if (in.rank() != 4) {
+    throw shape_error(name_ + ": global_avgpool expects NCHW input, got " +
+                      in.to_string());
+  }
+  return shape{in[0], in[1]};
 }
 
 tensor global_avgpool::forward(const tensor& x, forward_ctx& ctx) {

@@ -19,6 +19,8 @@ class maxpool2d final : public layer {
 
   layer_kind kind() const override { return layer_kind::maxpool2d; }
   std::string name() const override { return name_; }
+  shape infer_output_shape(const shape& in) const override;
+  trace_contract trace_info() const override { return {true, false, false}; }
 
  private:
   std::string name_;
@@ -40,6 +42,8 @@ class avgpool2d final : public layer {
 
   layer_kind kind() const override { return layer_kind::avgpool2d; }
   std::string name() const override { return name_; }
+  shape infer_output_shape(const shape& in) const override;
+  trace_contract trace_info() const override { return {true, false, false}; }
 
  private:
   std::string name_;
@@ -58,6 +62,8 @@ class global_avgpool final : public layer {
 
   layer_kind kind() const override { return layer_kind::global_avgpool; }
   std::string name() const override { return name_; }
+  shape infer_output_shape(const shape& in) const override;
+  trace_contract trace_info() const override { return {true, false, false}; }
 
  private:
   std::string name_;

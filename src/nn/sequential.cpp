@@ -37,4 +37,33 @@ layer& sequential::at(std::size_t i) {
   return *layers_[i];
 }
 
+const layer& sequential::at(std::size_t i) const {
+  ADVH_CHECK(i < layers_.size());
+  return *layers_[i];
+}
+
+shape sequential::infer_output_shape(const shape& in) const {
+  shape cur = in;
+  for (const auto& l : layers_) cur = l->infer_output_shape(cur);
+  return cur;
+}
+
+trace_contract sequential::trace_info() const {
+  trace_contract agg;
+  for (const auto& l : layers_) {
+    const trace_contract c = l->trace_info();
+    agg.emits_entry = agg.emits_entry || c.emits_entry;
+    agg.records_active_inputs =
+        agg.records_active_inputs || c.records_active_inputs;
+    agg.records_active_outputs =
+        agg.records_active_outputs || c.records_active_outputs;
+  }
+  return agg;
+}
+
+void sequential::for_each_child(
+    const std::function<void(const layer&)>& fn) const {
+  for (const auto& l : layers_) fn(*l);
+}
+
 }  // namespace advh::nn

@@ -33,9 +33,14 @@ class sequential : public layer {
 
   layer_kind kind() const override { return layer_kind::input; }
   std::string name() const override { return name_; }
+  shape infer_output_shape(const shape& in) const override;
+  trace_contract trace_info() const override;
+  void for_each_child(
+      const std::function<void(const layer&)>& fn) const override;
 
   std::size_t size() const noexcept { return layers_.size(); }
   layer& at(std::size_t i);
+  const layer& at(std::size_t i) const;
 
  private:
   std::string name_;

@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "analysis/verifier.hpp"
 #include "common/error.hpp"
 
 namespace advh::nn {
@@ -46,7 +47,7 @@ void save_state(model& m, const std::string& path) {
   ADVH_CHECK_MSG(os.good(), "write failed for " + path);
 }
 
-void load_state(model& m, const std::string& path) {
+void load_state(model& m, const std::string& path, bool verify) {
   std::vector<tensor*> state;
   m.net().collect_state(state);
 
@@ -66,6 +67,7 @@ void load_state(model& m, const std::string& path) {
             static_cast<std::streamsize>(numel * sizeof(float)));
     ADVH_CHECK_MSG(is.good(), path + ": truncated payload");
   }
+  if (verify) analysis::ensure_verified(m, path);
 }
 
 bool is_state_file(const std::string& path) {

@@ -4,6 +4,14 @@
 
 namespace advh::nn {
 
+shape flatten::infer_output_shape(const shape& in) const {
+  if (in.rank() < 2) {
+    throw shape_error(name_ + ": flatten expects rank >= 2, got " +
+                      in.to_string());
+  }
+  return shape{in[0], in.numel() / in[0]};
+}
+
 tensor flatten::forward(const tensor& x, forward_ctx& ctx) {
   ADVH_CHECK_MSG(x.dims().rank() >= 2, name_ + ": expects rank >= 2");
   in_shape_ = x.dims();

@@ -15,6 +15,8 @@ class flatten final : public layer {
 
   layer_kind kind() const override { return layer_kind::flatten; }
   std::string name() const override { return name_; }
+  shape infer_output_shape(const shape& in) const override;
+  trace_contract trace_info() const override { return {true, false, false}; }
 
  private:
   std::string name_;
@@ -32,6 +34,10 @@ class dropout final : public layer {
 
   layer_kind kind() const override { return layer_kind::dropout; }
   std::string name() const override { return name_; }
+  shape infer_output_shape(const shape& in) const override { return in; }
+  trace_contract trace_info() const override { return {true, false, false}; }
+
+  float rate() const noexcept { return rate_; }
 
  private:
   std::string name_;

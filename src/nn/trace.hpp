@@ -62,6 +62,21 @@ struct inference_trace {
   std::size_t total_active_neurons() const noexcept;
 };
 
+/// Static declaration of a layer's trace-event contribution: what its
+/// forward() appends to forward_ctx::trace. The static verifier
+/// (src/analysis) cross-checks these declarations so that trace_inference
+/// provably observes the full data flow the HPC simulator fingerprints — a
+/// layer that computes but emits no trace corrupts the uarch footprint
+/// silently.
+struct trace_contract {
+  /// forward() appends at least one layer_trace_entry per invocation.
+  bool emits_entry = false;
+  /// Entries carry the parametric gather set (active_inputs + geometry).
+  bool records_active_inputs = false;
+  /// Entries carry the activation firing set (active_outputs).
+  bool records_active_outputs = false;
+};
+
 /// Options threaded through every layer's forward pass.
 struct forward_ctx {
   bool training = false;

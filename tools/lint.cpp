@@ -1,0 +1,152 @@
+// advh_lint — command-line front end of the model-graph static verifier.
+//
+//   advh_lint <model-name|state-file> [--input CxHxW] [--classes N]
+//             [--seed S] [--json]
+//
+// A model name builds a fresh factory model from src/nn/models; a state
+// file (saved by nn::save_state, e.g. advh_models/S2_resnet_small.advh)
+// additionally loads the trained parameters so the audit covers the
+// on-disk values (NaN/Inf, zeroed weights). Exit status: 0 when the graph
+// verifies (warnings allowed), 1 on verification errors, 2 on usage or
+// I/O problems.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/verifier.hpp"
+#include "common/cli.hpp"
+#include "nn/models/models.hpp"
+#include "nn/serialize.hpp"
+
+using namespace advh;
+
+namespace {
+
+struct arch_defaults {
+  shape input;
+  std::size_t classes;
+};
+
+// Scenario-matched defaults (src/data/scenarios): the shapes each factory
+// architecture is trained with.
+arch_defaults defaults_for(nn::architecture a) {
+  switch (a) {
+    case nn::architecture::efficientnet_lite:
+      return {shape{1, 28, 28}, 10};
+    case nn::architecture::densenet_small:
+      return {shape{3, 32, 32}, 43};
+    case nn::architecture::case_study_cnn:
+    case nn::architecture::resnet_small:
+      return {shape{3, 32, 32}, 10};
+  }
+  return {shape{3, 32, 32}, 10};
+}
+
+/// Recovers the architecture from a state-file name such as
+/// "advh_models/S2_resnet_small.advh" (the format stores tensors only;
+/// the zoo rebuilds the graph from the name).
+bool arch_from_filename(const std::string& path, nn::architecture& out) {
+  for (nn::architecture a :
+       {nn::architecture::case_study_cnn, nn::architecture::efficientnet_lite,
+        nn::architecture::resnet_small, nn::architecture::densenet_small}) {
+    if (path.find(nn::to_string(a)) != std::string::npos) {
+      out = a;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_chw(const std::string& s, shape& out) {
+  std::size_t c = 0, h = 0, w = 0;
+  char x1 = 0, x2 = 0;
+  if (std::sscanf(s.c_str(), "%zu%c%zu%c%zu", &c, &x1, &h, &x2, &w) != 5 ||
+      x1 != 'x' || x2 != 'x' || c == 0 || h == 0 || w == 0) {
+    return false;
+  }
+  out = shape{c, h, w};
+  return true;
+}
+
+int usage(const std::string& help) {
+  std::cerr << "usage: advh_lint <model-name|state-file> [flags]\n"
+            << "  model names: case_study_cnn, efficientnet_lite, "
+               "resnet_small, densenet_small\n"
+            << help;
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli_parser cli("advh_lint", "static verifier for advh::nn model graphs");
+  cli.add_flag("input", "", "input shape CxHxW (default: per-architecture)");
+  cli.add_flag("classes", "0", "logit width (default: per-architecture)");
+  cli.add_flag("seed", "1234", "weight-init seed for factory models");
+  cli.add_flag("json", "false", "emit the report as JSON");
+
+  if (argc < 2 || std::strncmp(argv[1], "--", 2) == 0) {
+    if (argc >= 2 && std::strcmp(argv[1], "--help") == 0) {
+      std::cerr << cli.help();
+      return 0;
+    }
+    return usage(cli.help());
+  }
+  const std::string target = argv[1];
+
+  // Hand the remaining flags to the parser (positional removed).
+  std::vector<const char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 2; i < argc; ++i) rest.push_back(argv[i]);
+  try {
+    if (!cli.parse(static_cast<int>(rest.size()), rest.data())) return 0;
+  } catch (const advh::error& e) {
+    std::cerr << "advh_lint: " << e.what() << "\n";
+    return 2;
+  }
+
+  try {
+    const bool is_file = nn::is_state_file(target);
+    nn::architecture arch;
+    if (is_file) {
+      if (!arch_from_filename(target, arch)) {
+        std::cerr << "advh_lint: cannot infer architecture from file name '"
+                  << target << "' (expected one of the zoo names in it)\n";
+        return 2;
+      }
+    } else {
+      try {
+        arch = nn::architecture_from_string(target);
+      } catch (const advh::error&) {
+        std::cerr << "advh_lint: '" << target
+                  << "' is neither a known model name nor a state file\n";
+        return 2;
+      }
+    }
+
+    arch_defaults d = defaults_for(arch);
+    if (!cli.get("input").empty() && !parse_chw(cli.get("input"), d.input)) {
+      std::cerr << "advh_lint: --input must look like 3x32x32\n";
+      return 2;
+    }
+    if (cli.get_int("classes") > 0) {
+      d.classes = static_cast<std::size_t>(cli.get_int("classes"));
+    }
+
+    auto m = nn::make_model(arch, d.input, d.classes,
+                            static_cast<std::uint64_t>(cli.get_int("seed")));
+    // Lint owns the verification verdict: load without the throw-on-error
+    // gate, then report every diagnostic below.
+    if (is_file) nn::load_state(*m, target, /*verify=*/false);
+
+    const analysis::verification_report report = analysis::verify_model(*m);
+    std::cout << (cli.get_bool("json") ? report.to_json() + "\n"
+                                       : report.to_text());
+    return report.has_errors() ? 1 : 0;
+  } catch (const advh::error& e) {
+    std::cerr << "advh_lint: " << e.what() << "\n";
+    return 2;
+  }
+}

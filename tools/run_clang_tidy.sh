@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over the first-party
+# sources, using the compile database of an existing build tree.
+#
+#   tools/run_clang_tidy.sh [build-dir] [-- extra clang-tidy args]
+#
+# Exits 0 when clang-tidy is clean or not installed (so CI images without
+# LLVM skip the check instead of failing), non-zero on findings.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+shift || true
+[ "${1:-}" = "--" ] && shift
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "run_clang_tidy: $TIDY not found; skipping (install LLVM to enable)" >&2
+  exit 0
+fi
+
+if [ ! -f "$BUILD/compile_commands.json" ]; then
+  echo "run_clang_tidy: $BUILD/compile_commands.json missing;" \
+       "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+# First-party translation units only (third-party code is not checked).
+FILES=$(find "$ROOT/src" "$ROOT/tools" "$ROOT/tests" "$ROOT/bench" \
+             "$ROOT/examples" -name '*.cpp' | sort)
+
+STATUS=0
+for f in $FILES; do
+  "$TIDY" -p "$BUILD" --quiet "$@" "$f" || STATUS=1
+done
+exit $STATUS
