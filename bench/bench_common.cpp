@@ -3,7 +3,9 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "common/cli.hpp"
 #include "common/error.hpp"
+#include "common/logging.hpp"
 #include "nn/trainer.hpp"
 
 namespace advh::bench {
@@ -19,6 +21,17 @@ double scale() {
 std::size_t scaled(std::size_t base) {
   const auto s = static_cast<std::size_t>(static_cast<double>(base) * scale());
   return std::max<std::size_t>(s, 1);
+}
+
+std::optional<std::size_t> parse_threads(int argc, const char* const* argv,
+                                         const std::string& program,
+                                         const std::string& description) {
+  cli_parser cli(program, description);
+  cli.add_flag("threads", "0",
+               "measurement worker threads (0 = ADVH_THREADS or hardware)");
+  if (!cli.parse(argc, argv)) return std::nullopt;
+  const int n = cli.get_int("threads");
+  return static_cast<std::size_t>(n < 0 ? 0 : n);
 }
 
 core::scenario_runtime prepare(data::scenario_id id) {
@@ -112,10 +125,17 @@ std::vector<tensor> clean_of_class(nn::model& m, const data::dataset& d,
 core::detector fit_detector(hpc::hpc_monitor& monitor,
                             const core::detector_config& cfg,
                             const data::dataset& validation_pool,
-                            std::size_t per_class, std::uint64_t seed) {
-  const auto tpl =
-      core::collect_template(monitor, cfg, validation_pool, per_class, seed);
-  return core::detector::fit(tpl, cfg);
+                            std::size_t per_class, std::uint64_t seed,
+                            std::size_t threads) {
+  const auto tpl = core::collect_template(monitor, cfg, validation_pool,
+                                          per_class, seed, threads);
+  const auto short_classes = tpl.underfilled_classes();
+  if (!short_classes.empty()) {
+    log::warn("template short on ", short_classes.size(), " of ",
+              tpl.num_classes(), " classes (requested ",
+              tpl.requested_per_class(), " rows per class)");
+  }
+  return core::detector::fit(tpl, cfg, threads);
 }
 
 void emit(const text_table& table, const std::string& name) {

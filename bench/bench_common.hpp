@@ -8,6 +8,7 @@
 // scale sample counts up for tighter statistics.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,13 @@ namespace advh::bench {
 
 /// Sample-count multiplier from ADVH_BENCH_SCALE (default 1).
 double scale();
+
+/// Parses the shared bench command line (the `--threads N` flag; 0 means
+/// the ADVH_THREADS override or hardware concurrency). Returns nullopt
+/// when --help was requested (help already printed).
+std::optional<std::size_t> parse_threads(int argc, const char* const* argv,
+                                         const std::string& program,
+                                         const std::string& description);
 
 /// Scaled count helper.
 std::size_t scaled(std::size_t base);
@@ -60,11 +68,15 @@ adversarial_set collect_adversarial(nn::model& m, const data::dataset& pool,
 std::vector<tensor> clean_of_class(nn::model& m, const data::dataset& d,
                                    std::size_t cls, std::size_t max_count);
 
-/// Fits the AdvHunter detector from the scenario's training pool.
+/// Fits the AdvHunter detector from the scenario's training pool. Both
+/// the template measurement and the GMM-bank fit honour `threads`
+/// (bitwise identical at any value); a partially-filled template is
+/// logged per affected class.
 core::detector fit_detector(hpc::hpc_monitor& monitor,
                             const core::detector_config& cfg,
                             const data::dataset& validation_pool,
-                            std::size_t per_class, std::uint64_t seed = 77);
+                            std::size_t per_class, std::uint64_t seed = 77,
+                            std::size_t threads = 0);
 
 /// Prints the table and writes CSV under bench_results/<name>.csv.
 void emit(const text_table& table, const std::string& name);

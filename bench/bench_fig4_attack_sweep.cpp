@@ -27,7 +27,13 @@ struct cell_result {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto threads_opt = bench::parse_threads(
+      argc, argv, "bench_fig4_attack_sweep",
+      "Figure 4: attack sweep vs AdvHunter F1");
+  if (!threads_opt) return 0;
+  const std::size_t threads = *threads_opt;
+
   text_table table(
       "Figure 4: attack effectiveness vs AdvHunter F1 (cache-misses)");
   table.set_header({"scenario", "attack", "variant", "eps",
@@ -48,7 +54,7 @@ int main() {
     // Validation sizes per Figure 6's saturation points.
     const std::size_t m_per_class = id == data::scenario_id::s3 ? 60 : 40;
     const auto det =
-        bench::fit_detector(*monitor, dcfg, rt.train, m_per_class);
+        bench::fit_detector(*monitor, dcfg, rt.train, m_per_class, 77, threads);
 
     // Clean evaluation measurements are shared by every cell.
     std::vector<tensor> clean;
@@ -59,7 +65,7 @@ int main() {
       for (auto& x : v) clean.push_back(std::move(x));
     }
     core::detection_eval clean_eval;
-    core::evaluate_inputs(det, *monitor, clean, false, clean_eval);
+    core::evaluate_inputs(det, *monitor, clean, false, clean_eval, threads);
 
     auto pool = bench::attack_pool(
         rt, std::max<std::size_t>(6, bench::scaled(120) / rt.test.num_classes));
@@ -70,7 +76,7 @@ int main() {
       auto adv = bench::collect_adversarial(*rt.net, pool, kind, goal, eps,
                                             rt.spec.target_class, eval_n);
       core::detection_eval eval = clean_eval;
-      core::evaluate_inputs(det, *monitor, adv.inputs, true, eval);
+      core::evaluate_inputs(det, *monitor, adv.inputs, true, eval, threads);
       const bool targeted = goal == attack::attack_goal::targeted;
       cell_result cell;
       cell.label = to_string(kind) + (targeted ? "/t" : "/u") + " " +

@@ -28,19 +28,24 @@ struct measured_input {
 std::vector<measured_input> measure_all(hpc::hpc_monitor& monitor,
                                         const std::vector<tensor>& inputs,
                                         std::span<const hpc::hpc_event> events,
-                                        std::size_t repeats) {
+                                        std::size_t repeats,
+                                        std::size_t threads) {
+  auto ms = monitor.measure_batch(inputs, events, repeats, threads);
   std::vector<measured_input> out;
-  out.reserve(inputs.size());
-  for (const auto& x : inputs) {
-    auto m = monitor.measure(x, events, repeats);
-    out.push_back({m.predicted, std::move(m.mean_counts)});
-  }
+  out.reserve(ms.size());
+  for (auto& m : ms) out.push_back({m.predicted, std::move(m.mean_counts)});
   return out;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto threads_opt = bench::parse_threads(
+      argc, argv, "bench_fig6_validation_size",
+      "Figure 6: F1 vs validation size M");
+  if (!threads_opt) return 0;
+  const std::size_t threads = *threads_opt;
+
   const std::vector<std::size_t> sizes{5, 10, 15, 20, 30, 40, 60, 80};
   const std::size_t resamples = 30;
 
@@ -63,7 +68,8 @@ int main() {
     std::vector<std::vector<measured_input>> val_pool(rt.train.num_classes);
     for (std::size_t cls = 0; cls < rt.train.num_classes; ++cls) {
       auto inputs = bench::clean_of_class(*rt.net, rt.train, cls, pool_size);
-      val_pool[cls] = measure_all(*monitor, inputs, dcfg.events, dcfg.repeats);
+      val_pool[cls] =
+          measure_all(*monitor, inputs, dcfg.events, dcfg.repeats, threads);
     }
 
     // Evaluation set: clean images + untargeted FGSM eps=0.01 AEs,
@@ -82,9 +88,10 @@ int main() {
         *rt.net, pool, attack::attack_kind::pgd,
         attack::attack_goal::targeted, 0.1f, rt.spec.target_class,
         clean.size());
-    auto clean_meas = measure_all(*monitor, clean, dcfg.events, dcfg.repeats);
+    auto clean_meas =
+        measure_all(*monitor, clean, dcfg.events, dcfg.repeats, threads);
     auto adv_meas =
-        measure_all(*monitor, adv.inputs, dcfg.events, dcfg.repeats);
+        measure_all(*monitor, adv.inputs, dcfg.events, dcfg.repeats, threads);
 
     plot::series curve;
     curve.name = rt.spec.label;
@@ -101,7 +108,7 @@ int main() {
             tpl.add_row(cls, val_pool[cls][order[i]].counts);
           }
         }
-        const auto det = core::detector::fit(tpl, dcfg);
+        const auto det = core::detector::fit(tpl, dcfg, threads);
 
         core::detection_confusion confusion;
         for (const auto& mi : clean_meas) {

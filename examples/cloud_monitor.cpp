@@ -8,6 +8,7 @@
 // PGD / DeepFool queries arrives, each is answered with its hard label,
 // and AdvHunter renders a side-channel verdict from the co-located HPC
 // monitor. At the end it prints the incident report.
+#include <algorithm>
 #include <iostream>
 #include <map>
 
@@ -36,6 +37,8 @@ int main(int argc, char** argv) {
   cli.add_flag("queries", "60", "stream length");
   cli.add_flag("adversarial-fraction", "0.4", "fraction of attack queries");
   cli.add_flag("seed", "2024", "stream RNG seed");
+  cli.add_flag("threads", "0",
+               "measurement worker threads (0 = ADVH_THREADS or hardware)");
   cli.add_flag("no-verify", "false",
                "skip static model verification (escape hatch)");
   if (!cli.parse(argc, argv)) return 0;
@@ -49,8 +52,11 @@ int main(int argc, char** argv) {
   core::detector_config dcfg;
   dcfg.events = {hpc::hpc_event::cache_misses, hpc::hpc_event::llc_load_misses};
   dcfg.repeats = 10;
-  const auto tpl = core::collect_template(*monitor, dcfg, rt.train, 40, 7);
-  const auto det = core::detector::fit(tpl, dcfg);
+  const auto threads = static_cast<std::size_t>(
+      std::max(0, cli.get_int("threads")));
+  const auto tpl =
+      core::collect_template(*monitor, dcfg, rt.train, 40, 7, threads);
+  const auto det = core::detector::fit(tpl, dcfg, threads);
   std::cout << "offline phase complete (" << tpl.num_classes()
             << " class templates, events: cache-misses + LLC-load-misses)\n";
 

@@ -8,6 +8,7 @@
 //      detection accuracy / F1
 //
 // Run with --help for the knobs.
+#include <algorithm>
 #include <iostream>
 
 #include "attack/metrics.hpp"
@@ -29,6 +30,8 @@ int main(int argc, char** argv) {
   cli.add_flag("eval-count", "60", "clean/adversarial examples to classify");
   cli.add_flag("repeats", "10", "HPC measurement repetitions R");
   cli.add_flag("backend", "sim", "HPC backend: sim, perf or auto");
+  cli.add_flag("threads", "0",
+               "measurement worker threads (0 = ADVH_THREADS or hardware)");
   cli.add_flag("no-verify", "false",
                "skip static model verification (escape hatch)");
   if (!cli.parse(argc, argv)) return 0;
@@ -83,9 +86,11 @@ int main(int argc, char** argv) {
   dcfg.repeats = static_cast<std::size_t>(cli.get_int("repeats"));
   const auto m_per_class =
       static_cast<std::size_t>(cli.get_int("validation-per-class"));
+  const auto threads = static_cast<std::size_t>(
+      std::max(0, cli.get_int("threads")));
   const auto tpl = core::collect_template(*monitor, dcfg, rt.train,
-                                          m_per_class, /*seed=*/77);
-  const auto det = core::detector::fit(tpl, dcfg);
+                                          m_per_class, /*seed=*/77, threads);
+  const auto det = core::detector::fit(tpl, dcfg, threads);
   std::cout << "offline phase done: " << tpl.num_classes() << " classes x "
             << dcfg.events.size() << " events, M<=" << m_per_class << "\n";
 
@@ -98,8 +103,8 @@ int main(int argc, char** argv) {
     }
   }
   core::detection_eval eval;
-  core::evaluate_inputs(det, *monitor, clean_inputs, false, eval);
-  core::evaluate_inputs(det, *monitor, adv_inputs, true, eval);
+  core::evaluate_inputs(det, *monitor, clean_inputs, false, eval, threads);
+  core::evaluate_inputs(det, *monitor, adv_inputs, true, eval, threads);
 
   text_table table("per-event detection performance (clean '" +
                    rt.spec.target_class_name + "' vs AEs)");

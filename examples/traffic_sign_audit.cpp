@@ -5,6 +5,7 @@
 // Demonstrates AdvHunter on the many-class scenario: the larger validation
 // requirement (M ~ 60 per class, Figure 6) and per-source-class detection
 // breakdown for a safety-critical deployment.
+#include <algorithm>
 #include <iostream>
 #include <map>
 
@@ -22,6 +23,8 @@ int main(int argc, char** argv) {
   cli.add_flag("validation-per-class", "60", "template size M per class");
   cli.add_flag("audit-count", "40", "adversarial signs to audit");
   cli.add_flag("epsilon", "0.3", "PGD attack strength");
+  cli.add_flag("threads", "0",
+               "measurement worker threads (0 = ADVH_THREADS or hardware)");
   cli.add_flag("no-verify", "false",
                "skip static model verification (escape hatch)");
   if (!cli.parse(argc, argv)) return 0;
@@ -42,9 +45,11 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("validation-per-class"));
   // The training pool doubles as the clean validation set (the defender's
   // "limited set of clean validation images").
+  const auto threads = static_cast<std::size_t>(
+      std::max(0, cli.get_int("threads")));
   const auto tpl =
-      core::collect_template(*monitor, dcfg, rt.train, m_per_class, 31);
-  const auto det = core::detector::fit(tpl, dcfg);
+      core::collect_template(*monitor, dcfg, rt.train, m_per_class, 31, threads);
+  const auto det = core::detector::fit(tpl, dcfg, threads);
 
   // Craft targeted PGD attacks from a spread of source signs.
   attack::attack_config acfg;

@@ -29,6 +29,13 @@ class shape_error : public error {
   using error::error;
 };
 
+/// Thrown when persisted state (model/detector files) cannot be read or
+/// fails validation — corrupt bytes, truncation, out-of-range fields.
+class io_error : public error {
+ public:
+  using error::error;
+};
+
 /// Thrown when a hardware backend (e.g. perf_event_open) is unavailable.
 class backend_unavailable : public error {
  public:

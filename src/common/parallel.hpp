@@ -1,0 +1,65 @@
+// Deterministic parallel execution primitives.
+//
+// The measurement hot paths (template collection, evaluation sweeps, GMM
+// bank fitting) are embarrassingly parallel over independent items. The
+// engine here is intentionally work-stealing-free: parallel_for splits
+// [0, n) into one contiguous chunk per worker, so which worker processes
+// which item is a pure function of (n, workers) and never of timing. As
+// long as each item's computation depends only on per-item state (the
+// measurement engine derives per-sample RNG streams for exactly this
+// reason), results are bitwise identical at any worker count, including 1.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace advh::parallel {
+
+/// std::thread::hardware_concurrency with a floor of 1.
+std::size_t hardware_threads() noexcept;
+
+/// The ambient worker count: ADVH_THREADS when set to a positive integer
+/// (ADVH_THREADS=0 means "all cores"), otherwise hardware_threads().
+std::size_t default_threads() noexcept;
+
+/// Resolves a user-requested thread count: 0 means default_threads()
+/// (which honours the ADVH_THREADS override), anything else is taken
+/// literally.
+std::size_t resolve_threads(std::size_t requested) noexcept;
+
+/// A fixed-size fork/join worker pool. Workers are spawned once and reused
+/// across run_chunks calls; there is no task queue and no stealing — every
+/// dispatch hands each worker one statically computed chunk.
+class thread_pool {
+ public:
+  /// Spawns `workers - 1` threads (the caller's thread acts as worker 0).
+  /// `workers` is clamped to at least 1.
+  explicit thread_pool(std::size_t workers);
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+  ~thread_pool();
+
+  std::size_t size() const noexcept { return workers_; }
+
+  /// Invokes fn(begin, end, worker) once per worker, where [begin, end) is
+  /// worker w's contiguous slice of [0, n): [w*n/W, (w+1)*n/W). Blocks
+  /// until every worker finishes; the first exception thrown by any worker
+  /// is rethrown on the calling thread after the join.
+  void run_chunks(std::size_t n,
+                  const std::function<void(std::size_t begin, std::size_t end,
+                                           std::size_t worker)>& fn);
+
+ private:
+  struct impl;
+  impl* impl_;
+  std::size_t workers_;
+};
+
+/// One-shot chunked loop: fn(index, worker) for every index in [0, n),
+/// partitioned across resolve_threads(threads) workers. Serial (worker 0,
+/// no pool) when the resolved count is 1 or n < 2.
+void parallel_for(std::size_t n, std::size_t threads,
+                  const std::function<void(std::size_t index,
+                                           std::size_t worker)>& fn);
+
+}  // namespace advh::parallel

@@ -125,6 +125,18 @@ rng rng::split() noexcept {
   return child;
 }
 
+rng rng::stream(std::uint64_t seed, std::uint64_t stream_index) noexcept {
+  // Feed both words through the same splitmix64 sequence used by the
+  // constructor; mixing the stream index through one splitmix step first
+  // keeps adjacent indices far apart in the seeding space.
+  std::uint64_t s = seed;
+  std::uint64_t t = stream_index;
+  s ^= splitmix64(t);
+  rng g(s);
+  g.jump();
+  return g;
+}
+
 std::vector<std::size_t> rng::permutation(std::size_t n) noexcept {
   std::vector<std::size_t> idx(n);
   for (std::size_t i = 0; i < n; ++i) idx[i] = i;

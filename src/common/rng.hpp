@@ -57,6 +57,14 @@ class rng {
   /// parallel or per-component use never overlap in practice.
   rng split() noexcept;
 
+  /// Stateless stream derivation: a generator that depends only on
+  /// (seed, stream), not on how many draws any other generator has made.
+  /// The state is seeded by splitmix64 over the pair and then advanced by
+  /// one xoshiro jump, so distinct stream indices occupy decorrelated
+  /// subsequences. This is what gives the measurement engine per-sample
+  /// noise streams that are reorder- and thread-count-invariant.
+  static rng stream(std::uint64_t seed, std::uint64_t stream_index) noexcept;
+
   /// Fisher–Yates shuffle of an index vector [0, n).
   std::vector<std::size_t> permutation(std::size_t n) noexcept;
 

@@ -1,6 +1,7 @@
 #include "core/detector.hpp"
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "common/stats.hpp"
 
 namespace advh::core {
@@ -33,6 +34,15 @@ const std::vector<double>& benign_template::column(std::size_t cls,
   return data_[cls][event];
 }
 
+std::vector<std::size_t> benign_template::underfilled_classes() const {
+  std::vector<std::size_t> out;
+  if (requested_ == 0) return out;
+  for (std::size_t cls = 0; cls < classes_; ++cls) {
+    if (rows(cls) < requested_) out.push_back(cls);
+  }
+  return out;
+}
+
 template_builder::template_builder(hpc::hpc_monitor& monitor,
                                    detector_config cfg,
                                    std::size_t num_classes)
@@ -56,8 +66,8 @@ std::size_t template_builder::accepted(std::size_t cls) const {
 
 benign_template template_builder::build() const { return tpl_; }
 
-detector detector::fit(const benign_template& tpl,
-                       const detector_config& cfg) {
+detector detector::fit(const benign_template& tpl, const detector_config& cfg,
+                       std::size_t threads) {
   ADVH_CHECK_MSG(cfg.events.size() == tpl.num_events(),
                  "config/template event count mismatch");
   ADVH_CHECK(cfg.sigma_multiplier > 0.0);
@@ -67,24 +77,39 @@ detector detector::fit(const benign_template& tpl,
   d.models_.assign(tpl.num_classes(),
                    std::vector<std::optional<event_model>>(tpl.num_events()));
 
+  // Flatten the (class, event) grid into independent fit jobs. Every job
+  // seeds its own EM state from cfg.em and writes a distinct cell, so the
+  // bank can fit in parallel without changing a single bit of the result.
+  struct fit_job {
+    std::size_t cls;
+    std::size_t event;
+  };
+  std::vector<fit_job> jobs;
+  jobs.reserve(tpl.num_classes() * tpl.num_events());
   for (std::size_t cls = 0; cls < tpl.num_classes(); ++cls) {
     if (tpl.rows(cls) < 2) continue;  // not enough data to model this class
     for (std::size_t e = 0; e < tpl.num_events(); ++e) {
-      const std::vector<double>& col = tpl.column(cls, e);
-      event_model em;
-      em.model = gmm::gmm1d::fit_best_bic(col, cfg.k_max, cfg.em);
-      em.template_size = col.size();
-
-      // NLL distribution L_c^n over the template, then the 3-sigma rule.
-      std::vector<double> nll;
-      nll.reserve(col.size());
-      for (double v : col) nll.push_back(em.model.nll(v));
-      em.nll_mean = stats::mean(nll);
-      em.nll_stddev = stats::stddev(nll);
-      em.threshold = em.nll_mean + cfg.sigma_multiplier * em.nll_stddev;
-      d.models_[cls][e] = std::move(em);
+      jobs.push_back({cls, e});
     }
   }
+
+  parallel::parallel_for(
+      jobs.size(), threads, [&](std::size_t j, std::size_t /*worker*/) {
+        const auto [cls, e] = jobs[j];
+        const std::vector<double>& col = tpl.column(cls, e);
+        event_model em;
+        em.model = gmm::gmm1d::fit_best_bic(col, cfg.k_max, cfg.em);
+        em.template_size = col.size();
+
+        // NLL distribution L_c^n over the template, then the 3-sigma rule.
+        std::vector<double> nll;
+        nll.reserve(col.size());
+        for (double v : col) nll.push_back(em.model.nll(v));
+        em.nll_mean = stats::mean(nll);
+        em.nll_stddev = stats::stddev(nll);
+        em.threshold = em.nll_mean + cfg.sigma_multiplier * em.nll_stddev;
+        d.models_[cls][e] = std::move(em);
+      });
   return d;
 }
 
@@ -111,12 +136,19 @@ verdict detector::score(std::size_t predicted_class,
   v.predicted = predicted_class;
   v.nll.resize(cfg_.events.size(), 0.0);
   v.flagged.resize(cfg_.events.size(), false);
+  v.modeled = false;
   for (std::size_t e = 0; e < cfg_.events.size(); ++e) {
     const auto& em = models_[predicted_class][e];
     if (!em.has_value()) continue;
+    v.modeled = true;
     v.nll[e] = em->model.nll(mean_counts[e]);
     v.flagged[e] = v.nll[e] > em->threshold;
     v.adversarial_any = v.adversarial_any || v.flagged[e];
+  }
+  if (!v.modeled) {
+    // No reference behaviour for this class: the verdict is policy, not
+    // evidence. Fail closed unless the deployment opted out.
+    v.adversarial_any = cfg_.flag_unmodeled;
   }
   return v;
 }
@@ -124,6 +156,17 @@ verdict detector::score(std::size_t predicted_class,
 verdict detector::classify(hpc::hpc_monitor& monitor, const tensor& x) const {
   const auto m = monitor.measure(x, cfg_.events, cfg_.repeats);
   return score(m.predicted, m.mean_counts);
+}
+
+std::vector<verdict> detector::classify_batch(hpc::hpc_monitor& monitor,
+                                              std::span<const tensor> inputs,
+                                              std::size_t threads) const {
+  const auto ms =
+      monitor.measure_batch(inputs, cfg_.events, cfg_.repeats, threads);
+  std::vector<verdict> out;
+  out.reserve(ms.size());
+  for (const auto& m : ms) out.push_back(score(m.predicted, m.mean_counts));
+  return out;
 }
 
 const std::optional<event_model>& detector::model_for(

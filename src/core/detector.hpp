@@ -23,6 +23,12 @@ struct detector_config {
   std::size_t repeats = 10;            ///< the paper's R
   std::size_t k_max = 4;               ///< BIC scan upper bound
   double sigma_multiplier = 3.0;       ///< three-sigma rule
+  /// Verdict policy for predictions landing in a class without a fitted
+  /// model (no template data): flag as adversarial (true, fail-closed) or
+  /// pass as benign (false). An unmodelled class means the defender never
+  /// observed that behaviour — the paper's threat model treats unknown
+  /// behaviour as suspect, so fail-closed is the default.
+  bool flag_unmodeled = true;
   gmm::em_config em{};
 };
 
@@ -40,9 +46,17 @@ class benign_template {
   /// Column n of D_c.
   const std::vector<double>& column(std::size_t cls, std::size_t event) const;
 
+  /// Per-class sample count the collector aimed for (0 when the template
+  /// was assembled by hand). Lets benches report partial templates.
+  std::size_t requested_per_class() const noexcept { return requested_; }
+  void set_requested_per_class(std::size_t n) noexcept { requested_ = n; }
+  /// Classes whose accepted row count fell short of the request.
+  std::vector<std::size_t> underfilled_classes() const;
+
  private:
   std::size_t classes_;
   std::size_t events_;
+  std::size_t requested_ = 0;
   // data_[cls][event] = vector of M mean counts
   std::vector<std::vector<std::vector<double>>> data_;
 };
@@ -86,15 +100,24 @@ struct verdict {
   std::size_t predicted = 0;
   std::vector<double> nll;        ///< per event
   std::vector<bool> flagged;      ///< per event: nll > threshold
-  /// Overall call when fusing all events (any event flags => adversarial).
+  /// Overall call when fusing all events (any event flags => adversarial;
+  /// an unmodelled prediction follows detector_config::flag_unmodeled).
   bool adversarial_any = false;
+  /// False when the predicted class had no fitted models, in which case
+  /// nll/flagged carry no information and adversarial_any is pure policy.
+  bool modeled = true;
 };
 
 class detector {
  public:
   /// Fits all GMMs and thresholds from an offline template. Classes with
-  /// fewer than 2 template rows get no model and never flag.
-  static detector fit(const benign_template& tpl, const detector_config& cfg);
+  /// fewer than 2 template rows get no model; how their predictions are
+  /// judged is governed by detector_config::flag_unmodeled. Each
+  /// (class, event) cell fits independently with its own seeded EM state,
+  /// so the result is bitwise identical at any `threads` value
+  /// (advh::resolve_threads semantics: 0 = ADVH_THREADS / hardware).
+  static detector fit(const benign_template& tpl, const detector_config& cfg,
+                      std::size_t threads = 0);
 
   /// Reassembles a detector from persisted parts (see core/detector_io).
   /// models[cls][event] must be num_classes x cfg.events.size().
@@ -109,6 +132,13 @@ class detector {
 
   /// Measures an unknown input through `monitor` and scores it.
   verdict classify(hpc::hpc_monitor& monitor, const tensor& x) const;
+
+  /// Measures and scores a batch through hpc_monitor::measure_batch;
+  /// out[i] corresponds to inputs[i] and is bitwise identical to serial
+  /// `classify` calls in the same order.
+  std::vector<verdict> classify_batch(hpc::hpc_monitor& monitor,
+                                      std::span<const tensor> inputs,
+                                      std::size_t threads = 0) const;
 
   const detector_config& config() const noexcept { return cfg_; }
   std::size_t num_classes() const noexcept { return models_.size(); }

@@ -1,5 +1,6 @@
 #include "core/detector_io.hpp"
 
+#include <cmath>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -10,7 +11,14 @@ namespace advh::core {
 
 namespace {
 constexpr std::uint32_t kMagic = 0x41444554;  // "ADET"
-constexpr std::uint32_t kVersion = 1;
+// Version history: 1 = initial format; 2 adds the flag_unmodeled policy
+// byte after sigma_multiplier. Version-1 files still load (policy
+// defaults to fail-closed, matching detector_config).
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kOldestSupported = 1;
+// A BIC scan never selects more components than template rows; anything
+// beyond this is corrupt bytes, not a plausible fit.
+constexpr std::uint64_t kMaxOrder = 4096;
 
 template <typename T>
 void write_pod(std::ofstream& os, const T& v) {
@@ -18,11 +26,49 @@ void write_pod(std::ofstream& os, const T& v) {
 }
 
 template <typename T>
-T read_pod(std::ifstream& is) {
+T read_pod(std::ifstream& is, const std::string& path) {
   T v{};
   is.read(reinterpret_cast<char*>(&v), sizeof(T));
-  ADVH_CHECK_MSG(is.good(), "truncated detector file");
+  if (!is.good()) throw io_error(path + ": truncated detector file");
   return v;
+}
+
+std::string cell_name(std::uint64_t cls, hpc::hpc_event e) {
+  return "(class " + std::to_string(cls) + ", event " + hpc::to_string(e) + ")";
+}
+
+/// Validates deserialized mixture components and summary statistics;
+/// detector files are loaded at service start from bytes the process did
+/// not produce, so every field the online scorer trusts is range-checked
+/// here (before gmm1d's own invariant checks can fire on garbage).
+void validate_cell(std::span<const gmm::component1d> comps, double threshold,
+                   double nll_mean, double nll_stddev, const std::string& path,
+                   std::uint64_t cls, hpc::hpc_event event) {
+  const std::string where = path + ": " + cell_name(cls, event);
+  if (!std::isfinite(threshold)) {
+    throw io_error(where + ": non-finite NLL threshold");
+  }
+  if (!std::isfinite(nll_mean) || !std::isfinite(nll_stddev) ||
+      nll_stddev < 0.0) {
+    throw io_error(where + ": invalid template NLL statistics");
+  }
+  double weight_sum = 0.0;
+  for (const auto& comp : comps) {
+    if (!std::isfinite(comp.weight) || comp.weight < 0.0) {
+      throw io_error(where + ": invalid component weight");
+    }
+    if (!std::isfinite(comp.mean)) {
+      throw io_error(where + ": non-finite component mean");
+    }
+    if (!std::isfinite(comp.variance) || comp.variance <= 0.0) {
+      throw io_error(where + ": non-positive component variance");
+    }
+    weight_sum += comp.weight;
+  }
+  if (std::abs(weight_sum - 1.0) > 1e-6) {
+    throw io_error(where + ": component weights sum to " +
+                   std::to_string(weight_sum) + ", expected 1");
+  }
 }
 }  // namespace
 
@@ -42,6 +88,7 @@ void save_detector(const detector& det, const std::string& path) {
   write_pod(os, static_cast<std::uint64_t>(cfg.repeats));
   write_pod(os, static_cast<std::uint64_t>(cfg.k_max));
   write_pod(os, cfg.sigma_multiplier);
+  write_pod(os, static_cast<std::uint8_t>(cfg.flag_unmodeled ? 1 : 0));
   write_pod(os, static_cast<std::uint64_t>(det.num_classes()));
 
   for (std::size_t cls = 0; cls < det.num_classes(); ++cls) {
@@ -66,41 +113,74 @@ void save_detector(const detector& det, const std::string& path) {
 
 detector load_detector(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
-  ADVH_CHECK_MSG(is.good(), "cannot open " + path);
-  ADVH_CHECK_MSG(read_pod<std::uint32_t>(is) == kMagic,
-                 path + " is not an AdvHunter detector file");
-  ADVH_CHECK_MSG(read_pod<std::uint32_t>(is) == kVersion,
-                 path + ": unsupported version");
+  if (!is.good()) throw io_error("cannot open " + path);
+  if (read_pod<std::uint32_t>(is, path) != kMagic) {
+    throw io_error(path + " is not an AdvHunter detector file");
+  }
+  const auto version = read_pod<std::uint32_t>(is, path);
+  if (version < kOldestSupported || version > kVersion) {
+    throw io_error(path + ": unsupported detector format version " +
+                   std::to_string(version));
+  }
 
   detector_config cfg;
-  const auto n_events = read_pod<std::uint64_t>(is);
-  for (std::uint64_t e = 0; e < n_events; ++e) {
-    cfg.events.push_back(
-        static_cast<hpc::hpc_event>(read_pod<std::uint32_t>(is)));
+  const auto n_events = read_pod<std::uint64_t>(is, path);
+  if (n_events == 0) throw io_error(path + ": detector monitors zero events");
+  if (n_events > 1024) {
+    throw io_error(path + ": implausible event count " +
+                   std::to_string(n_events));
   }
-  cfg.repeats = static_cast<std::size_t>(read_pod<std::uint64_t>(is));
-  cfg.k_max = static_cast<std::size_t>(read_pod<std::uint64_t>(is));
-  cfg.sigma_multiplier = read_pod<double>(is);
+  for (std::uint64_t e = 0; e < n_events; ++e) {
+    const auto raw = read_pod<std::uint32_t>(is, path);
+    if (raw > static_cast<std::uint32_t>(hpc::hpc_event::llc_store_misses)) {
+      throw io_error(path + ": unknown hpc_event value " +
+                     std::to_string(raw));
+    }
+    cfg.events.push_back(static_cast<hpc::hpc_event>(raw));
+  }
+  cfg.repeats = static_cast<std::size_t>(read_pod<std::uint64_t>(is, path));
+  if (cfg.repeats == 0) {
+    throw io_error(path + ": measurement repeat count is zero");
+  }
+  cfg.k_max = static_cast<std::size_t>(read_pod<std::uint64_t>(is, path));
+  cfg.sigma_multiplier = read_pod<double>(is, path);
+  if (!std::isfinite(cfg.sigma_multiplier) || cfg.sigma_multiplier <= 0.0) {
+    throw io_error(path + ": invalid sigma multiplier");
+  }
+  if (version >= 2) {
+    cfg.flag_unmodeled = read_pod<std::uint8_t>(is, path) != 0;
+  }
 
-  const auto n_classes = read_pod<std::uint64_t>(is);
+  const auto n_classes = read_pod<std::uint64_t>(is, path);
+  if (n_classes == 0) throw io_error(path + ": detector covers zero classes");
+  if (n_classes > 1u << 20) {
+    throw io_error(path + ": implausible class count " +
+                   std::to_string(n_classes));
+  }
   std::vector<std::vector<std::optional<event_model>>> models(
       n_classes, std::vector<std::optional<event_model>>(n_events));
   for (std::uint64_t cls = 0; cls < n_classes; ++cls) {
     for (std::uint64_t e = 0; e < n_events; ++e) {
-      if (read_pod<std::uint8_t>(is) == 0) continue;
+      if (read_pod<std::uint8_t>(is, path) == 0) continue;
       event_model em;
-      em.threshold = read_pod<double>(is);
-      em.nll_mean = read_pod<double>(is);
-      em.nll_stddev = read_pod<double>(is);
+      em.threshold = read_pod<double>(is, path);
+      em.nll_mean = read_pod<double>(is, path);
+      em.nll_stddev = read_pod<double>(is, path);
       em.template_size =
-          static_cast<std::size_t>(read_pod<std::uint64_t>(is));
-      const auto order = read_pod<std::uint64_t>(is);
+          static_cast<std::size_t>(read_pod<std::uint64_t>(is, path));
+      const auto order = read_pod<std::uint64_t>(is, path);
+      if (order == 0 || order > kMaxOrder) {
+        throw io_error(path + ": " + cell_name(cls, cfg.events[e]) +
+                       ": implausible mixture order " + std::to_string(order));
+      }
       std::vector<gmm::component1d> comps(order);
       for (auto& c : comps) {
-        c.weight = read_pod<double>(is);
-        c.mean = read_pod<double>(is);
-        c.variance = read_pod<double>(is);
+        c.weight = read_pod<double>(is, path);
+        c.mean = read_pod<double>(is, path);
+        c.variance = read_pod<double>(is, path);
       }
+      validate_cell(comps, em.threshold, em.nll_mean, em.nll_stddev, path,
+                    cls, cfg.events[e]);
       em.model = gmm::gmm1d(std::move(comps));
       models[cls][e] = std::move(em);
     }

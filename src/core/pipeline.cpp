@@ -1,8 +1,10 @@
 #include "core/pipeline.hpp"
 
+#include <algorithm>
 #include <filesystem>
 
 #include "analysis/verifier.hpp"
+#include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "nn/serialize.hpp"
@@ -67,34 +69,60 @@ scenario_runtime prepare_scenario(data::scenario_id id,
 benign_template collect_template(hpc::hpc_monitor& monitor,
                                  const detector_config& cfg,
                                  const data::dataset& d, std::size_t per_class,
-                                 std::uint64_t seed) {
-  template_builder builder(monitor, cfg, d.num_classes);
+                                 std::uint64_t seed, std::size_t threads) {
+  ADVH_CHECK_MSG(!cfg.events.empty(), "detector needs at least one event");
+  benign_template tpl(d.num_classes, cfg.events.size());
+  tpl.set_requested_per_class(per_class);
   rng gen(seed);
   for (std::size_t cls = 0; cls < d.num_classes; ++cls) {
     auto pool = d.indices_of_class(cls);
     gen.shuffle(pool);
+    // Measure candidates in chunks of the outstanding request. The chunk
+    // boundaries — and therefore the monitor's noise-stream consumption —
+    // depend only on which predictions matched, never on thread count.
     std::size_t accepted = 0;
-    for (std::size_t idx : pool) {
-      if (accepted >= per_class) break;
-      const tensor x = nn::single_example(d.images, idx);
-      if (builder.add_sample(x, cls)) ++accepted;
+    std::size_t cursor = 0;
+    while (accepted < per_class && cursor < pool.size()) {
+      const std::size_t take =
+          std::min(per_class - accepted, pool.size() - cursor);
+      std::vector<tensor> batch;
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(nn::single_example(d.images, pool[cursor + i]));
+      }
+      const auto ms =
+          monitor.measure_batch(batch, cfg.events, cfg.repeats, threads);
+      for (const auto& m : ms) {
+        // A misclassified "clean" image is not representative of its
+        // category's computational behaviour; skip it.
+        if (m.predicted != cls) continue;
+        tpl.add_row(cls, m.mean_counts);
+        ++accepted;
+      }
+      cursor += take;
+    }
+    if (accepted < per_class) {
+      log::warn("template class ", cls, ": accepted ", accepted, " of ",
+                per_class, " requested samples (pool of ", pool.size(),
+                " exhausted); detector quality degrades below ~2 rows");
     }
   }
-  return builder.build();
+  return tpl;
 }
 
 void evaluate_inputs(const detector& det, hpc::hpc_monitor& monitor,
                      std::span<const tensor> inputs, bool is_adversarial,
-                     detection_eval& eval) {
+                     detection_eval& eval, std::size_t threads) {
   if (eval.per_event.size() != det.config().events.size()) {
     eval.per_event.assign(det.config().events.size(), detection_confusion{});
   }
-  for (const tensor& x : inputs) {
-    const verdict v = det.classify(monitor, x);
+  const auto verdicts = det.classify_batch(monitor, inputs, threads);
+  for (const verdict& v : verdicts) {
     for (std::size_t e = 0; e < v.flagged.size(); ++e) {
       eval.per_event[e].push(is_adversarial, v.flagged[e]);
     }
     eval.fused.push(is_adversarial, v.adversarial_any);
+    if (!v.modeled) ++eval.unmodeled;
   }
 }
 

@@ -35,11 +35,16 @@ scenario_runtime prepare_scenario(data::scenario_id id,
 
 /// Draws up to `per_class` validation examples of every class from `d`
 /// (in dataset order after a seeded shuffle) and measures them into a
-/// benign template. Misclassified validation images are skipped.
+/// benign template. Misclassified validation images are skipped; when a
+/// class's pool runs dry before `per_class` samples are accepted the
+/// shortfall is logged and recorded on the returned template
+/// (benign_template::underfilled_classes). Measurement runs through
+/// hpc_monitor::measure_batch in deterministic chunks, so the template is
+/// bitwise identical at any `threads` value (0 = ADVH_THREADS / hardware).
 benign_template collect_template(hpc::hpc_monitor& monitor,
                                  const detector_config& cfg,
                                  const data::dataset& d, std::size_t per_class,
-                                 std::uint64_t seed);
+                                 std::uint64_t seed, std::size_t threads = 0);
 
 /// Measures and scores a set of inputs with ground truth "adversarial or
 /// not", accumulating one confusion matrix per configured event plus the
@@ -47,12 +52,16 @@ benign_template collect_template(hpc::hpc_monitor& monitor,
 struct detection_eval {
   std::vector<detection_confusion> per_event;
   detection_confusion fused;
+  /// Inputs whose predicted class had no fitted model; their fused
+  /// verdict is the flag_unmodeled policy rather than measured evidence.
+  std::size_t unmodeled = 0;
 };
 
 /// Scores `inputs` (each a batch-of-one tensor); `is_adversarial` is the
-/// shared ground-truth flag for the whole set.
+/// shared ground-truth flag for the whole set. Measurement is batched
+/// (bitwise identical at any `threads` value).
 void evaluate_inputs(const detector& det, hpc::hpc_monitor& monitor,
                      std::span<const tensor> inputs, bool is_adversarial,
-                     detection_eval& eval);
+                     detection_eval& eval, std::size_t threads = 0);
 
 }  // namespace advh::core

@@ -1,0 +1,15 @@
+#include "hpc/monitor.hpp"
+
+namespace advh::hpc {
+
+std::vector<measurement> hpc_monitor::measure_batch(
+    std::span<const tensor> inputs, std::span<const hpc_event> events,
+    std::size_t repeats, std::size_t threads) {
+  (void)threads;  // one physical PMU: batch order is the measurement order
+  std::vector<measurement> out;
+  out.reserve(inputs.size());
+  for (const tensor& x : inputs) out.push_back(measure(x, events, repeats));
+  return out;
+}
+
+}  // namespace advh::hpc

@@ -36,6 +36,18 @@ class hpc_monitor {
                               std::span<const hpc_event> events,
                               std::size_t repeats) = 0;
 
+  /// Measures a batch of independent inputs; out[i] corresponds to
+  /// inputs[i]. The base implementation is a serial loop over `measure`
+  /// (hardware counters multiplex one physical PMU, so the perf backend
+  /// cannot parallelise). Backends whose measurements are simulated may
+  /// run workers concurrently; any override must return results that are
+  /// bitwise identical to the serial loop. `threads` follows
+  /// advh::resolve_threads semantics: 0 means the ADVH_THREADS override
+  /// or, failing that, hardware concurrency.
+  virtual std::vector<measurement> measure_batch(
+      std::span<const tensor> inputs, std::span<const hpc_event> events,
+      std::size_t repeats, std::size_t threads = 0);
+
   virtual std::string backend_name() const = 0;
 
  protected:

@@ -5,6 +5,13 @@
 // replayed through the microarchitecture simulator, and the resulting true
 // counts are observed R times through the measurement-noise model — the
 // same protocol the paper uses on real counters.
+//
+// Determinism contract: the noise applied to sample k (counting every
+// input ever measured through this monitor, in submission order) depends
+// only on (seed, k) — never on which worker measured it or how many
+// threads were in flight. Serial `measure` loops, `measure_batch` at one
+// thread, and `measure_batch` at N threads therefore produce bitwise
+// identical measurements.
 #pragma once
 
 #include "hpc/monitor.hpp"
@@ -24,16 +31,29 @@ class sim_backend final : public hpc_monitor {
   measurement measure(const tensor& x, std::span<const hpc_event> events,
                       std::size_t repeats) override;
 
+  /// Parallel batch measurement: workers each replay traces through their
+  /// own trace_generator (the shared model's traced forward is read-only),
+  /// and every input draws noise from its own (seed, sample-index) stream.
+  std::vector<measurement> measure_batch(std::span<const tensor> inputs,
+                                         std::span<const hpc_event> events,
+                                         std::size_t repeats,
+                                         std::size_t threads = 0) override;
+
   std::string backend_name() const override { return "simulator"; }
 
   /// Deterministic (noise-free) event profile of one input.
   uarch::uarch_counts profile(const tensor& x, std::size_t& predicted);
 
  private:
+  measurement measure_one(const tensor& x, std::span<const hpc_event> events,
+                          std::size_t repeats, uarch::trace_generator& gen,
+                          std::uint64_t stream) const;
+
   nn::model& model_;
   uarch::trace_generator gen_;
   noise_model noise_;
-  rng rng_;
+  std::uint64_t seed_;
+  std::uint64_t next_stream_ = 0;  ///< samples measured so far
 };
 
 }  // namespace advh::hpc

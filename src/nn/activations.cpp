@@ -5,7 +5,7 @@
 namespace advh::nn {
 
 tensor relu::forward(const tensor& x, forward_ctx& ctx) {
-  input_ = x;
+  if (ctx.grad) input_ = x;
   tensor out = x;
   for (auto& v : out.data()) {
     if (v < 0.0f) v = 0.0f;

@@ -39,11 +39,10 @@ tensor batchnorm2d::forward(const tensor& x, forward_ctx& ctx) {
   const std::size_t per_channel = n * h * w;
   ADVH_CHECK(per_channel > 0);
 
-  cached_training_ = ctx.training;
   tensor out(x.dims());
 
-  batch_mean_.assign(channels_, 0.0f);
-  batch_var_.assign(channels_, 0.0f);
+  std::vector<float> mean(channels_, 0.0f);
+  std::vector<float> var(channels_, 0.0f);
 
   if (ctx.training) {
     for (std::size_t c = 0; c < channels_; ++c) {
@@ -51,38 +50,43 @@ tensor batchnorm2d::forward(const tensor& x, forward_ctx& ctx) {
       for (std::size_t b = 0; b < n; ++b)
         for (std::size_t y = 0; y < h; ++y)
           for (std::size_t xx = 0; xx < w; ++xx) sum += x.at(b, c, y, xx);
-      const double mean = sum / static_cast<double>(per_channel);
-      double var = 0.0;
+      const double m = sum / static_cast<double>(per_channel);
+      double v = 0.0;
       for (std::size_t b = 0; b < n; ++b)
         for (std::size_t y = 0; y < h; ++y)
           for (std::size_t xx = 0; xx < w; ++xx) {
-            const double d = x.at(b, c, y, xx) - mean;
-            var += d * d;
+            const double d = x.at(b, c, y, xx) - m;
+            v += d * d;
           }
-      var /= static_cast<double>(per_channel);
-      batch_mean_[c] = static_cast<float>(mean);
-      batch_var_[c] = static_cast<float>(var);
-      running_mean_[c] = (1.0f - momentum_) * running_mean_[c] +
-                         momentum_ * batch_mean_[c];
+      v /= static_cast<double>(per_channel);
+      mean[c] = static_cast<float>(m);
+      var[c] = static_cast<float>(v);
+      running_mean_[c] =
+          (1.0f - momentum_) * running_mean_[c] + momentum_ * mean[c];
       running_var_[c] =
-          (1.0f - momentum_) * running_var_[c] + momentum_ * batch_var_[c];
+          (1.0f - momentum_) * running_var_[c] + momentum_ * var[c];
     }
   } else {
     for (std::size_t c = 0; c < channels_; ++c) {
-      batch_mean_[c] = running_mean_[c];
-      batch_var_[c] = running_var_[c];
+      mean[c] = running_mean_[c];
+      var[c] = running_var_[c];
     }
   }
 
-  input_ = x;
-  xhat_ = tensor(x.dims());
+  if (ctx.grad) {
+    cached_training_ = ctx.training;
+    batch_mean_ = mean;
+    batch_var_ = var;
+    input_ = x;
+    xhat_ = tensor(x.dims());
+  }
   for (std::size_t c = 0; c < channels_; ++c) {
-    const float inv_std = 1.0f / std::sqrt(batch_var_[c] + eps_);
+    const float inv_std = 1.0f / std::sqrt(var[c] + eps_);
     for (std::size_t b = 0; b < n; ++b)
       for (std::size_t y = 0; y < h; ++y)
         for (std::size_t xx = 0; xx < w; ++xx) {
-          const float xh = (x.at(b, c, y, xx) - batch_mean_[c]) * inv_std;
-          xhat_.at(b, c, y, xx) = xh;
+          const float xh = (x.at(b, c, y, xx) - mean[c]) * inv_std;
+          if (ctx.grad) xhat_.at(b, c, y, xx) = xh;
           out.at(b, c, y, xx) = gamma_.value[c] * xh + beta_.value[c];
         }
   }

@@ -157,10 +157,10 @@ void dense_block::for_each_child(
 }
 
 tensor dense_block::forward(const tensor& x, forward_ctx& ctx) {
-  unit_inputs_.clear();
+  if (ctx.grad) unit_inputs_.clear();
   tensor cur = x;
   for (auto& unit : units_) {
-    unit_inputs_.push_back(cur);
+    if (ctx.grad) unit_inputs_.push_back(cur);
     tensor y = unit->forward(cur, ctx);
     cur = cat_channels(cur, y);
     if (ctx.trace != nullptr) {

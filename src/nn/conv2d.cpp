@@ -62,15 +62,18 @@ tensor conv2d::forward(const tensor& x, forward_ctx& ctx) {
   const std::size_t oh = g.out_h();
   const std::size_t ow = g.out_w();
 
-  input_ = x;
-  cols_.clear();
-  cols_.reserve(batch);
+  if (ctx.grad) {
+    input_ = x;
+    cols_.clear();
+    cols_.reserve(batch);
+  }
 
   tensor out(shape{batch, cfg_.out_channels, oh, ow});
   for (std::size_t b = 0; b < batch; ++b) {
-    cols_.push_back(ops::im2col(x, b, g));
+    tensor col = ops::im2col(x, b, g);
     // (out_c, rows) x (rows, oh*ow) -> (out_c, oh*ow)
-    tensor y = ops::matmul(weight_.value, cols_.back());
+    tensor y = ops::matmul(weight_.value, col);
+    if (ctx.grad) cols_.push_back(std::move(col));
     float* po = out.data().data() + b * cfg_.out_channels * oh * ow;
     const float* py = y.data().data();
     for (std::size_t i = 0; i < cfg_.out_channels * oh * ow; ++i) po[i] = py[i];

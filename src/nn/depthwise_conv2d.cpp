@@ -53,7 +53,7 @@ tensor depthwise_conv2d::forward(const tensor& x, forward_ctx& ctx) {
   const std::size_t oh = (ih + 2 * cfg_.pad - cfg_.kernel) / cfg_.stride + 1;
   const std::size_t ow = (iw + 2 * cfg_.pad - cfg_.kernel) / cfg_.stride + 1;
 
-  input_ = x;
+  if (ctx.grad) input_ = x;
   tensor out(shape{batch, cfg_.channels, oh, ow});
   for (std::size_t b = 0; b < batch; ++b) {
     for (std::size_t c = 0; c < cfg_.channels; ++c) {

@@ -37,7 +37,7 @@ shape linear::infer_output_shape(const shape& in) const {
 tensor linear::forward(const tensor& x, forward_ctx& ctx) {
   ADVH_CHECK_MSG(x.dims().rank() == 2, name_ + ": linear expects rank-2 input");
   ADVH_CHECK_MSG(x.dims()[1] == in_, name_ + ": feature mismatch");
-  input_ = x;
+  if (ctx.grad) input_ = x;
   tensor out = ops::matmul_a_bt(x, weight_.value);  // (batch, out)
   if (bias_) {
     const std::size_t batch = x.dims()[0];

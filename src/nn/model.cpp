@@ -27,6 +27,7 @@ tensor model::forward(const tensor& x, forward_ctx& ctx) {
 
 tensor model::forward(const tensor& x) {
   forward_ctx ctx;
+  ctx.grad = false;  // inference-only: leave no backward caches behind
   return forward(x, ctx);
 }
 
@@ -49,6 +50,8 @@ inference_trace model::trace_inference(const tensor& x,
                  "trace_inference takes a single example");
   inference_trace trace;
   forward_ctx ctx;
+  ctx.grad = false;  // tracing is read-only so a shared model stays
+                     // safe under concurrent trace_inference calls
   ctx.trace = &trace;
   tensor logits = forward(x, ctx);
   predicted = ops::argmax(logits);

@@ -47,9 +47,9 @@ tensor maxpool2d::forward(const tensor& x, forward_ctx& ctx) {
   const std::size_t oh = (h - window_) / stride_ + 1;
   const std::size_t ow = (w - window_) / stride_ + 1;
 
-  in_shape_ = x.dims();
+  if (ctx.grad) in_shape_ = x.dims();
   tensor out(shape{n, c, oh, ow});
-  argmax_.assign(out.numel(), 0);
+  std::vector<std::size_t> argmax(out.numel(), 0);
 
   const auto st = x.dims().strides();
   std::size_t oidx = 0;
@@ -73,11 +73,12 @@ tensor maxpool2d::forward(const tensor& x, forward_ctx& ctx) {
             }
           }
           out.data()[oidx] = best;
-          argmax_[oidx] = best_idx;
+          argmax[oidx] = best_idx;
         }
       }
     }
   }
+  if (ctx.grad) argmax_ = std::move(argmax);
   record_pool_trace(ctx, layer_kind::maxpool2d, name_, x, out);
   return out;
 }
@@ -104,7 +105,7 @@ tensor avgpool2d::forward(const tensor& x, forward_ctx& ctx) {
   const std::size_t oh = (h - window_) / stride_ + 1;
   const std::size_t ow = (w - window_) / stride_ + 1;
 
-  in_shape_ = x.dims();
+  if (ctx.grad) in_shape_ = x.dims();
   tensor out(shape{n, c, oh, ow});
   const float inv = 1.0f / static_cast<float>(window_ * window_);
   for (std::size_t b = 0; b < n; ++b) {
@@ -161,7 +162,7 @@ tensor global_avgpool::forward(const tensor& x, forward_ctx& ctx) {
   ADVH_CHECK_MSG(x.dims().rank() == 4, name_ + ": expects NCHW");
   const std::size_t n = x.dims()[0], c = x.dims()[1], h = x.dims()[2],
                     w = x.dims()[3];
-  in_shape_ = x.dims();
+  if (ctx.grad) in_shape_ = x.dims();
   tensor out(shape{n, c});
   const float inv = 1.0f / static_cast<float>(h * w);
   for (std::size_t b = 0; b < n; ++b) {

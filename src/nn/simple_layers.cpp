@@ -14,7 +14,7 @@ shape flatten::infer_output_shape(const shape& in) const {
 
 tensor flatten::forward(const tensor& x, forward_ctx& ctx) {
   ADVH_CHECK_MSG(x.dims().rank() >= 2, name_ + ": expects rank >= 2");
-  in_shape_ = x.dims();
+  if (ctx.grad) in_shape_ = x.dims();
   const std::size_t batch = x.dims()[0];
   tensor out = x.reshaped(shape{batch, x.numel() / batch});
   if (ctx.trace != nullptr) {
@@ -35,7 +35,7 @@ tensor flatten::backward(const tensor& grad_out) {
 
 tensor dropout::forward(const tensor& x, forward_ctx& ctx) {
   ADVH_CHECK(rate_ >= 0.0f && rate_ < 1.0f);
-  cached_training_ = ctx.training;
+  if (ctx.grad) cached_training_ = ctx.training;
   if (!ctx.training || rate_ == 0.0f) {
     if (ctx.trace != nullptr) {
       layer_trace_entry e;

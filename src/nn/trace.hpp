@@ -80,6 +80,12 @@ struct trace_contract {
 /// Options threaded through every layer's forward pass.
 struct forward_ctx {
   bool training = false;
+  /// When true (the default) layers cache whatever backward() needs, which
+  /// mutates layer-owned buffers. Pure-inference callers — most importantly
+  /// the parallel measurement engine, which runs traced forwards of one
+  /// shared model from many workers — set this false; backward() after a
+  /// grad=false forward is a programming error.
+  bool grad = true;
   /// When non-null (requires batch size 1) layers append trace entries.
   inference_trace* trace = nullptr;
 };

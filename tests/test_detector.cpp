@@ -128,7 +128,7 @@ TEST(Detector, SigmaMultiplierAdjustsThreshold) {
             det_lax.model_for(0, 0)->threshold);
 }
 
-TEST(Detector, UnmodelledClassNeverFlags) {
+TEST(Detector, UnmodelledClassFlagsByDefault) {
   benign_template tpl(2, 1);
   rng gen(1);
   for (int i = 0; i < 30; ++i) {
@@ -137,10 +137,32 @@ TEST(Detector, UnmodelledClassNeverFlags) {
   detector_config cfg;
   cfg.events = {hpc::hpc_event::cache_misses};
   auto det = detector::fit(tpl, cfg);
-  // Class 1 had no template rows.
+  // Class 1 had no template rows: the defender never observed its
+  // behaviour, so the fail-closed default treats it as suspicious.
   auto v = det.score(1, std::vector<double>{1e9});
-  EXPECT_FALSE(v.adversarial_any);
+  EXPECT_FALSE(v.modeled);
+  EXPECT_TRUE(v.adversarial_any);
   EXPECT_FALSE(det.model_for(1, 0).has_value());
+  // A modelled class reports modeled regardless of the verdict.
+  auto v0 = det.score(0, std::vector<double>{10.0});
+  EXPECT_TRUE(v0.modeled);
+}
+
+TEST(Detector, UnmodelledClassPassesWhenPolicyDisabled) {
+  benign_template tpl(2, 1);
+  rng gen(1);
+  for (int i = 0; i < 30; ++i) {
+    tpl.add_row(0, std::vector<double>{gen.normal(10.0, 1.0)});
+  }
+  detector_config cfg;
+  cfg.events = {hpc::hpc_event::cache_misses};
+  cfg.flag_unmodeled = false;
+  auto det = detector::fit(tpl, cfg);
+  auto v = det.score(1, std::vector<double>{1e9});
+  EXPECT_FALSE(v.modeled);
+  EXPECT_FALSE(v.adversarial_any);
+  // No event carries evidence either way.
+  for (bool f : v.flagged) EXPECT_FALSE(f);
 }
 
 TEST(Detector, MeasurementWidthValidated) {

@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <limits>
 
 #include "attack/min_eps.hpp"
 #include "common/error.hpp"
@@ -235,8 +238,142 @@ TEST(DetectorIo, CorruptFileRejected) {
   const std::string path =
       (std::filesystem::temp_directory_path() / "advh_det_bad.bin").string();
   write_file(path, "not a detector");
-  EXPECT_THROW(core::load_detector(path), invariant_error);
+  EXPECT_THROW(core::load_detector(path), io_error);
   std::remove(path.c_str());
+}
+
+// Saves a small fitted detector and returns the raw file bytes, so the
+// corruption tests can flip specific fields. File layout (little-endian):
+// magic(4) version(4) n_events(8) event_enum(4)xN repeats(8) k_max(8)
+// sigma(8) flag_unmodeled(1) n_classes(8), then per (class, event) cell:
+// present(1) threshold(8) nll_mean(8) nll_stddev(8) template_size(8)
+// order(8) order x {weight(8) mean(8) variance(8)}.
+std::string fitted_detector_bytes() {
+  core::benign_template tpl(2, 2);
+  rng gen(77);
+  for (std::size_t cls = 0; cls < 2; ++cls) {
+    for (int i = 0; i < 30; ++i) {
+      const double base = 100.0 * static_cast<double>(cls + 1);
+      tpl.add_row(cls, std::vector<double>{gen.normal(base, 5.0),
+                                           gen.normal(3.0 * base, 9.0)});
+    }
+  }
+  const auto det = core::detector::fit(tpl, two_event_cfg());
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "advh_det_src.bin").string();
+  core::save_detector(det, path);
+  std::ifstream is(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(is)),
+                    std::istreambuf_iterator<char>());
+  std::remove(path.c_str());
+  return bytes;
+}
+
+// Writes `bytes` to a temp file and returns the load_detector error text
+// (empty if the load unexpectedly succeeded).
+std::string load_error_for(const std::string& bytes) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "advh_det_mut.bin").string();
+  write_file(path, bytes);
+  std::string message;
+  try {
+    core::load_detector(path);
+  } catch (const io_error& e) {
+    message = e.what();
+  }
+  std::remove(path.c_str());
+  return message;
+}
+
+TEST(DetectorIo, TruncatedFileRejected) {
+  const auto bytes = fitted_detector_bytes();
+  // Cut mid-header and mid-model: both must fail as truncation, never as
+  // a partial-but-plausible detector.
+  EXPECT_NE(load_error_for(bytes.substr(0, 6)).find("truncated"),
+            std::string::npos);
+  EXPECT_NE(load_error_for(bytes.substr(0, bytes.size() - 5)).find("truncated"),
+            std::string::npos);
+}
+
+TEST(DetectorIo, BadMagicRejected) {
+  auto bytes = fitted_detector_bytes();
+  bytes[0] = static_cast<char>(bytes[0] ^ 0x5A);
+  EXPECT_NE(load_error_for(bytes).find("not an AdvHunter detector"),
+            std::string::npos);
+}
+
+TEST(DetectorIo, UnsupportedVersionRejected) {
+  auto bytes = fitted_detector_bytes();
+  const std::uint32_t version = 99;
+  std::memcpy(bytes.data() + 4, &version, sizeof(version));
+  EXPECT_NE(load_error_for(bytes).find("unsupported detector format version"),
+            std::string::npos);
+}
+
+TEST(DetectorIo, ZeroEventsRejected) {
+  auto bytes = fitted_detector_bytes();
+  const std::uint64_t n_events = 0;
+  std::memcpy(bytes.data() + 8, &n_events, sizeof(n_events));
+  EXPECT_NE(load_error_for(bytes).find("zero events"), std::string::npos);
+}
+
+TEST(DetectorIo, UnknownEventEnumRejected) {
+  auto bytes = fitted_detector_bytes();
+  const std::uint32_t bogus = 0xFFu;  // far past llc_store_misses
+  std::memcpy(bytes.data() + 16, &bogus, sizeof(bogus));
+  EXPECT_NE(load_error_for(bytes).find("unknown hpc_event"), std::string::npos);
+}
+
+TEST(DetectorIo, ZeroRepeatsRejected) {
+  auto bytes = fitted_detector_bytes();
+  // repeats sits after magic(4) + version(4) + n_events(8) + 2 events(4x2).
+  const std::uint64_t repeats = 0;
+  std::memcpy(bytes.data() + 24, &repeats, sizeof(repeats));
+  EXPECT_NE(load_error_for(bytes).find("repeat count is zero"),
+            std::string::npos);
+}
+
+TEST(DetectorIo, NaNVarianceRejected) {
+  auto bytes = fitted_detector_bytes();
+  // The file ends with the last component of the last cell; its final
+  // 8 bytes are that component's variance.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::memcpy(bytes.data() + bytes.size() - sizeof(nan), &nan, sizeof(nan));
+  EXPECT_NE(load_error_for(bytes).find("variance"), std::string::npos);
+}
+
+TEST(DetectorIo, BadWeightSumRejected) {
+  auto bytes = fitted_detector_bytes();
+  // The first component's weight sits past the first cell's present byte
+  // and five 8-byte fields; the cell starts right after the 57-byte header.
+  const std::size_t first_weight = 57 + 1 + 5 * 8;
+  double w = 0.0;
+  std::memcpy(&w, bytes.data() + first_weight, sizeof(w));
+  w += 0.25;  // weights no longer sum to 1
+  std::memcpy(bytes.data() + first_weight, &w, sizeof(w));
+  EXPECT_NE(load_error_for(bytes).find("weights sum"), std::string::npos);
+}
+
+TEST(DetectorIo, RoundTripPreservesUnmodeledPolicy) {
+  core::benign_template tpl(2, 2);
+  rng gen(78);
+  for (int i = 0; i < 30; ++i) {
+    tpl.add_row(0, std::vector<double>{gen.normal(100.0, 5.0),
+                                       gen.normal(300.0, 9.0)});
+  }
+  auto cfg = two_event_cfg();
+  cfg.flag_unmodeled = false;
+  const auto det = core::detector::fit(tpl, cfg);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "advh_det_policy.bin").string();
+  core::save_detector(det, path);
+  const auto loaded = core::load_detector(path);
+  std::remove(path.c_str());
+  EXPECT_FALSE(loaded.config().flag_unmodeled);
+  // Class 1 has no template rows; the persisted fail-open policy applies.
+  const auto v = loaded.score(1, std::vector<double>{1e9, 1e9});
+  EXPECT_FALSE(v.modeled);
+  EXPECT_FALSE(v.adversarial_any);
 }
 
 // ---------------------------------------------------------------------------
