@@ -39,7 +39,9 @@ int main() {
   }
   availability.print(std::cout);
 
-  // One measurement through the auto-selected backend.
+  // One measurement through the auto-selected backend (the legacy factory
+  // entry point also honours the ADVH_FAULT_RATE chaos knob, in which case
+  // the quality columns below show the resilient layer at work).
   auto monitor = hpc::make_monitor(*model);
   std::cout << "selected backend: " << monitor->backend_name() << "\n";
   rng gen(2);
@@ -47,13 +49,23 @@ int main() {
   auto m = monitor->measure(x, hpc::all_events(), 10);
 
   text_table sample("sample measurement (R = 10)");
-  sample.set_header({"event", "mean", "stddev"});
+  sample.set_header({"event", "mean", "stddev", "available", "multiplexed"});
   const auto events = hpc::all_events();
   for (std::size_t e = 0; e < events.size(); ++e) {
+    const bool mux = e < m.q.multiplexed.size() && m.q.multiplexed[e] != 0;
     sample.add_row({to_string(events[e]), text_table::num(m.mean_counts[e], 1),
-                    text_table::num(m.stddev_counts[e], 1)});
+                    text_table::num(m.stddev_counts[e], 1),
+                    m.q.event_available(e) ? "yes" : "NO",
+                    mux ? "yes (scaled)" : "no"});
   }
   sample.print(std::cout);
   std::cout << "hard-label prediction: class " << m.predicted << "\n";
+  std::cout << "measurement quality: " << m.q.retries << " retries, "
+            << m.q.failed_repetitions << " unrecovered repetitions, "
+            << m.q.outliers_rejected << " outliers rejected\n";
+  if (m.q.degraded()) {
+    std::cout << "WARNING: measurement degraded — at least one event was "
+                 "unavailable\n";
+  }
   return 0;
 }

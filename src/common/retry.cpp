@@ -1,0 +1,30 @@
+#include "common/retry.hpp"
+
+#include <cmath>
+#include <thread>
+
+namespace advh {
+
+std::chrono::milliseconds retry_policy::delay(
+    std::size_t retry_index) const noexcept {
+  if (base_delay.count() <= 0) return std::chrono::milliseconds{0};
+  const double grown =
+      static_cast<double>(base_delay.count()) *
+      std::pow(multiplier > 1.0 ? multiplier : 1.0,
+               static_cast<double>(retry_index));
+  const double capped =
+      std::min(grown, static_cast<double>(max_delay.count()));
+  return std::chrono::milliseconds{
+      static_cast<std::chrono::milliseconds::rep>(capped)};
+}
+
+std::size_t run_with_retry(const retry_policy& policy,
+                           const std::function<bool(std::size_t)>& attempt) {
+  for (std::size_t i = 0; i < policy.max_attempts; ++i) {
+    if (i > 0) std::this_thread::sleep_for(policy.delay(i - 1));
+    if (attempt(i)) return i + 1;
+  }
+  return 0;
+}
+
+}  // namespace advh

@@ -1,0 +1,40 @@
+// Retry policy with capped exponential backoff.
+//
+// The resilient measurement layer (src/hpc/resilient_monitor) re-reads
+// failed counter repetitions; real deployments also hit transient I/O
+// (perf fd churn, NFS model caches). Both want the same shape of policy:
+// a bounded number of attempts with delays that grow geometrically up to
+// a cap. The policy itself is a pure value type — `delay(i)` is a
+// deterministic function — so tests can verify retry schedules without
+// sleeping.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+
+namespace advh {
+
+struct retry_policy {
+  /// Total attempts, including the first try. 1 disables retrying.
+  std::size_t max_attempts = 4;
+  /// Delay before the first retry.
+  std::chrono::milliseconds base_delay{1};
+  /// Ceiling on any single delay.
+  std::chrono::milliseconds max_delay{50};
+  /// Geometric growth factor between consecutive retries.
+  double multiplier = 2.0;
+
+  /// Delay before retry number `retry_index` (0 = the first retry):
+  /// min(base_delay * multiplier^retry_index, max_delay).
+  std::chrono::milliseconds delay(std::size_t retry_index) const noexcept;
+};
+
+/// Runs `attempt(i)` for i = 0 .. policy.max_attempts - 1 until it returns
+/// true, sleeping policy.delay(i) before each retry. Returns the number of
+/// attempts consumed (1 = first try succeeded), or 0 when every attempt
+/// returned false.
+std::size_t run_with_retry(const retry_policy& policy,
+                           const std::function<bool(std::size_t)>& attempt);
+
+}  // namespace advh

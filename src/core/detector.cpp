@@ -127,35 +127,61 @@ detector detector::from_parts(
 }
 
 verdict detector::score(std::size_t predicted_class,
-                        std::span<const double> mean_counts) const {
+                        std::span<const double> mean_counts,
+                        std::span<const std::uint8_t> available) const {
   ADVH_CHECK(predicted_class < models_.size());
   ADVH_CHECK_MSG(mean_counts.size() == cfg_.events.size(),
                  "measurement width must equal event count");
+  ADVH_CHECK_MSG(available.empty() || available.size() == cfg_.events.size(),
+                 "availability mask width must equal event count");
+
+  const auto is_available = [&](std::size_t e) {
+    return available.empty() || available[e] != 0;
+  };
 
   verdict v;
   v.predicted = predicted_class;
   v.nll.resize(cfg_.events.size(), 0.0);
   v.flagged.resize(cfg_.events.size(), false);
   v.modeled = false;
+  std::size_t scored = 0;
   for (std::size_t e = 0; e < cfg_.events.size(); ++e) {
     const auto& em = models_[predicted_class][e];
+    if (!is_available(e)) {
+      // Unavailable measurement: no evidence either way for this event.
+      v.degraded = true;
+      continue;
+    }
     if (!em.has_value()) continue;
     v.modeled = true;
+    ++scored;
     v.nll[e] = em->model.nll(mean_counts[e]);
     v.flagged[e] = v.nll[e] > em->threshold;
     v.adversarial_any = v.adversarial_any || v.flagged[e];
+  }
+  // A class model fitted for an unavailable event still counts as
+  // "modelled": abstention — not the unmodelled-class policy — is the
+  // right response to losing its measurement.
+  if (!v.modeled) {
+    for (std::size_t e = 0; e < cfg_.events.size() && !v.modeled; ++e) {
+      v.modeled = models_[predicted_class][e].has_value();
+    }
   }
   if (!v.modeled) {
     // No reference behaviour for this class: the verdict is policy, not
     // evidence. Fail closed unless the deployment opted out.
     v.adversarial_any = cfg_.flag_unmodeled;
+  } else if (scored < cfg_.min_events_for_verdict) {
+    // Too few surviving modelled events for an evidence-based call.
+    v.abstained = true;
+    v.adversarial_any = cfg_.flag_on_abstain;
   }
   return v;
 }
 
 verdict detector::classify(hpc::hpc_monitor& monitor, const tensor& x) const {
   const auto m = monitor.measure(x, cfg_.events, cfg_.repeats);
-  return score(m.predicted, m.mean_counts);
+  return score(m.predicted, m.mean_counts, m.q.available);
 }
 
 std::vector<verdict> detector::classify_batch(hpc::hpc_monitor& monitor,
@@ -165,7 +191,9 @@ std::vector<verdict> detector::classify_batch(hpc::hpc_monitor& monitor,
       monitor.measure_batch(inputs, cfg_.events, cfg_.repeats, threads);
   std::vector<verdict> out;
   out.reserve(ms.size());
-  for (const auto& m : ms) out.push_back(score(m.predicted, m.mean_counts));
+  for (const auto& m : ms) {
+    out.push_back(score(m.predicted, m.mean_counts, m.q.available));
+  }
   return out;
 }
 

@@ -10,7 +10,9 @@
 // threshold => flagged adversarial for that event.
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "gmm/gmm.hpp"
@@ -29,6 +31,16 @@ struct detector_config {
   /// observed that behaviour — the paper's threat model treats unknown
   /// behaviour as suspect, so fail-closed is the default.
   bool flag_unmodeled = true;
+  /// Degraded-input policy: measurements may arrive with some configured
+  /// events unavailable (lost counters, exhausted retries — see
+  /// hpc::measurement::quality). Scoring proceeds over the surviving
+  /// modelled subset; when fewer than this many modelled events survive,
+  /// the detector abstains from an evidence-based call and the verdict
+  /// follows flag_on_abstain.
+  std::size_t min_events_for_verdict = 1;
+  /// Verdict when the detector abstains: adversarial (true, fail-closed,
+  /// mirroring flag_unmodeled) or benign (false).
+  bool flag_on_abstain = true;
   gmm::em_config em{};
 };
 
@@ -106,6 +118,14 @@ struct verdict {
   /// False when the predicted class had no fitted models, in which case
   /// nll/flagged carry no information and adversarial_any is pure policy.
   bool modeled = true;
+  /// True when at least one configured event was unavailable in the
+  /// measurement: the verdict was scored over a strict subset of the
+  /// configured events.
+  bool degraded = false;
+  /// True when fewer than detector_config::min_events_for_verdict
+  /// modelled events were available; adversarial_any is then the
+  /// flag_on_abstain policy, not measured evidence.
+  bool abstained = false;
 };
 
 class detector {
@@ -126,11 +146,18 @@ class detector {
       std::vector<std::vector<std::optional<event_model>>> models);
 
   /// Scores a pre-collected measurement (mean counts in config event
-  /// order) under the predicted class's models.
+  /// order) under the predicted class's models. `available` is the
+  /// per-event availability mask from hpc::measurement::quality (empty =
+  /// every event available): unavailable events are skipped, so the
+  /// any-event fusion — and with it the effective decision threshold —
+  /// renormalises to the surviving (class, event) cells; too few
+  /// survivors triggers the abstain policy (see detector_config).
   verdict score(std::size_t predicted_class,
-                std::span<const double> mean_counts) const;
+                std::span<const double> mean_counts,
+                std::span<const std::uint8_t> available = {}) const;
 
-  /// Measures an unknown input through `monitor` and scores it.
+  /// Measures an unknown input through `monitor` and scores it, honouring
+  /// the measurement's event-availability mask.
   verdict classify(hpc::hpc_monitor& monitor, const tensor& x) const;
 
   /// Measures and scores a batch through hpc_monitor::measure_batch;

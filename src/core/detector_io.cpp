@@ -12,9 +12,11 @@ namespace advh::core {
 namespace {
 constexpr std::uint32_t kMagic = 0x41444554;  // "ADET"
 // Version history: 1 = initial format; 2 adds the flag_unmodeled policy
-// byte after sigma_multiplier. Version-1 files still load (policy
-// defaults to fail-closed, matching detector_config).
-constexpr std::uint32_t kVersion = 2;
+// byte after sigma_multiplier; 3 adds the degraded-input policy
+// (min_events_for_verdict u64 + flag_on_abstain u8) after that byte.
+// Older files still load (policies default to the fail-closed
+// detector_config values).
+constexpr std::uint32_t kVersion = 3;
 constexpr std::uint32_t kOldestSupported = 1;
 // A BIC scan never selects more components than template rows; anything
 // beyond this is corrupt bytes, not a plausible fit.
@@ -89,6 +91,8 @@ void save_detector(const detector& det, const std::string& path) {
   write_pod(os, static_cast<std::uint64_t>(cfg.k_max));
   write_pod(os, cfg.sigma_multiplier);
   write_pod(os, static_cast<std::uint8_t>(cfg.flag_unmodeled ? 1 : 0));
+  write_pod(os, static_cast<std::uint64_t>(cfg.min_events_for_verdict));
+  write_pod(os, static_cast<std::uint8_t>(cfg.flag_on_abstain ? 1 : 0));
   write_pod(os, static_cast<std::uint64_t>(det.num_classes()));
 
   for (std::size_t cls = 0; cls < det.num_classes(); ++cls) {
@@ -149,6 +153,16 @@ detector load_detector(const std::string& path) {
   }
   if (version >= 2) {
     cfg.flag_unmodeled = read_pod<std::uint8_t>(is, path) != 0;
+  }
+  if (version >= 3) {
+    cfg.min_events_for_verdict =
+        static_cast<std::size_t>(read_pod<std::uint64_t>(is, path));
+    if (cfg.min_events_for_verdict > n_events) {
+      throw io_error(path + ": min_events_for_verdict " +
+                     std::to_string(cfg.min_events_for_verdict) +
+                     " exceeds event count");
+    }
+    cfg.flag_on_abstain = read_pod<std::uint8_t>(is, path) != 0;
   }
 
   const auto n_classes = read_pod<std::uint64_t>(is, path);

@@ -123,6 +123,8 @@ void evaluate_inputs(const detector& det, hpc::hpc_monitor& monitor,
     }
     eval.fused.push(is_adversarial, v.adversarial_any);
     if (!v.modeled) ++eval.unmodeled;
+    if (v.degraded) ++eval.degraded;
+    if (v.abstained) ++eval.abstained;
   }
 }
 

@@ -55,6 +55,12 @@ struct detection_eval {
   /// Inputs whose predicted class had no fitted model; their fused
   /// verdict is the flag_unmodeled policy rather than measured evidence.
   std::size_t unmodeled = 0;
+  /// Inputs scored with at least one configured event unavailable
+  /// (verdict::degraded).
+  std::size_t degraded = 0;
+  /// Inputs where the detector abstained (verdict::abstained); their
+  /// fused verdict is the flag_on_abstain policy.
+  std::size_t abstained = 0;
 };
 
 /// Scores `inputs` (each a batch-of-one tensor); `is_adversarial` is the

@@ -23,6 +23,9 @@ enum class hpc_event {
   llc_store_misses,
 };
 
+/// Number of supported events (size of per-event lookup tables).
+inline constexpr std::size_t hpc_event_count = 9;
+
 /// perf-style event name, e.g. "cache-misses".
 std::string to_string(hpc_event e);
 hpc_event event_from_string(const std::string& name);

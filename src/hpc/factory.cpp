@@ -1,30 +1,76 @@
 #include "hpc/factory.hpp"
 
+#include <cstdlib>
+
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "hpc/perf_backend.hpp"
 
 namespace advh::hpc {
 
-monitor_ptr make_monitor(nn::model& m, backend_kind kind,
-                         const uarch::trace_gen_config& sim_cfg,
-                         std::uint64_t noise_seed) {
-  switch (kind) {
+std::optional<fault_config> fault_config_from_env() {
+  const char* env = std::getenv("ADVH_FAULT_RATE");
+  if (env == nullptr) return std::nullopt;
+  const double rate = std::atof(env);
+  if (rate <= 0.0) return std::nullopt;
+  fault_config cfg;
+  cfg.read_failure_rate = rate;
+  cfg.spike_rate = rate / 2.0;
+  cfg.stuck_rate = rate / 4.0;
+  // Rare, short hangs: enough to exercise the timed-out-read path without
+  // slowing the suite down.
+  cfg.hang_rate = rate / 50.0;
+  cfg.hang_ms = 1;
+  return cfg;
+}
+
+monitor_ptr make_monitor(nn::model& m, const monitor_options& opts) {
+  monitor_ptr base;
+  switch (opts.kind) {
     case backend_kind::perf:
-      return std::make_unique<perf_backend>(m);
+      base = std::make_unique<perf_backend>(m);
+      break;
     case backend_kind::simulator:
-      return std::make_unique<sim_backend>(m, sim_cfg, noise_model{},
-                                           noise_seed);
+      base = std::make_unique<sim_backend>(m, opts.sim_cfg, noise_model{},
+                                           opts.noise_seed);
+      break;
     case backend_kind::auto_detect:
       if (perf_events_available()) {
         log::info("HPC monitor: native perf_event backend");
-        return std::make_unique<perf_backend>(m);
+        base = std::make_unique<perf_backend>(m);
+      } else {
+        log::info("HPC monitor: perf_event unavailable, using simulator");
+        base = std::make_unique<sim_backend>(m, opts.sim_cfg, noise_model{},
+                                             opts.noise_seed);
       }
-      log::info("HPC monitor: perf_event unavailable, using simulator");
-      return std::make_unique<sim_backend>(m, sim_cfg, noise_model{},
-                                           noise_seed);
+      break;
   }
-  throw invariant_error("unknown backend kind");
+  if (base == nullptr) throw invariant_error("unknown backend kind");
+
+  if (opts.faults.has_value()) {
+    log::info("HPC monitor: injecting faults (read failure rate ",
+              opts.faults->read_failure_rate, ")");
+    base = std::make_unique<fault_backend>(std::move(base), *opts.faults);
+  }
+  if (opts.resilience.has_value()) {
+    base = std::make_unique<resilient_monitor>(std::move(base),
+                                               *opts.resilience);
+  }
+  return base;
+}
+
+monitor_ptr make_monitor(nn::model& m, backend_kind kind,
+                         const uarch::trace_gen_config& sim_cfg,
+                         std::uint64_t noise_seed) {
+  monitor_options opts;
+  opts.kind = kind;
+  opts.sim_cfg = sim_cfg;
+  opts.noise_seed = noise_seed;
+  // Chaos override: a fault-injected stack is only useful behind the
+  // resilient layer, so the two always come together here.
+  opts.faults = fault_config_from_env();
+  if (opts.faults.has_value()) opts.resilience = resilience_config{};
+  return make_monitor(m, opts);
 }
 
 }  // namespace advh::hpc

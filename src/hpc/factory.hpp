@@ -1,8 +1,20 @@
 // Monitor construction with graceful fallback: prefer the native perf
-// backend when the kernel permits it, otherwise the simulator.
+// backend when the kernel permits it, otherwise the simulator — plus
+// optional decoration with the fault-injection and resilience layers.
+//
+// Chaos wiring: when the ADVH_FAULT_RATE environment variable is set to a
+// positive rate, the convenience make_monitor overload wraps whatever
+// backend it builds in fault_backend (deterministic injected faults at
+// that rate) and resilient_monitor (retry + robust aggregation), so the
+// whole test/bench suite can be exercised under measurement faults
+// without touching call sites.
 #pragma once
 
+#include <optional>
+
+#include "hpc/fault_backend.hpp"
 #include "hpc/monitor.hpp"
+#include "hpc/resilient_monitor.hpp"
 #include "hpc/sim_backend.hpp"
 #include "nn/model.hpp"
 
@@ -10,12 +22,33 @@ namespace advh::hpc {
 
 enum class backend_kind { auto_detect, simulator, perf };
 
-/// Builds a monitor over `m`. With auto_detect, perf is used when
-/// available and the simulator otherwise. The returned monitor borrows the
-/// model; callers keep it alive.
+struct monitor_options {
+  backend_kind kind = backend_kind::auto_detect;
+  uarch::trace_gen_config sim_cfg{};
+  std::uint64_t noise_seed = 99;
+  /// When set, the base backend is wrapped in a fault_backend injecting
+  /// deterministic faults (chaos testing).
+  std::optional<fault_config> faults;
+  /// When set, the (possibly faulty) stack is wrapped in a
+  /// resilient_monitor.
+  std::optional<resilience_config> resilience;
+};
+
+/// Builds the monitor stack described by `opts` over `m`. With
+/// auto_detect, perf is used when available and the simulator otherwise.
+/// The returned monitor borrows the model; callers keep it alive.
+monitor_ptr make_monitor(nn::model& m, const monitor_options& opts);
+
+/// Convenience overload. Honours the ADVH_FAULT_RATE chaos override (see
+/// fault_config_from_env); pass explicit monitor_options to opt out.
 monitor_ptr make_monitor(nn::model& m,
                          backend_kind kind = backend_kind::auto_detect,
                          const uarch::trace_gen_config& sim_cfg = {},
                          std::uint64_t noise_seed = 99);
+
+/// Parses the ADVH_FAULT_RATE environment variable into a fault profile:
+/// transient read failures at the given rate, spikes at half of it, and
+/// stuck-at reads at a quarter. Returns nullopt when unset or <= 0.
+std::optional<fault_config> fault_config_from_env();
 
 }  // namespace advh::hpc

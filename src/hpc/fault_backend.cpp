@@ -1,0 +1,147 @@
+#include "hpc/fault_backend.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace advh::hpc {
+
+namespace {
+
+constexpr std::uint64_t kNever = std::numeric_limits<std::uint64_t>::max();
+
+/// Salt for the per-event loss-onset streams, far away from the sample
+/// stream indices the measurement path uses.
+constexpr std::uint64_t kLossSalt = 0xADF0'0000'0000'0000ULL;
+
+/// Geometric draw: number of stream units survived before an event with
+/// per-unit hazard `rate` dies.
+std::uint64_t draw_loss_onset(std::uint64_t seed, std::size_t event_index,
+                              double rate) {
+  if (rate <= 0.0) return kNever;
+  if (rate >= 1.0) return 0;
+  rng gen = rng::stream(seed, kLossSalt + event_index);
+  const double u = gen.uniform();
+  const double onset = std::log(1.0 - u) / std::log(1.0 - rate);
+  if (!(onset < 1e18)) return kNever;
+  return static_cast<std::uint64_t>(onset);
+}
+
+}  // namespace
+
+fault_backend::fault_backend(monitor_ptr inner, fault_config cfg)
+    : inner_(std::move(inner)), cfg_(cfg) {
+  ADVH_CHECK(inner_ != nullptr);
+  reader_ = dynamic_cast<raw_reader*>(inner_.get());
+  if (reader_ == nullptr) {
+    throw unsupported_error("fault_backend requires a raw_reader inner "
+                            "backend (got " +
+                            inner_->backend_name() + ")");
+  }
+  for (std::size_t i = 0; i < hpc_event_count; ++i) {
+    loss_onset_[i] = draw_loss_onset(cfg_.seed, i, cfg_.permanent_loss_rate);
+  }
+}
+
+std::uint64_t fault_backend::loss_onset(hpc_event e) const noexcept {
+  return loss_onset_[static_cast<std::size_t>(e)];
+}
+
+reading_block fault_backend::read_repetitions(const tensor& x,
+                                              std::span<const hpc_event> events,
+                                              std::size_t repeats,
+                                              std::uint64_t stream) {
+  reading_block block = reader_->read_repetitions(x, events, repeats, stream);
+
+  rng faults = rng::stream(cfg_.seed, stream);
+
+  // A hung read stalls the caller and then every repetition in the block
+  // reports as timed out. The stall length does not influence any value.
+  if (faults.bernoulli(cfg_.hang_rate)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(cfg_.hang_ms));
+    for (auto& s : block.status) {
+      if (s == reading_block::read_status::ok) {
+        s = reading_block::read_status::transient_failure;
+      }
+    }
+    return block;
+  }
+
+  const std::size_t n_events = events.size();
+  std::vector<double> last_good(n_events,
+                                std::numeric_limits<double>::quiet_NaN());
+  for (std::size_t r = 0; r < block.repetitions; ++r) {
+    for (std::size_t e = 0; e < n_events; ++e) {
+      // Fixed draw count per cell keeps the fault pattern a pure function
+      // of (seed, stream), independent of earlier outcomes.
+      const bool fail = faults.bernoulli(cfg_.read_failure_rate);
+      const bool spike = faults.bernoulli(cfg_.spike_rate);
+      const bool stuck = faults.bernoulli(cfg_.stuck_rate);
+
+      const std::size_t idx = r * n_events + e;
+      if (stream >= loss_onset(events[e])) {
+        block.status[idx] = reading_block::read_status::event_lost;
+        continue;
+      }
+      if (block.status[idx] != reading_block::read_status::ok) continue;
+      if (fail) {
+        block.status[idx] = reading_block::read_status::transient_failure;
+        continue;
+      }
+      if (stuck && !std::isnan(last_good[e])) {
+        block.values[idx] = last_good[e];
+      } else if (spike) {
+        block.values[idx] *= cfg_.spike_magnitude;
+      }
+      last_good[e] = block.values[idx];
+    }
+  }
+  return block;
+}
+
+measurement fault_backend::do_measure(const tensor& x,
+                                      std::span<const hpc_event> events,
+                                      std::size_t repeats) {
+  const reading_block block =
+      read_repetitions(x, events, repeats, next_stream_++);
+
+  measurement out;
+  out.predicted = block.predicted;
+  out.mean_counts.assign(events.size(), 0.0);
+  out.stddev_counts.assign(events.size(), 0.0);
+  out.q.available.assign(events.size(), 1);
+  out.q.multiplexed = block.multiplexed;
+  out.q.repetitions = static_cast<std::uint32_t>(repeats);
+
+  for (std::size_t e = 0; e < events.size(); ++e) {
+    stats::running_stats acc;
+    bool lost = false;
+    for (std::size_t r = 0; r < block.repetitions; ++r) {
+      switch (block.status_at(r, e)) {
+        case reading_block::read_status::ok:
+          acc.push(block.value_at(r, e));
+          break;
+        case reading_block::read_status::transient_failure:
+          ++out.q.failed_repetitions;
+          break;
+        case reading_block::read_status::event_lost:
+          lost = true;
+          break;
+      }
+    }
+    if (lost || acc.count() == 0) {
+      out.q.available[e] = 0;
+      continue;
+    }
+    out.mean_counts[e] = acc.mean();
+    out.stddev_counts[e] = acc.stddev();
+  }
+  return out;
+}
+
+}  // namespace advh::hpc

@@ -1,14 +1,36 @@
 #include "hpc/monitor.hpp"
 
+#include <stdexcept>
+
 namespace advh::hpc {
 
+measurement hpc_monitor::measure(const tensor& x,
+                                 std::span<const hpc_event> events,
+                                 std::size_t repeats) {
+  if (repeats == 0) {
+    throw std::invalid_argument(
+        "hpc_monitor::measure: repeats must be positive");
+  }
+  return do_measure(x, events, repeats);
+}
+
 std::vector<measurement> hpc_monitor::measure_batch(
+    std::span<const tensor> inputs, std::span<const hpc_event> events,
+    std::size_t repeats, std::size_t threads) {
+  if (repeats == 0) {
+    throw std::invalid_argument(
+        "hpc_monitor::measure_batch: repeats must be positive");
+  }
+  return do_measure_batch(inputs, events, repeats, threads);
+}
+
+std::vector<measurement> hpc_monitor::do_measure_batch(
     std::span<const tensor> inputs, std::span<const hpc_event> events,
     std::size_t repeats, std::size_t threads) {
   (void)threads;  // one physical PMU: batch order is the measurement order
   std::vector<measurement> out;
   out.reserve(inputs.size());
-  for (const tensor& x : inputs) out.push_back(measure(x, events, repeats));
+  for (const tensor& x : inputs) out.push_back(do_measure(x, events, repeats));
   return out;
 }
 

@@ -4,8 +4,17 @@
 // input, observes the hard-label prediction, and returns per-event counter
 // statistics averaged over R measurement repetitions — exactly the
 // defender's view in the paper's threat model (Section 4).
+//
+// Real counters are not the paper's idealised ones: reads fail
+// transiently, the PMU multiplexes events, co-tenant noise spikes counts,
+// and events can disappear mid-session. Every measurement therefore
+// carries a `measurement::quality` report describing how trustworthy it
+// is, and backends that can address raw repetition readings by an explicit
+// stream index implement `raw_reader`, the capability the resilient
+// decorator stack (fault_backend / resilient_monitor) is built on.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
@@ -16,12 +25,99 @@
 namespace advh::hpc {
 
 struct measurement {
+  /// Provenance/trust report for one measurement. An empty `available`
+  /// vector means "every requested event was measured normally" — the
+  /// fast path for backends that predate the resilience layer.
+  struct quality {
+    /// Per requested event: 1 when the event was actually measured for
+    /// this sample, 0 when it was unavailable (permanently lost counter,
+    /// or every repetition failed). Empty = all available.
+    std::vector<std::uint8_t> available;
+    /// Per requested event: 1 when the reported count was scaled by
+    /// time_enabled/time_running because the PMU multiplexed the event.
+    /// Empty = no scaling occurred.
+    std::vector<std::uint8_t> multiplexed;
+    /// Retry rounds the resilient layer spent refilling failed
+    /// repetitions for this sample.
+    std::uint32_t retries = 0;
+    /// Repetitions rejected by robust (median/MAD) aggregation.
+    std::uint32_t outliers_rejected = 0;
+    /// Repetitions that stayed failed after the retry budget ran out.
+    std::uint32_t failed_repetitions = 0;
+    /// The R the caller asked for (0 when the backend does not report it).
+    std::uint32_t repetitions = 0;
+
+    bool event_available(std::size_t e) const noexcept {
+      return available.empty() || (e < available.size() && available[e] != 0);
+    }
+    /// True when at least one requested event was unavailable.
+    bool degraded() const noexcept {
+      for (const std::uint8_t a : available) {
+        if (a == 0) return true;
+      }
+      return false;
+    }
+  };
+
   /// Mean counter value per requested event (the paper's E-bar).
   std::vector<double> mean_counts;
   /// Per-event standard deviation across the R repetitions.
   std::vector<double> stddev_counts;
   /// The DNN's hard-label prediction for the submitted input.
   std::size_t predicted = 0;
+  /// Trust report (see above); default-constructed = fully trusted.
+  quality q;
+};
+
+/// One block of raw per-repetition counter readings, before aggregation.
+/// Produced by `raw_reader` backends; consumed by the resilient layer,
+/// which retries failures and aggregates robustly.
+struct reading_block {
+  enum class read_status : std::uint8_t {
+    ok = 0,                ///< value holds a real reading
+    transient_failure = 1, ///< this read failed; a retry may succeed
+    event_lost = 2,        ///< the counter is permanently gone
+  };
+
+  std::size_t repetitions = 0;
+  std::size_t num_events = 0;
+  /// Hard-label prediction of the inference the readings were taken
+  /// around. The prediction comes from the model, not the counters, so it
+  /// survives every counter fault.
+  std::size_t predicted = 0;
+  /// values[rep * num_events + event]; meaningful only where the
+  /// corresponding status is ok.
+  std::vector<double> values;
+  std::vector<read_status> status;
+  /// Per event: 1 when any repetition's count was multiplex-scaled.
+  /// Empty = none.
+  std::vector<std::uint8_t> multiplexed;
+
+  double value_at(std::size_t rep, std::size_t event) const {
+    return values[rep * num_events + event];
+  }
+  read_status status_at(std::size_t rep, std::size_t event) const {
+    return status[rep * num_events + event];
+  }
+};
+
+/// Capability interface: backends whose raw repetition readings can be
+/// addressed by an explicit stream index. The index — not call order —
+/// fully determines any simulated randomness, which is what lets the
+/// resilient layer retry and parallelise without losing bitwise
+/// reproducibility. Implementations must be safe to call concurrently
+/// from multiple threads.
+class raw_reader {
+ public:
+  virtual ~raw_reader() = default;
+
+  /// Takes `repeats` raw readings of `events` around one inference of `x`.
+  /// Simulated backends derive all stochastic behaviour from `stream`;
+  /// hardware backends ignore it.
+  virtual reading_block read_repetitions(const tensor& x,
+                                         std::span<const hpc_event> events,
+                                         std::size_t repeats,
+                                         std::uint64_t stream) = 0;
 };
 
 class hpc_monitor {
@@ -32,9 +128,10 @@ class hpc_monitor {
 
   /// Runs inference on one example (batch-of-one tensor), sampling the
   /// given events `repeats` times (the paper's R; 10 by default there).
-  virtual measurement measure(const tensor& x,
-                              std::span<const hpc_event> events,
-                              std::size_t repeats) = 0;
+  /// Throws std::invalid_argument when repeats == 0 — this validation is
+  /// the non-virtual boundary, so every backend inherits it.
+  measurement measure(const tensor& x, std::span<const hpc_event> events,
+                      std::size_t repeats);
 
   /// Measures a batch of independent inputs; out[i] corresponds to
   /// inputs[i]. The base implementation is a serial loop over `measure`
@@ -43,15 +140,28 @@ class hpc_monitor {
   /// run workers concurrently; any override must return results that are
   /// bitwise identical to the serial loop. `threads` follows
   /// advh::resolve_threads semantics: 0 means the ADVH_THREADS override
-  /// or, failing that, hardware concurrency.
-  virtual std::vector<measurement> measure_batch(
-      std::span<const tensor> inputs, std::span<const hpc_event> events,
-      std::size_t repeats, std::size_t threads = 0);
+  /// or, failing that, hardware concurrency. Throws std::invalid_argument
+  /// when repeats == 0.
+  std::vector<measurement> measure_batch(std::span<const tensor> inputs,
+                                         std::span<const hpc_event> events,
+                                         std::size_t repeats,
+                                         std::size_t threads = 0);
 
   virtual std::string backend_name() const = 0;
 
  protected:
   hpc_monitor() = default;
+
+  /// Backend implementation of `measure`; repeats > 0 is guaranteed.
+  virtual measurement do_measure(const tensor& x,
+                                 std::span<const hpc_event> events,
+                                 std::size_t repeats) = 0;
+
+  /// Backend implementation of `measure_batch`; defaults to a serial loop
+  /// over do_measure.
+  virtual std::vector<measurement> do_measure_batch(
+      std::span<const tensor> inputs, std::span<const hpc_event> events,
+      std::size_t repeats, std::size_t threads);
 };
 
 using monitor_ptr = std::unique_ptr<hpc_monitor>;

@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "common/logging.hpp"
 #include "common/stats.hpp"
 
 namespace advh::hpc {
@@ -98,8 +99,36 @@ int open_event_fd(hpc_event e) noexcept {
   attr.disabled = 1;
   attr.exclude_kernel = 1;
   attr.exclude_hv = 1;
+  // Expose PMU scheduling time so multiplexed counts can be scaled.
+  attr.read_format =
+      PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
   return static_cast<int>(
       perf_event_open_syscall(&attr, 0 /* self */, -1, -1, 0));
+}
+
+/// What the kernel returns for the read_format above.
+struct counter_reading {
+  std::uint64_t value = 0;
+  std::uint64_t time_enabled = 0;
+  std::uint64_t time_running = 0;
+};
+
+/// Reads the full counter struct, retrying on EINTR and reassembling
+/// short reads. Returns false when the read failed outright.
+bool robust_read(int fd, counter_reading& out) noexcept {
+  auto* bytes = reinterpret_cast<char*>(&out);
+  std::size_t have = 0;
+  while (have < sizeof(out)) {
+    const ssize_t got = ::read(fd, bytes + have, sizeof(out) - have);
+    if (got > 0) {
+      have += static_cast<std::size_t>(got);
+      continue;
+    }
+    if (got < 0 && errno == EINTR) continue;  // interrupted: retry the read
+    return false;  // EOF or hard error: the caller treats this repetition
+                   // as a transient failure
+  }
+  return true;
 }
 
 }  // namespace
@@ -124,42 +153,111 @@ perf_backend::perf_backend(nn::model& m) : model_(m) {
 
 perf_backend::~perf_backend() = default;
 
-measurement perf_backend::measure(const tensor& x,
-                                  std::span<const hpc_event> events,
-                                  std::size_t repeats) {
-  ADVH_CHECK(repeats > 0);
-  measurement out;
-  out.mean_counts.assign(events.size(), 0.0);
-  out.stddev_counts.assign(events.size(), 0.0);
+reading_block perf_backend::read_repetitions(const tensor& x,
+                                             std::span<const hpc_event> events,
+                                             std::size_t repeats,
+                                             std::uint64_t /*stream*/) {
+  reading_block block;
+  block.repetitions = repeats;
+  block.num_events = events.size();
+  block.values.assign(repeats * events.size(), 0.0);
+  block.status.assign(repeats * events.size(), reading_block::read_status::ok);
+  block.multiplexed.assign(events.size(), 0);
 
-  std::vector<stats::running_stats> acc(events.size());
   for (std::size_t r = 0; r < repeats; ++r) {
     // One fd per event, counting simultaneously around a real inference.
     std::vector<scoped_fd> fds;
     fds.reserve(events.size());
-    for (hpc_event e : events) {
-      fds.emplace_back(open_event(e));
-      ADVH_CHECK_MSG(fds.back().valid(),
-                     "failed to open counter for " + to_string(e));
+    for (std::size_t e = 0; e < events.size(); ++e) {
+      fds.emplace_back(open_event(events[e]));
+      if (!fds.back().valid()) {
+        const auto idx = static_cast<std::size_t>(events[e]);
+        if (!open_warned_[idx]) {
+          open_warned_[idx] = true;
+          log::warn("perf: cannot open counter for ", to_string(events[e]),
+                    " (", std::strerror(errno), "); event reported lost");
+        }
+        block.status[r * events.size() + e] =
+            reading_block::read_status::event_lost;
+        continue;
+      }
       ioctl(fds.back().get(), PERF_EVENT_IOC_RESET, 0);
     }
-    for (auto& fd : fds) ioctl(fd.get(), PERF_EVENT_IOC_ENABLE, 0);
+    for (auto& fd : fds) {
+      if (fd.valid()) ioctl(fd.get(), PERF_EVENT_IOC_ENABLE, 0);
+    }
 
-    out.predicted = model_.predict_one(x);
+    block.predicted = model_.predict_one(x);
 
     for (std::size_t e = 0; e < events.size(); ++e) {
+      const std::size_t idx = r * events.size() + e;
+      if (block.status[idx] == reading_block::read_status::event_lost) {
+        continue;
+      }
       ioctl(fds[e].get(), PERF_EVENT_IOC_DISABLE, 0);
-      std::uint64_t value = 0;
-      const ssize_t got = ::read(fds[e].get(), &value, sizeof(value));
-      ADVH_CHECK_MSG(got == static_cast<ssize_t>(sizeof(value)),
-                     "short read from perf counter");
-      acc[e].push(static_cast<double>(value));
+      counter_reading reading;
+      if (!robust_read(fds[e].get(), reading) || reading.time_running == 0) {
+        // Hard read error, or the event never got PMU time this run.
+        block.status[idx] = reading_block::read_status::transient_failure;
+        continue;
+      }
+      double value = static_cast<double>(reading.value);
+      if (reading.time_running < reading.time_enabled) {
+        // The PMU multiplexed this event: scale the observed count to the
+        // full enabled window, the standard perf estimate.
+        value *= static_cast<double>(reading.time_enabled) /
+                 static_cast<double>(reading.time_running);
+        block.multiplexed[e] = 1;
+        const auto ev_idx = static_cast<std::size_t>(events[e]);
+        if (!scale_warned_[ev_idx]) {
+          scale_warned_[ev_idx] = true;
+          log::warn("perf: ", to_string(events[e]),
+                    " is multiplexed; counts scaled by "
+                    "time_enabled/time_running");
+        }
+      }
+      block.values[idx] = value;
     }
   }
+  return block;
+}
+
+measurement perf_backend::do_measure(const tensor& x,
+                                     std::span<const hpc_event> events,
+                                     std::size_t repeats) {
+  const reading_block block = read_repetitions(x, events, repeats, 0);
+
+  measurement out;
+  out.predicted = block.predicted;
+  out.mean_counts.assign(events.size(), 0.0);
+  out.stddev_counts.assign(events.size(), 0.0);
+  out.q.available.assign(events.size(), 1);
+  out.q.multiplexed = block.multiplexed;
+  out.q.repetitions = static_cast<std::uint32_t>(repeats);
 
   for (std::size_t e = 0; e < events.size(); ++e) {
-    out.mean_counts[e] = acc[e].mean();
-    out.stddev_counts[e] = acc[e].stddev();
+    stats::running_stats acc;
+    bool lost = false;
+    for (std::size_t r = 0; r < repeats; ++r) {
+      switch (block.status_at(r, e)) {
+        case reading_block::read_status::ok:
+          acc.push(block.value_at(r, e));
+          break;
+        case reading_block::read_status::transient_failure:
+          ++out.q.failed_repetitions;
+          break;
+        case reading_block::read_status::event_lost:
+          lost = true;
+          break;
+      }
+    }
+    if (lost || acc.count() == 0) {
+      out.q.available[e] = 0;
+      continue;
+    }
+    out.mean_counts[e] = acc.mean();
+    // Population stddev: 0 by construction at repeats == 1, never NaN.
+    out.stddev_counts[e] = acc.stddev();
   }
   return out;
 }

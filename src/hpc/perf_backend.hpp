@@ -5,7 +5,17 @@
 // CI environments usually deny perf_event_open (perf_event_paranoid or
 // seccomp); construction then throws backend_unavailable and callers fall
 // back to the simulator (see make_monitor in hpc/factory.hpp).
+//
+// Hardened against real-counter flakiness: reads retry on EINTR and
+// reassemble short reads; counters are opened with
+// time_enabled/time_running so multiplexed events are scaled to their
+// full-time estimate (logged once per event); an event that cannot be
+// opened or read is reported unavailable in measurement::quality instead
+// of aborting the measurement, so the resilient layer can degrade
+// gracefully.
 #pragma once
+
+#include <array>
 
 #include "hpc/monitor.hpp"
 #include "nn/model.hpp"
@@ -15,22 +25,34 @@ namespace advh::hpc {
 /// Returns true if a basic hardware counter can be opened on this system.
 bool perf_events_available() noexcept;
 
-class perf_backend final : public hpc_monitor {
+class perf_backend final : public hpc_monitor, public raw_reader {
  public:
   /// Throws backend_unavailable if perf_event_open is not permitted.
   explicit perf_backend(nn::model& m);
   ~perf_backend() override;
 
-  measurement measure(const tensor& x, std::span<const hpc_event> events,
-                      std::size_t repeats) override;
-
   std::string backend_name() const override { return "perf_event"; }
+
+  /// Raw per-repetition readings; `stream` is ignored (real hardware has
+  /// no replayable randomness). Serial use only — one physical PMU.
+  reading_block read_repetitions(const tensor& x,
+                                 std::span<const hpc_event> events,
+                                 std::size_t repeats,
+                                 std::uint64_t stream) override;
+
+ protected:
+  measurement do_measure(const tensor& x, std::span<const hpc_event> events,
+                         std::size_t repeats) override;
 
  private:
   /// Opens a counter fd for one event; returns -1 on failure.
   static int open_event(hpc_event e) noexcept;
 
   nn::model& model_;
+  /// Events already warned about (multiplex scaling / open failure), so
+  /// each condition logs once per event per backend instance.
+  std::array<bool, hpc_event_count> scale_warned_{};
+  std::array<bool, hpc_event_count> open_warned_{};
 };
 
 }  // namespace advh::hpc

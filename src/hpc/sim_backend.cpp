@@ -39,22 +39,54 @@ measurement sim_backend::measure_one(const tensor& x,
       acc.push(noise_.sample(events[e], truth, noise_rng));
     }
     out.mean_counts[e] = acc.mean();
+    // Population stddev: 0 by construction at repeats == 1, never NaN.
     out.stddev_counts[e] = acc.stddev();
   }
   return out;
 }
 
-measurement sim_backend::measure(const tensor& x,
-                                 std::span<const hpc_event> events,
-                                 std::size_t repeats) {
+reading_block sim_backend::read_repetitions(const tensor& x,
+                                            std::span<const hpc_event> events,
+                                            std::size_t repeats,
+                                            std::uint64_t stream) {
   ADVH_CHECK(repeats > 0);
+  reading_block block;
+  block.repetitions = repeats;
+  block.num_events = events.size();
+  block.values.assign(repeats * events.size(), 0.0);
+  block.status.assign(repeats * events.size(), reading_block::read_status::ok);
+
+  std::size_t predicted = 0;
+  nn::inference_trace trace = model_.trace_inference(x, predicted);
+  // Private replay context per call: trace_generator::run resets its cache
+  // and predictor state on entry, so concurrent callers reproduce the same
+  // cold-pipeline profile the serial path computes.
+  uarch::trace_generator gen(gen_.config());
+  const uarch::uarch_counts true_counts = gen.run(trace);
+  block.predicted = predicted;
+
+  // Same draw order as measure_one (event-outer, repetition-inner), keyed
+  // purely by (seed, stream).
+  rng noise_rng = rng::stream(seed_, stream);
+  for (std::size_t e = 0; e < events.size(); ++e) {
+    const auto truth = static_cast<double>(extract(true_counts, events[e]));
+    for (std::size_t r = 0; r < repeats; ++r) {
+      block.values[r * events.size() + e] =
+          noise_.sample(events[e], truth, noise_rng);
+    }
+  }
+  return block;
+}
+
+measurement sim_backend::do_measure(const tensor& x,
+                                    std::span<const hpc_event> events,
+                                    std::size_t repeats) {
   return measure_one(x, events, repeats, gen_, next_stream_++);
 }
 
-std::vector<measurement> sim_backend::measure_batch(
+std::vector<measurement> sim_backend::do_measure_batch(
     std::span<const tensor> inputs, std::span<const hpc_event> events,
     std::size_t repeats, std::size_t threads) {
-  ADVH_CHECK(repeats > 0);
   std::vector<measurement> out(inputs.size());
   const std::uint64_t base = next_stream_;
   next_stream_ += inputs.size();

@@ -245,7 +245,8 @@ TEST(DetectorIo, CorruptFileRejected) {
 // Saves a small fitted detector and returns the raw file bytes, so the
 // corruption tests can flip specific fields. File layout (little-endian):
 // magic(4) version(4) n_events(8) event_enum(4)xN repeats(8) k_max(8)
-// sigma(8) flag_unmodeled(1) n_classes(8), then per (class, event) cell:
+// sigma(8) flag_unmodeled(1) min_events_for_verdict(8) flag_on_abstain(1)
+// n_classes(8), then per (class, event) cell:
 // present(1) threshold(8) nll_mean(8) nll_stddev(8) template_size(8)
 // order(8) order x {weight(8) mean(8) variance(8)}.
 std::string fitted_detector_bytes() {
@@ -345,8 +346,8 @@ TEST(DetectorIo, NaNVarianceRejected) {
 TEST(DetectorIo, BadWeightSumRejected) {
   auto bytes = fitted_detector_bytes();
   // The first component's weight sits past the first cell's present byte
-  // and five 8-byte fields; the cell starts right after the 57-byte header.
-  const std::size_t first_weight = 57 + 1 + 5 * 8;
+  // and five 8-byte fields; the cell starts right after the 66-byte header.
+  const std::size_t first_weight = 66 + 1 + 5 * 8;
   double w = 0.0;
   std::memcpy(&w, bytes.data() + first_weight, sizeof(w));
   w += 0.25;  // weights no longer sum to 1
