@@ -1,27 +1,56 @@
 // Cloud-deployment scenario: a hard-label MLaaS endpoint monitored by
-// AdvHunter in a streaming loop.
+// AdvHunter in a streaming loop, with drift-aware operation.
 //
 // The paper's motivation: the defender operates a proprietary DNN behind a
 // hard-label API (no confidences, no internals) and wants to know, per
 // query, whether the submitted input carried adversarial noise. This
-// example simulates the service loop: a stream of mixed clean / FGSM /
-// PGD / DeepFool queries arrives, each is answered with its hard label,
-// and AdvHunter renders a side-channel verdict from the co-located HPC
-// monitor. At the end it prints the incident report.
+// example simulates the full deployment loop:
+//
+//   * offline: calibrate templates and fit the detector on a clean
+//     baseline, pin a canary set of known-benign validation inputs;
+//   * online: a stream of mixed clean / FGSM / PGD / DeepFool queries
+//     arrives in epochs; each epoch first re-probes the canaries (drift
+//     telemetry + reservoir), then answers the epoch's queries;
+//   * chaos: at --drift-epoch the simulated machine's counter baseline
+//     steps by --drift-magnitude, the canary cells alarm, the affected
+//     (class, event) cells are quarantined (verdicts fall back to the
+//     fail-closed degraded/abstain policy), and once enough post-alarm
+//     canaries accumulate the controller refits the quarantined cells;
+//   * crash safety: the controller state is checkpointed atomically after
+//     every epoch, SIGINT/SIGTERM drain the loop and flush a final
+//     checkpoint, and an existing checkpoint is resumed on start.
+//
+// At the end (or on an interrupt) it prints the incident report.
 #include <algorithm>
+#include <csignal>
+#include <filesystem>
 #include <iostream>
 #include <map>
 
 #include "attack/metrics.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "core/detector_io.hpp"
 #include "core/pipeline.hpp"
 #include "hpc/factory.hpp"
+#include "hpc/resilient_monitor.hpp"
 #include "nn/trainer.hpp"
 
 using namespace advh;
 
 namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_stop(int) { g_stop = 1; }
+
+void install_signal_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = handle_stop;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
 
 struct query {
   tensor image;
@@ -29,46 +58,13 @@ struct query {
   std::string kind;
 };
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  cli_parser cli("cloud_monitor", "streaming hard-label MLaaS monitor");
-  cli.add_flag("scenario", "S2", "scenario: S1, S2 or S3");
-  cli.add_flag("queries", "60", "stream length");
-  cli.add_flag("adversarial-fraction", "0.4", "fraction of attack queries");
-  cli.add_flag("seed", "2024", "stream RNG seed");
-  cli.add_flag("threads", "0",
-               "measurement worker threads (0 = ADVH_THREADS or hardware)");
-  cli.add_flag("no-verify", "false",
-               "skip static model verification (escape hatch)");
-  if (!cli.parse(argc, argv)) return 0;
-
-  auto rt = core::prepare_scenario(
-      data::scenario_from_string(cli.get("scenario")), "advh_models", 1234,
-      !cli.get_bool("no-verify"));
-  auto monitor = hpc::make_monitor(*rt.net, hpc::backend_kind::simulator);
-
-  // Offline phase.
-  core::detector_config dcfg;
-  dcfg.events = {hpc::hpc_event::cache_misses, hpc::hpc_event::llc_load_misses};
-  dcfg.repeats = 10;
-  const auto threads = static_cast<std::size_t>(
-      std::max(0, cli.get_int("threads")));
-  const auto tpl =
-      core::collect_template(*monitor, dcfg, rt.train, 40, 7, threads);
-  const auto det = core::detector::fit(tpl, dcfg, threads);
-  std::cout << "offline phase complete (" << tpl.num_classes()
-            << " class templates, events: cache-misses + LLC-load-misses)\n";
-
-  // Build the query stream.
-  rng gen(static_cast<std::uint64_t>(cli.get_int("seed")));
-  const auto total = static_cast<std::size_t>(cli.get_int("queries"));
-  const double adv_fraction = cli.get_double("adversarial-fraction");
-
-  std::vector<query> stream;
+/// Builds one epoch's query stream: mixed clean and successful attacks.
+std::vector<query> build_stream(core::scenario_runtime& rt, rng& gen,
+                                std::size_t total, double adv_fraction) {
   const std::vector<attack::attack_kind> kinds{attack::attack_kind::fgsm,
                                                attack::attack_kind::pgd,
                                                attack::attack_kind::deepfool};
+  std::vector<query> stream;
   while (stream.size() < total) {
     const std::size_t idx = gen.uniform_index(rt.test.size());
     tensor x = nn::single_example(rt.test.images, idx);
@@ -78,37 +74,162 @@ int main(int argc, char** argv) {
     }
     const auto kind = kinds[gen.uniform_index(kinds.size())];
     attack::attack_config acfg;
-    // A mix of untargeted evasions and targeted impersonations of the
-    // scenario's target class, at strengths where each attack works.
     acfg.goal = gen.bernoulli(0.5) ? attack::attack_goal::targeted
                                    : attack::attack_goal::untargeted;
     acfg.target_class = rt.spec.target_class;
     acfg.epsilon = 0.1f;
-    auto atk = attack::make_attack(kind, acfg);
     if (acfg.goal == attack::attack_goal::targeted &&
         rt.test.labels[idx] == rt.spec.target_class) {
       continue;
     }
+    auto atk = attack::make_attack(kind, acfg);
     auto r = atk->run(*rt.net, x, rt.test.labels[idx]);
     if (!r.success) continue;  // only successful evasions enter the stream
     stream.push_back({std::move(r.adversarial), true, to_string(kind)});
   }
+  return stream;
+}
 
-  // Online phase: answer queries, record verdicts.
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli_parser cli("cloud_monitor",
+                 "streaming hard-label MLaaS monitor with drift recovery");
+  cli.add_flag("scenario", "S2", "scenario: S1, S2 or S3");
+  cli.add_flag("epochs", "8", "online epochs (canary probe + query batch)");
+  cli.add_flag("queries-per-epoch", "12", "victim queries per epoch");
+  cli.add_flag("canaries-per-class", "4", "pinned canary probes per class");
+  cli.add_flag("adversarial-fraction", "0.4", "fraction of attack queries");
+  cli.add_flag("drift-epoch", "3",
+               "epoch at which the baseline steps (>= epochs disables)");
+  cli.add_flag("drift-magnitude", "2.0", "baseline step multiplier");
+  cli.add_flag("checkpoint", "advh_monitor_ckpt.adet",
+               "controller checkpoint path (resumed when present)");
+  cli.add_flag("seed", "2024", "stream RNG seed");
+  cli.add_flag("threads", "0",
+               "measurement worker threads (0 = ADVH_THREADS or hardware)");
+  cli.add_flag("no-verify", "false",
+               "skip static model verification (escape hatch)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  install_signal_handlers();
+
+  auto rt = core::prepare_scenario(
+      data::scenario_from_string(cli.get("scenario")), "advh_models", 1234,
+      !cli.get_bool("no-verify"));
+  const auto threads =
+      static_cast<std::size_t>(std::max(0, cli.get_int("threads")));
+
+  // Offline phase on the clean calibration machine.
+  core::detector_config dcfg;
+  dcfg.events = {hpc::hpc_event::cache_misses, hpc::hpc_event::llc_load_misses};
+  dcfg.repeats = 10;
+  auto calib_monitor = hpc::make_monitor(*rt.net, hpc::backend_kind::simulator);
+  const auto tpl =
+      core::collect_template(*calib_monitor, dcfg, rt.train, 40, 7, threads);
+
+  const std::string ckpt_path = cli.get("checkpoint");
+  core::drift_policy policy;
+  policy.min_refit_rows = 8;
+  std::optional<core::drift_controller> ctl;
+  if (std::filesystem::exists(ckpt_path)) {
+    auto loaded = core::load_checkpoint(ckpt_path);
+    if (loaded.drift.has_value()) {
+      std::cout << "resuming controller from " << ckpt_path << "\n";
+      ctl.emplace(std::move(loaded.det), std::move(*loaded.drift));
+    } else {
+      std::cout << ckpt_path << " has no drift state; starting fresh\n";
+      ctl.emplace(std::move(loaded.det), policy);
+    }
+  } else {
+    ctl.emplace(core::detector::fit(tpl, dcfg, threads), policy);
+  }
+  std::cout << "offline phase complete (" << tpl.num_classes()
+            << " class templates, events: cache-misses + LLC-load-misses)\n";
+
+  // Pinned canary set: correctly-classified validation inputs.
+  const auto canaries = core::pick_canaries(
+      *rt.net, rt.test,
+      static_cast<std::size_t>(std::max(1, cli.get_int("canaries-per-class"))),
+      11);
+
+  // Online monitor: same simulated machine, but its baseline steps at the
+  // configured epoch. Stream indices advance attempt_stride per sample,
+  // and each epoch measures canaries.size() + queries-per-epoch samples.
+  const auto epochs = static_cast<std::size_t>(std::max(1, cli.get_int("epochs")));
+  const auto per_epoch =
+      static_cast<std::size_t>(std::max(1, cli.get_int("queries-per-epoch")));
+  const auto drift_epoch =
+      static_cast<std::size_t>(std::max(0, cli.get_int("drift-epoch")));
+  hpc::monitor_options mopts;
+  mopts.kind = hpc::backend_kind::simulator;
+  mopts.resilience = hpc::resilience_config{};
+  if (drift_epoch < epochs) {
+    hpc::drift_profile profile;
+    profile.shape = hpc::drift_profile::shape_kind::step;
+    profile.magnitude = cli.get_double("drift-magnitude");
+    profile.onset_stream = drift_epoch * (canaries.inputs.size() + per_epoch) *
+                           hpc::resilient_monitor::attempt_stride;
+    mopts.drift = profile;
+  }
+  auto monitor = hpc::make_monitor(*rt.net, mopts);
+
+  // Online phase.
+  rng gen(static_cast<std::uint64_t>(cli.get_int("seed")));
+  const double adv_fraction = cli.get_double("adversarial-fraction");
   std::map<std::string, core::detection_confusion> by_kind;
   core::detection_confusion overall;
-  std::size_t shown = 0;
-  for (const auto& q : stream) {
-    const auto verdict = det.classify(*monitor, q.image);
-    overall.push(q.adversarial, verdict.adversarial_any);
-    by_kind[q.kind].push(q.adversarial, verdict.adversarial_any);
-    if (shown < 10) {  // echo the first few like a service log
-      std::cout << "query#" << shown << " -> label "
-                << rt.test.class_names[verdict.predicted]
-                << (verdict.adversarial_any ? "  [ALERT: adversarial]" : "")
-                << "  (truth: " << q.kind << ")\n";
-      ++shown;
+  std::size_t quarantined_verdicts = 0;
+  std::size_t abstained = 0;
+
+  for (std::size_t epoch = 0; epoch < epochs && !g_stop; ++epoch) {
+    if (epoch == drift_epoch) {
+      std::cout << "-- baseline drift begins (x"
+                << cli.get_double("drift-magnitude") << " step) --\n";
     }
+    const std::size_t accepted =
+        core::probe_canaries(*ctl, *monitor, canaries, threads);
+
+    std::vector<std::size_t> refitted;
+    if (ctl->recalibration_due()) refitted = ctl->recalibrate(threads);
+
+    auto stream = build_stream(rt, gen, per_epoch, adv_fraction);
+    const auto& cfg = ctl->det().config();
+    std::vector<tensor> inputs;
+    inputs.reserve(stream.size());
+    for (auto& q : stream) inputs.push_back(std::move(q.image));
+    const auto ms =
+        monitor->measure_batch(inputs, cfg.events, cfg.repeats, threads);
+    for (std::size_t i = 0; i < ms.size(); ++i) {
+      const std::uint64_t q_before = ctl->state().quarantined_verdicts;
+      const auto v = ctl->score_victim(ms[i]);
+      overall.push(stream[i].adversarial, v.adversarial_any);
+      by_kind[stream[i].kind].push(stream[i].adversarial, v.adversarial_any);
+      if (ctl->state().quarantined_verdicts != q_before) ++quarantined_verdicts;
+      if (v.abstained) ++abstained;
+    }
+
+    const auto rep = ctl->report();
+    std::cout << "epoch " << epoch << ": canaries " << accepted << "/"
+              << canaries.inputs.size() << " accepted, quarantined cells "
+              << rep.quarantined_cells << ", recalibrations "
+              << rep.recalibrations;
+    if (!refitted.empty()) {
+      std::cout << " [refitted " << refitted.size() << " classes]";
+    }
+    if (rep.drift_suspected) std::cout << " [DRIFT]";
+    if (rep.attack_suspected) std::cout << " [ATTACK]";
+    std::cout << "\n";
+
+    // Atomic checkpoint: a kill -9 here leaves either this epoch's state
+    // or the previous epoch's, never a torn file.
+    core::save_checkpoint(*ctl, ckpt_path);
+  }
+
+  if (g_stop) {
+    std::cout << "\ninterrupted: flushing drift state to " << ckpt_path
+              << "\n";
+    core::save_checkpoint(*ctl, ckpt_path);
   }
 
   text_table report("incident report");
@@ -125,5 +246,13 @@ int main(int argc, char** argv) {
                   text_table::num(100.0 * overall.accuracy(), 2),
                   text_table::num(overall.f1(), 4)});
   report.print(std::cout);
-  return 0;
+
+  const auto rep = ctl->report();
+  std::cout << "drift summary: canaries " << rep.canaries_accepted
+            << " accepted / " << rep.canaries_rejected << " rejected, "
+            << rep.quarantined_cells << " cells quarantined, "
+            << quarantined_verdicts << " quarantine-masked verdicts, "
+            << abstained << " abstentions, " << rep.recalibrations
+            << " cell recalibrations\n";
+  return g_stop ? 130 : 0;
 }

@@ -1,0 +1,106 @@
+#include "common/fs.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "common/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define ADVH_POSIX_IO 1
+#include <fcntl.h>
+#include <unistd.h>
+#else
+#define ADVH_POSIX_IO 0
+#include <cstdio>
+#include <fstream>
+#endif
+
+namespace advh {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw io_error(path + ": " + what + " (" + std::strerror(errno) + ")");
+}
+
+#if ADVH_POSIX_IO
+void write_all(int fd, std::string_view bytes, const std::string& path) {
+  const char* p = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail(path, "write failed");
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+void fsync_path(const std::string& path, int open_flags) {
+  const int fd = ::open(path.c_str(), open_flags);
+  if (fd < 0) fail(path, "open for fsync failed");
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) fail(path, "fsync failed");
+}
+#endif
+}  // namespace
+
+void atomic_write_file(const std::string& path, std::string_view bytes) {
+  const std::filesystem::path dest(path);
+  if (dest.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dest.parent_path(), ec);
+    if (ec) {
+      throw io_error(path + ": cannot create parent directory (" +
+                     ec.message() + ")");
+    }
+  }
+  const std::string tmp = path + kAtomicTmpSuffix;
+
+#if ADVH_POSIX_IO
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail(tmp, "cannot open staging file");
+  try {
+    write_all(fd, bytes, tmp);
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    fail(tmp, "fsync failed");
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    fail(tmp, "close failed");
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    fail(path, "rename failed");
+  }
+  // Persist the rename itself: a power cut after rename but before the
+  // directory entry hits disk could otherwise resurrect the old file.
+  const std::string dir =
+      dest.has_parent_path() ? dest.parent_path().string() : std::string(".");
+  fsync_path(dir, O_RDONLY | O_DIRECTORY);
+#else
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os.good()) throw io_error(tmp + ": cannot open staging file");
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    os.flush();
+    if (!os.good()) throw io_error(tmp + ": write failed");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, dest, ec);
+  if (ec) throw io_error(path + ": rename failed (" + ec.message() + ")");
+#endif
+}
+
+}  // namespace advh

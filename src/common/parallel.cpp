@@ -1,6 +1,7 @@
 #include "common/parallel.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
@@ -13,23 +14,37 @@
 
 namespace advh::parallel {
 
+namespace {
+// Sanity ceiling for the ADVH_THREADS override: far above any real
+// machine, low enough to catch unit-confused values (e.g. a millicore
+// count pasted from a container spec).
+constexpr long kMaxThreadsEnv = 4096;
+}  // namespace
+
 std::size_t hardware_threads() noexcept {
   const unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : static_cast<std::size_t>(n);
 }
 
-std::size_t default_threads() noexcept {
-  if (const char* env = std::getenv("ADVH_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v >= 0) {
-      return v == 0 ? hardware_threads() : static_cast<std::size_t>(v);
-    }
+std::size_t default_threads() {
+  const char* env = std::getenv("ADVH_THREADS");
+  if (env == nullptr) return hardware_threads();
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  // A set-but-broken override fails loudly: silently dropping to the
+  // hardware default would hide deployment-manifest typos.
+  if (end == env || *end != '\0' || errno == ERANGE || v < 0 ||
+      v > kMaxThreadsEnv) {
+    throw std::invalid_argument(
+        std::string("ADVH_THREADS=\"") + env +
+        "\": expected an integer in [0, " + std::to_string(kMaxThreadsEnv) +
+        "] (0 = all cores)");
   }
-  return hardware_threads();
+  return v == 0 ? hardware_threads() : static_cast<std::size_t>(v);
 }
 
-std::size_t resolve_threads(std::size_t requested) noexcept {
+std::size_t resolve_threads(std::size_t requested) {
   return requested == 0 ? default_threads() : requested;
 }
 

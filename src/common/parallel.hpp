@@ -18,14 +18,18 @@ namespace advh::parallel {
 /// std::thread::hardware_concurrency with a floor of 1.
 std::size_t hardware_threads() noexcept;
 
-/// The ambient worker count: ADVH_THREADS when set to a positive integer
-/// (ADVH_THREADS=0 means "all cores"), otherwise hardware_threads().
-std::size_t default_threads() noexcept;
+/// The ambient worker count: ADVH_THREADS when set (ADVH_THREADS=0 means
+/// "all cores"), otherwise hardware_threads(). A set-but-invalid
+/// ADVH_THREADS — negative, non-numeric, trailing garbage, or an
+/// implausibly large count — throws std::invalid_argument instead of
+/// silently falling back: a typo in a deployment manifest should fail
+/// loudly, not quietly serialise the measurement engine.
+std::size_t default_threads();
 
 /// Resolves a user-requested thread count: 0 means default_threads()
-/// (which honours the ADVH_THREADS override), anything else is taken
-/// literally.
-std::size_t resolve_threads(std::size_t requested) noexcept;
+/// (which honours — and validates — the ADVH_THREADS override), anything
+/// else is taken literally.
+std::size_t resolve_threads(std::size_t requested);
 
 /// A fixed-size fork/join worker pool. Workers are spawned once and reused
 /// across run_chunks calls; there is no task queue and no stealing — every

@@ -2,10 +2,11 @@
 
 #include <cmath>
 #include <cstdint>
-#include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "common/error.hpp"
+#include "common/fs.hpp"
 
 namespace advh::core {
 
@@ -13,25 +14,41 @@ namespace {
 constexpr std::uint32_t kMagic = 0x41444554;  // "ADET"
 // Version history: 1 = initial format; 2 adds the flag_unmodeled policy
 // byte after sigma_multiplier; 3 adds the degraded-input policy
-// (min_events_for_verdict u64 + flag_on_abstain u8) after that byte.
-// Older files still load (policies default to the fail-closed
-// detector_config values).
-constexpr std::uint32_t kVersion = 3;
+// (min_events_for_verdict u64 + flag_on_abstain u8) after that byte;
+// 4 appends an optional drift-controller section (presence byte, then
+// policy + per-cell sequential-detector state + canary reservoirs) after
+// the model grid. Older files still load (policies default to the
+// fail-closed detector_config values; drift state defaults to absent).
+constexpr std::uint32_t kVersion = 4;
 constexpr std::uint32_t kOldestSupported = 1;
 // A BIC scan never selects more components than template rows; anything
 // beyond this is corrupt bytes, not a plausible fit.
 constexpr std::uint64_t kMaxOrder = 4096;
+// Sanity bounds for drift-section sizes: far above any sane policy, low
+// enough that corrupt bytes cannot drive multi-gigabyte allocations.
+constexpr std::uint64_t kMaxWindow = 1u << 20;
+constexpr std::uint64_t kMaxReservoir = 1u << 20;
 
 template <typename T>
-void write_pod(std::ofstream& os, const T& v) {
+void write_pod(std::ostream& os, const T& v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof(T));
 }
 
 template <typename T>
-T read_pod(std::ifstream& is, const std::string& path) {
+T read_pod(std::istream& is, const std::string& path) {
   T v{};
   is.read(reinterpret_cast<char*>(&v), sizeof(T));
   if (!is.good()) throw io_error(path + ": truncated detector file");
+  return v;
+}
+
+double read_finite(std::istream& is, const std::string& path,
+                   const char* what) {
+  const double v = read_pod<double>(is, path);
+  if (!std::isfinite(v)) {
+    throw io_error(path + ": non-finite " + std::string(what) +
+                   " in drift state");
+  }
   return v;
 }
 
@@ -72,14 +89,8 @@ void validate_cell(std::span<const gmm::component1d> comps, double threshold,
                    std::to_string(weight_sum) + ", expected 1");
   }
 }
-}  // namespace
 
-void save_detector(const detector& det, const std::string& path) {
-  const std::filesystem::path p(path);
-  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
-  std::ofstream os(p, std::ios::binary);
-  ADVH_CHECK_MSG(os.good(), "cannot open " + path + " for writing");
-
+void write_detector_body(std::ostream& os, const detector& det) {
   const auto& cfg = det.config();
   write_pod(os, kMagic);
   write_pod(os, kVersion);
@@ -112,10 +123,177 @@ void save_detector(const detector& det, const std::string& path) {
       }
     }
   }
-  ADVH_CHECK_MSG(os.good(), "write failed for " + path);
 }
 
-detector load_detector(const std::string& path) {
+void write_drift_cell(std::ostream& os, const drift_cell& cell) {
+  write_pod(os, cell.ref_offset);
+  write_pod(os, cell.cusum_pos);
+  write_pod(os, cell.cusum_neg);
+  write_pod(os, cell.ph_mean);
+  write_pod(os, cell.ph_up);
+  write_pod(os, cell.ph_up_min);
+  write_pod(os, cell.ph_down);
+  write_pod(os, cell.ph_down_max);
+  write_pod(os, cell.samples);
+  write_pod(os, cell.quarantined);
+  write_pod(os, static_cast<std::uint64_t>(cell.window.size()));
+  for (const double v : cell.window) write_pod(os, v);
+}
+
+void write_drift_state(std::ostream& os, const drift_state& st) {
+  const drift_policy& p = st.policy;
+  write_pod(os, p.z_clamp);
+  write_pod(os, p.cusum_slack);
+  write_pod(os, p.cusum_warn);
+  write_pod(os, p.cusum_alarm);
+  write_pod(os, p.ph_delta);
+  write_pod(os, p.ph_warn);
+  write_pod(os, p.ph_alarm);
+  write_pod(os, static_cast<std::uint64_t>(p.ks_window));
+  write_pod(os, static_cast<std::uint64_t>(p.ks_min_samples));
+  write_pod(os, p.ks_warn);
+  write_pod(os, p.ks_alarm);
+  write_pod(os, static_cast<std::uint64_t>(p.reservoir_capacity));
+  write_pod(os, static_cast<std::uint64_t>(p.min_refit_rows));
+  write_pod(os, static_cast<std::uint64_t>(p.burn_in));
+
+  for (const auto& grid : {&st.canary, &st.victim}) {
+    for (const auto& row : *grid) {
+      for (const drift_cell& cell : row) write_drift_cell(os, cell);
+    }
+  }
+  for (const auto& pool : st.reservoir) {
+    write_pod(os, static_cast<std::uint64_t>(pool.size()));
+    for (const auto& row : pool) {
+      for (const double v : row) write_pod(os, v);
+    }
+  }
+  write_pod(os, st.canaries_accepted);
+  write_pod(os, st.canaries_rejected);
+  write_pod(os, st.victims_scored);
+  write_pod(os, st.quarantined_verdicts);
+  write_pod(os, st.recalibrations);
+}
+
+drift_cell read_drift_cell(std::istream& is, const std::string& path,
+                           std::uint64_t max_window) {
+  drift_cell cell;
+  cell.ref_offset = read_finite(is, path, "burn-in offset");
+  cell.cusum_pos = read_finite(is, path, "CUSUM statistic");
+  cell.cusum_neg = read_finite(is, path, "CUSUM statistic");
+  cell.ph_mean = read_finite(is, path, "Page-Hinkley mean");
+  cell.ph_up = read_finite(is, path, "Page-Hinkley sum");
+  cell.ph_up_min = read_finite(is, path, "Page-Hinkley extremum");
+  cell.ph_down = read_finite(is, path, "Page-Hinkley sum");
+  cell.ph_down_max = read_finite(is, path, "Page-Hinkley extremum");
+  if (cell.cusum_pos < 0.0 || cell.cusum_neg < 0.0) {
+    throw io_error(path + ": negative CUSUM statistic in drift state");
+  }
+  cell.samples = read_pod<std::uint64_t>(is, path);
+  cell.quarantined = read_pod<std::uint8_t>(is, path);
+  if (cell.quarantined > 1) {
+    throw io_error(path + ": invalid quarantine flag in drift state");
+  }
+  const auto n = read_pod<std::uint64_t>(is, path);
+  if (n > max_window) {
+    throw io_error(path + ": drift window of " + std::to_string(n) +
+                   " exceeds the policy window");
+  }
+  cell.window.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    cell.window.push_back(read_finite(is, path, "window NLL"));
+  }
+  return cell;
+}
+
+drift_state read_drift_state(std::istream& is, const std::string& path,
+                             std::uint64_t n_classes, std::uint64_t n_events) {
+  drift_state st;
+  drift_policy& p = st.policy;
+  p.z_clamp = read_finite(is, path, "z_clamp");
+  p.cusum_slack = read_finite(is, path, "cusum_slack");
+  p.cusum_warn = read_finite(is, path, "cusum_warn");
+  p.cusum_alarm = read_finite(is, path, "cusum_alarm");
+  p.ph_delta = read_finite(is, path, "ph_delta");
+  p.ph_warn = read_finite(is, path, "ph_warn");
+  p.ph_alarm = read_finite(is, path, "ph_alarm");
+  p.ks_window = static_cast<std::size_t>(read_pod<std::uint64_t>(is, path));
+  p.ks_min_samples =
+      static_cast<std::size_t>(read_pod<std::uint64_t>(is, path));
+  p.ks_warn = read_finite(is, path, "ks_warn");
+  p.ks_alarm = read_finite(is, path, "ks_alarm");
+  p.reservoir_capacity =
+      static_cast<std::size_t>(read_pod<std::uint64_t>(is, path));
+  p.min_refit_rows =
+      static_cast<std::size_t>(read_pod<std::uint64_t>(is, path));
+  p.burn_in = static_cast<std::size_t>(read_pod<std::uint64_t>(is, path));
+  if (p.burn_in > kMaxWindow) {
+    throw io_error(path + ": implausible burn-in length");
+  }
+  if (p.z_clamp <= 0.0 || p.cusum_slack < 0.0 || p.cusum_warn <= 0.0 ||
+      p.cusum_alarm < p.cusum_warn || p.ph_delta < 0.0 || p.ph_warn <= 0.0 ||
+      p.ph_alarm < p.ph_warn || p.ks_window < 2 || p.ks_window > kMaxWindow ||
+      p.ks_min_samples < 2 || p.ks_min_samples > p.ks_window ||
+      p.ks_warn <= 0.0 || p.ks_alarm < p.ks_warn || p.ks_alarm > 1.0 ||
+      p.min_refit_rows < 2 || p.reservoir_capacity < p.min_refit_rows ||
+      p.reservoir_capacity > kMaxReservoir) {
+    throw io_error(path + ": inconsistent drift policy");
+  }
+
+  for (auto* grid : {&st.canary, &st.victim}) {
+    grid->assign(static_cast<std::size_t>(n_classes), {});
+    for (auto& row : *grid) {
+      row.reserve(static_cast<std::size_t>(n_events));
+      for (std::uint64_t e = 0; e < n_events; ++e) {
+        row.push_back(read_drift_cell(is, path, p.ks_window));
+      }
+    }
+  }
+  st.reservoir.assign(static_cast<std::size_t>(n_classes), {});
+  for (auto& pool : st.reservoir) {
+    const auto rows = read_pod<std::uint64_t>(is, path);
+    if (rows > p.reservoir_capacity) {
+      throw io_error(path + ": reservoir of " + std::to_string(rows) +
+                     " rows exceeds its capacity");
+    }
+    pool.reserve(static_cast<std::size_t>(rows));
+    for (std::uint64_t r = 0; r < rows; ++r) {
+      std::vector<double> row;
+      row.reserve(static_cast<std::size_t>(n_events));
+      for (std::uint64_t e = 0; e < n_events; ++e) {
+        row.push_back(read_finite(is, path, "reservoir count"));
+      }
+      pool.push_back(std::move(row));
+    }
+  }
+  st.canaries_accepted = read_pod<std::uint64_t>(is, path);
+  st.canaries_rejected = read_pod<std::uint64_t>(is, path);
+  st.victims_scored = read_pod<std::uint64_t>(is, path);
+  st.quarantined_verdicts = read_pod<std::uint64_t>(is, path);
+  st.recalibrations = read_pod<std::uint64_t>(is, path);
+  return st;
+}
+
+}  // namespace
+
+void save_detector(const detector& det, const std::string& path) {
+  std::ostringstream os(std::ios::binary);
+  write_detector_body(os, det);
+  write_pod(os, static_cast<std::uint8_t>(0));  // no drift section
+  ADVH_CHECK_MSG(os.good(), "serialisation failed for " + path);
+  atomic_write_file(path, os.view());
+}
+
+void save_checkpoint(const drift_controller& ctl, const std::string& path) {
+  std::ostringstream os(std::ios::binary);
+  write_detector_body(os, ctl.det());
+  write_pod(os, static_cast<std::uint8_t>(1));
+  write_drift_state(os, ctl.state());
+  ADVH_CHECK_MSG(os.good(), "serialisation failed for " + path);
+  atomic_write_file(path, os.view());
+}
+
+checkpoint load_checkpoint(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is.good()) throw io_error("cannot open " + path);
   if (read_pod<std::uint32_t>(is, path) != kMagic) {
@@ -199,7 +377,22 @@ detector load_detector(const std::string& path) {
       models[cls][e] = std::move(em);
     }
   }
-  return detector::from_parts(std::move(cfg), std::move(models));
+
+  checkpoint out{detector::from_parts(std::move(cfg), std::move(models)), {}};
+  if (version >= 4) {
+    const auto has_drift = read_pod<std::uint8_t>(is, path);
+    if (has_drift > 1) {
+      throw io_error(path + ": invalid drift-section presence byte");
+    }
+    if (has_drift == 1) {
+      out.drift = read_drift_state(is, path, n_classes, n_events);
+    }
+  }
+  return out;
+}
+
+detector load_detector(const std::string& path) {
+  return load_checkpoint(path).det;
 }
 
 }  // namespace advh::core

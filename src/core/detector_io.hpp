@@ -1,19 +1,46 @@
-// Detector persistence.
+// Detector persistence (the ADET binary format).
 //
 // The offline phase (template measurement + GMM fitting) is the expensive
 // part of AdvHunter; deployments fit once and load the detector at
 // service start. Binary format: magic/version, config (events, repeats,
-// sigma), then per (class, event) the fitted mixture and threshold.
+// sigma, verdict policies), then per (class, event) the fitted mixture
+// and threshold; format v4 appends an optional drift section carrying the
+// drift-controller state (sequential-detector cells, quarantine flags,
+// canary reservoirs) so a long-running deployment can checkpoint and
+// resume its feedback loop.
+//
+// Every writer goes through advh::atomic_write_file (write-temp + fsync +
+// rename), so a process killed mid-checkpoint leaves either the previous
+// complete file or the new complete file — load never sees a torn write.
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "core/detector.hpp"
+#include "core/drift.hpp"
 
 namespace advh::core {
 
+/// Atomically writes the detector (ADET v4, empty drift section).
 void save_detector(const detector& det, const std::string& path);
 
+/// Loads a detector from any supported ADET version, discarding a drift
+/// section if one is present. Throws advh::io_error on corrupt bytes.
 detector load_detector(const std::string& path);
+
+/// A loaded ADET v4 checkpoint: the detector plus, when the file carried
+/// one, the persisted drift-controller state.
+struct checkpoint {
+  detector det;
+  std::optional<drift_state> drift;
+};
+
+/// Atomically writes the controller's detector and full drift state.
+void save_checkpoint(const drift_controller& ctl, const std::string& path);
+
+/// Loads a detector together with its drift section (nullopt for files
+/// saved by save_detector or by pre-v4 writers).
+checkpoint load_checkpoint(const std::string& path);
 
 }  // namespace advh::core

@@ -128,4 +128,67 @@ void evaluate_inputs(const detector& det, hpc::hpc_monitor& monitor,
   }
 }
 
+void evaluate_inputs(drift_controller& ctl, hpc::hpc_monitor& monitor,
+                     std::span<const tensor> inputs, bool is_adversarial,
+                     detection_eval& eval, std::size_t threads) {
+  const auto& cfg = ctl.det().config();
+  if (eval.per_event.size() != cfg.events.size()) {
+    eval.per_event.assign(cfg.events.size(), detection_confusion{});
+  }
+  const auto ms =
+      monitor.measure_batch(inputs, cfg.events, cfg.repeats, threads);
+  for (const auto& m : ms) {
+    // The controller only counts quarantine-masked verdicts in aggregate;
+    // diff the counter around the call to attribute it to this input.
+    const std::uint64_t before = ctl.state().quarantined_verdicts;
+    const verdict v = ctl.score_victim(m);
+    for (std::size_t e = 0; e < v.flagged.size(); ++e) {
+      eval.per_event[e].push(is_adversarial, v.flagged[e]);
+    }
+    eval.fused.push(is_adversarial, v.adversarial_any);
+    if (!v.modeled) ++eval.unmodeled;
+    if (v.degraded) ++eval.degraded;
+    if (v.abstained) ++eval.abstained;
+    if (ctl.state().quarantined_verdicts != before) ++eval.quarantined;
+  }
+}
+
+canary_set pick_canaries(nn::model& net, const data::dataset& d,
+                         std::size_t per_class, std::uint64_t seed) {
+  canary_set canaries;
+  rng gen(seed);
+  for (std::size_t cls = 0; cls < d.num_classes; ++cls) {
+    auto pool = d.indices_of_class(cls);
+    gen.shuffle(pool);
+    std::size_t accepted = 0;
+    for (std::size_t idx : pool) {
+      if (accepted == per_class) break;
+      tensor x = nn::single_example(d.images, idx);
+      if (net.predict_one(x) != cls) continue;
+      canaries.inputs.push_back(std::move(x));
+      canaries.labels.push_back(cls);
+      ++accepted;
+    }
+    if (accepted < per_class) {
+      log::warn("canary class ", cls, ": pinned ", accepted, " of ",
+                per_class, " requested probes (pool exhausted)");
+    }
+  }
+  return canaries;
+}
+
+std::size_t probe_canaries(drift_controller& ctl, hpc::hpc_monitor& monitor,
+                           const canary_set& canaries, std::size_t threads) {
+  ADVH_CHECK_MSG(canaries.inputs.size() == canaries.labels.size(),
+                 "canary inputs and labels must pair up");
+  const auto& cfg = ctl.det().config();
+  const auto ms = monitor.measure_batch(canaries.inputs, cfg.events,
+                                        cfg.repeats, threads);
+  std::size_t accepted = 0;
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    if (ctl.observe_canary(ms[i], canaries.labels[i])) ++accepted;
+  }
+  return accepted;
+}
+
 }  // namespace advh::core

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "core/detector.hpp"
+#include "core/drift.hpp"
 #include "core/metrics.hpp"
 #include "data/scenarios.hpp"
 #include "hpc/monitor.hpp"
@@ -61,6 +62,10 @@ struct detection_eval {
   /// Inputs where the detector abstained (verdict::abstained); their
   /// fused verdict is the flag_on_abstain policy.
   std::size_t abstained = 0;
+  /// Inputs whose predicted class had at least one drift-quarantined
+  /// (class, event) cell masked out of scoring (drift-aware overload
+  /// only; always 0 for the plain-detector overload).
+  std::size_t quarantined = 0;
 };
 
 /// Scores `inputs` (each a batch-of-one tensor); `is_adversarial` is the
@@ -69,5 +74,33 @@ struct detection_eval {
 void evaluate_inputs(const detector& det, hpc::hpc_monitor& monitor,
                      std::span<const tensor> inputs, bool is_adversarial,
                      detection_eval& eval, std::size_t threads = 0);
+
+/// Drift-aware variant: scores through the controller so quarantined
+/// cells are masked and victim drift telemetry advances. The controller's
+/// canary state is untouched — user traffic never feeds the reservoir.
+void evaluate_inputs(drift_controller& ctl, hpc::hpc_monitor& monitor,
+                     std::span<const tensor> inputs, bool is_adversarial,
+                     detection_eval& eval, std::size_t threads = 0);
+
+/// A pinned set of known-benign calibration inputs with their
+/// ground-truth labels, re-measured periodically as drift canaries.
+struct canary_set {
+  std::vector<tensor> inputs;  ///< each a batch-of-one tensor
+  std::vector<std::size_t> labels;
+};
+
+/// Draws up to `per_class` correctly-classified examples of every class
+/// from `d` (seeded shuffle, dataset order within a class). Deterministic
+/// in (d, per_class, seed). Canaries must be inputs the deployment can
+/// vouch for, so misclassified examples are skipped up front.
+canary_set pick_canaries(nn::model& net, const data::dataset& d,
+                         std::size_t per_class, std::uint64_t seed);
+
+/// Measures the whole canary set through `monitor` (batched, bitwise
+/// thread-invariant) and feeds every measurement to ctl.observe_canary.
+/// Returns the number of canaries the controller accepted into its
+/// reservoirs; the remainder were rejected by the poisoning guard.
+std::size_t probe_canaries(drift_controller& ctl, hpc::hpc_monitor& monitor,
+                           const canary_set& canaries, std::size_t threads = 0);
 
 }  // namespace advh::core

@@ -1,0 +1,67 @@
+#include "hpc/drift_backend.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace advh::hpc {
+
+drift_backend::drift_backend(monitor_ptr inner, drift_profile profile)
+    : inner_(std::move(inner)), profile_(std::move(profile)) {
+  ADVH_CHECK(inner_ != nullptr);
+  ADVH_CHECK_MSG(profile_.magnitude > 0.0,
+                 "drift magnitude must be positive");
+  reader_ = dynamic_cast<raw_reader*>(inner_.get());
+  if (reader_ == nullptr) {
+    throw unsupported_error("drift_backend requires a raw_reader inner "
+                            "backend (got " +
+                            inner_->backend_name() + ")");
+  }
+}
+
+double drift_backend::factor_at(std::uint64_t stream) const noexcept {
+  if (stream < profile_.onset_stream) return 1.0;
+  if (profile_.shape == drift_profile::shape_kind::step ||
+      profile_.ramp_streams == 0) {
+    return profile_.magnitude;
+  }
+  const std::uint64_t into = stream - profile_.onset_stream;
+  if (into >= profile_.ramp_streams) return profile_.magnitude;
+  const double t = static_cast<double>(into) /
+                   static_cast<double>(profile_.ramp_streams);
+  return 1.0 + t * (profile_.magnitude - 1.0);
+}
+
+bool drift_backend::affects(hpc_event e) const noexcept {
+  if (profile_.events.empty()) return true;
+  return std::find(profile_.events.begin(), profile_.events.end(), e) !=
+         profile_.events.end();
+}
+
+reading_block drift_backend::read_repetitions(const tensor& x,
+                                              std::span<const hpc_event> events,
+                                              std::size_t repeats,
+                                              std::uint64_t stream) {
+  reading_block block = reader_->read_repetitions(x, events, repeats, stream);
+  const double factor = factor_at(stream);
+  if (factor == 1.0) return block;
+  for (std::size_t r = 0; r < block.repetitions; ++r) {
+    for (std::size_t e = 0; e < block.num_events; ++e) {
+      const std::size_t idx = r * block.num_events + e;
+      if (block.status[idx] != reading_block::read_status::ok) continue;
+      if (!affects(events[e])) continue;
+      block.values[idx] *= factor;
+    }
+  }
+  return block;
+}
+
+measurement drift_backend::do_measure(const tensor& x,
+                                      std::span<const hpc_event> events,
+                                      std::size_t repeats) {
+  return aggregate_block_naive(read_repetitions(x, events, repeats,
+                                                next_stream_++),
+                               repeats);
+}
+
+}  // namespace advh::hpc

@@ -1,6 +1,9 @@
 #include "hpc/factory.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
+#include <stdexcept>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
@@ -8,11 +11,32 @@
 
 namespace advh::hpc {
 
+namespace {
+
+/// Strict environment-rate parsing shared by the chaos knobs: the whole
+/// string must be a finite number in [0, max_value]. A set-but-broken
+/// knob throws instead of silently disabling the chaos it was meant to
+/// inject.
+double env_rate(const char* name, const char* value, double max_value) {
+  errno = 0;
+  char* end = nullptr;
+  const double rate = std::strtod(value, &end);
+  if (end == value || *end != '\0' || errno == ERANGE ||
+      !std::isfinite(rate) || rate < 0.0 || rate > max_value) {
+    throw std::invalid_argument(std::string(name) + "=\"" + value +
+                                "\": expected a number in [0, " +
+                                std::to_string(max_value) + "]");
+  }
+  return rate;
+}
+
+}  // namespace
+
 std::optional<fault_config> fault_config_from_env() {
   const char* env = std::getenv("ADVH_FAULT_RATE");
   if (env == nullptr) return std::nullopt;
-  const double rate = std::atof(env);
-  if (rate <= 0.0) return std::nullopt;
+  const double rate = env_rate("ADVH_FAULT_RATE", env, 1.0);
+  if (rate == 0.0) return std::nullopt;
   fault_config cfg;
   cfg.read_failure_rate = rate;
   cfg.spike_rate = rate / 2.0;
@@ -22,6 +46,22 @@ std::optional<fault_config> fault_config_from_env() {
   cfg.hang_rate = rate / 50.0;
   cfg.hang_ms = 1;
   return cfg;
+}
+
+std::optional<drift_profile> drift_profile_from_env() {
+  const char* env = std::getenv("ADVH_DRIFT_RATE");
+  if (env == nullptr) return std::nullopt;
+  const double rate = env_rate("ADVH_DRIFT_RATE", env, 99.0);
+  if (rate == 0.0) return std::nullopt;
+  drift_profile p;
+  p.shape = drift_profile::shape_kind::step;
+  p.magnitude = 1.0 + rate;
+  // Active from stream 0: the whole session — template collection and
+  // online scoring alike — runs on the shifted baseline, which is how a
+  // redeployment onto different silicon looks. Mid-session onsets are the
+  // drift bench's job (it constructs explicit profiles).
+  p.onset_stream = 0;
+  return p;
 }
 
 monitor_ptr make_monitor(nn::model& m, const monitor_options& opts) {
@@ -47,6 +87,11 @@ monitor_ptr make_monitor(nn::model& m, const monitor_options& opts) {
   }
   if (base == nullptr) throw invariant_error("unknown backend kind");
 
+  if (opts.drift.has_value()) {
+    log::info("HPC monitor: injecting baseline drift (magnitude ",
+              opts.drift->magnitude, ")");
+    base = std::make_unique<drift_backend>(std::move(base), *opts.drift);
+  }
   if (opts.faults.has_value()) {
     log::info("HPC monitor: injecting faults (read failure rate ",
               opts.faults->read_failure_rate, ")");
@@ -66,10 +111,13 @@ monitor_ptr make_monitor(nn::model& m, backend_kind kind,
   opts.kind = kind;
   opts.sim_cfg = sim_cfg;
   opts.noise_seed = noise_seed;
-  // Chaos override: a fault-injected stack is only useful behind the
-  // resilient layer, so the two always come together here.
+  // Chaos overrides: an injected (drifted or faulty) stack is only useful
+  // behind the resilient layer, so it always comes along here.
+  opts.drift = drift_profile_from_env();
   opts.faults = fault_config_from_env();
-  if (opts.faults.has_value()) opts.resilience = resilience_config{};
+  if (opts.drift.has_value() || opts.faults.has_value()) {
+    opts.resilience = resilience_config{};
+  }
   return make_monitor(m, opts);
 }
 

@@ -12,6 +12,7 @@
 
 #include <optional>
 
+#include "hpc/drift_backend.hpp"
 #include "hpc/fault_backend.hpp"
 #include "hpc/monitor.hpp"
 #include "hpc/resilient_monitor.hpp"
@@ -26,10 +27,15 @@ struct monitor_options {
   backend_kind kind = backend_kind::auto_detect;
   uarch::trace_gen_config sim_cfg{};
   std::uint64_t noise_seed = 99;
-  /// When set, the base backend is wrapped in a fault_backend injecting
-  /// deterministic faults (chaos testing).
+  /// When set, the base backend is wrapped in a drift_backend shifting
+  /// the counter baseline (drift chaos testing). Applied closest to the
+  /// hardware, under the fault layer: faults corrupt an already-drifted
+  /// baseline, which is the order deployments experience.
+  std::optional<drift_profile> drift;
+  /// When set, the (possibly drifted) backend is wrapped in a
+  /// fault_backend injecting deterministic faults (chaos testing).
   std::optional<fault_config> faults;
-  /// When set, the (possibly faulty) stack is wrapped in a
+  /// When set, the (possibly drifted/faulty) stack is wrapped in a
   /// resilient_monitor.
   std::optional<resilience_config> resilience;
 };
@@ -39,8 +45,9 @@ struct monitor_options {
 /// The returned monitor borrows the model; callers keep it alive.
 monitor_ptr make_monitor(nn::model& m, const monitor_options& opts);
 
-/// Convenience overload. Honours the ADVH_FAULT_RATE chaos override (see
-/// fault_config_from_env); pass explicit monitor_options to opt out.
+/// Convenience overload. Honours the ADVH_FAULT_RATE and ADVH_DRIFT_RATE
+/// chaos overrides (see fault_config_from_env / drift_profile_from_env);
+/// pass explicit monitor_options to opt out.
 monitor_ptr make_monitor(nn::model& m,
                          backend_kind kind = backend_kind::auto_detect,
                          const uarch::trace_gen_config& sim_cfg = {},
@@ -48,7 +55,17 @@ monitor_ptr make_monitor(nn::model& m,
 
 /// Parses the ADVH_FAULT_RATE environment variable into a fault profile:
 /// transient read failures at the given rate, spikes at half of it, and
-/// stuck-at reads at a quarter. Returns nullopt when unset or <= 0.
+/// stuck-at reads at a quarter. Returns nullopt when unset or 0; throws
+/// std::invalid_argument when set to a negative, non-numeric, or > 1
+/// value (a broken chaos knob must not silently disable the chaos).
 std::optional<fault_config> fault_config_from_env();
+
+/// Parses the ADVH_DRIFT_RATE environment variable into a drift profile:
+/// a whole-session baseline step of magnitude (1 + rate) on every event,
+/// active from stream 0 — i.e. the suite runs as if deployed on a machine
+/// whose baseline differs from the reference by that factor. Returns
+/// nullopt when unset or 0; throws std::invalid_argument when set to a
+/// negative, non-numeric, or implausibly large value.
+std::optional<drift_profile> drift_profile_from_env();
 
 }  // namespace advh::hpc

@@ -7,7 +7,6 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
-#include "common/stats.hpp"
 
 namespace advh::hpc {
 
@@ -107,41 +106,9 @@ reading_block fault_backend::read_repetitions(const tensor& x,
 measurement fault_backend::do_measure(const tensor& x,
                                       std::span<const hpc_event> events,
                                       std::size_t repeats) {
-  const reading_block block =
-      read_repetitions(x, events, repeats, next_stream_++);
-
-  measurement out;
-  out.predicted = block.predicted;
-  out.mean_counts.assign(events.size(), 0.0);
-  out.stddev_counts.assign(events.size(), 0.0);
-  out.q.available.assign(events.size(), 1);
-  out.q.multiplexed = block.multiplexed;
-  out.q.repetitions = static_cast<std::uint32_t>(repeats);
-
-  for (std::size_t e = 0; e < events.size(); ++e) {
-    stats::running_stats acc;
-    bool lost = false;
-    for (std::size_t r = 0; r < block.repetitions; ++r) {
-      switch (block.status_at(r, e)) {
-        case reading_block::read_status::ok:
-          acc.push(block.value_at(r, e));
-          break;
-        case reading_block::read_status::transient_failure:
-          ++out.q.failed_repetitions;
-          break;
-        case reading_block::read_status::event_lost:
-          lost = true;
-          break;
-      }
-    }
-    if (lost || acc.count() == 0) {
-      out.q.available[e] = 0;
-      continue;
-    }
-    out.mean_counts[e] = acc.mean();
-    out.stddev_counts[e] = acc.stddev();
-  }
-  return out;
+  return aggregate_block_naive(read_repetitions(x, events, repeats,
+                                                next_stream_++),
+                               repeats);
 }
 
 }  // namespace advh::hpc

@@ -2,7 +2,45 @@
 
 #include <stdexcept>
 
+#include "common/stats.hpp"
+
 namespace advh::hpc {
+
+measurement aggregate_block_naive(const reading_block& block,
+                                  std::size_t repeats) {
+  measurement out;
+  out.predicted = block.predicted;
+  out.mean_counts.assign(block.num_events, 0.0);
+  out.stddev_counts.assign(block.num_events, 0.0);
+  out.q.available.assign(block.num_events, 1);
+  out.q.multiplexed = block.multiplexed;
+  out.q.repetitions = static_cast<std::uint32_t>(repeats);
+
+  for (std::size_t e = 0; e < block.num_events; ++e) {
+    stats::running_stats acc;
+    bool lost = false;
+    for (std::size_t r = 0; r < block.repetitions; ++r) {
+      switch (block.status_at(r, e)) {
+        case reading_block::read_status::ok:
+          acc.push(block.value_at(r, e));
+          break;
+        case reading_block::read_status::transient_failure:
+          ++out.q.failed_repetitions;
+          break;
+        case reading_block::read_status::event_lost:
+          lost = true;
+          break;
+      }
+    }
+    if (lost || acc.count() == 0) {
+      out.q.available[e] = 0;
+      continue;
+    }
+    out.mean_counts[e] = acc.mean();
+    out.stddev_counts[e] = acc.stddev();
+  }
+  return out;
+}
 
 measurement hpc_monitor::measure(const tensor& x,
                                  std::span<const hpc_event> events,

@@ -101,6 +101,16 @@ struct reading_block {
   }
 };
 
+/// Naive aggregation of a raw reading block into a measurement: failed
+/// repetitions are dropped, surviving values are trusted verbatim, and an
+/// event with zero surviving repetitions (or a permanent loss) reports
+/// mean 0 with quality.available = 0. This is what an unprotected
+/// decorator (fault or drift injection without the resilient layer) feeds
+/// the detector; resilient_monitor replaces it with retry + robust
+/// aggregation.
+measurement aggregate_block_naive(const reading_block& block,
+                                  std::size_t repeats);
+
 /// Capability interface: backends whose raw repetition readings can be
 /// addressed by an explicit stream index. The index — not call order —
 /// fully determines any simulated randomness, which is what lets the

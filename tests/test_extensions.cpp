@@ -2,6 +2,7 @@
 // detector, ROC analysis, detector persistence, and the minimal-epsilon
 // adaptive attack.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstring>
@@ -248,7 +249,8 @@ TEST(DetectorIo, CorruptFileRejected) {
 // sigma(8) flag_unmodeled(1) min_events_for_verdict(8) flag_on_abstain(1)
 // n_classes(8), then per (class, event) cell:
 // present(1) threshold(8) nll_mean(8) nll_stddev(8) template_size(8)
-// order(8) order x {weight(8) mean(8) variance(8)}.
+// order(8) order x {weight(8) mean(8) variance(8)},
+// then the v4 drift-section presence byte (0 for save_detector output).
 std::string fitted_detector_bytes() {
   core::benign_template tpl(2, 2);
   rng gen(77);
@@ -260,8 +262,12 @@ std::string fitted_detector_bytes() {
     }
   }
   const auto det = core::detector::fit(tpl, two_event_cfg());
+  // Pid-unique name: ctest runs each corruption test as its own process,
+  // and a shared scratch path would let them clobber each other's bytes.
   const std::string path =
-      (std::filesystem::temp_directory_path() / "advh_det_src.bin").string();
+      (std::filesystem::temp_directory_path() /
+       ("advh_det_src." + std::to_string(::getpid()) + ".bin"))
+          .string();
   core::save_detector(det, path);
   std::ifstream is(path, std::ios::binary);
   std::string bytes((std::istreambuf_iterator<char>(is)),
@@ -274,7 +280,9 @@ std::string fitted_detector_bytes() {
 // (empty if the load unexpectedly succeeded).
 std::string load_error_for(const std::string& bytes) {
   const std::string path =
-      (std::filesystem::temp_directory_path() / "advh_det_mut.bin").string();
+      (std::filesystem::temp_directory_path() /
+       ("advh_det_mut." + std::to_string(::getpid()) + ".bin"))
+          .string();
   write_file(path, bytes);
   std::string message;
   try {
@@ -336,10 +344,11 @@ TEST(DetectorIo, ZeroRepeatsRejected) {
 
 TEST(DetectorIo, NaNVarianceRejected) {
   auto bytes = fitted_detector_bytes();
-  // The file ends with the last component of the last cell; its final
-  // 8 bytes are that component's variance.
+  // The last cell's final component variance sits just before the v4
+  // drift-section presence byte that terminates the file.
   const double nan = std::numeric_limits<double>::quiet_NaN();
-  std::memcpy(bytes.data() + bytes.size() - sizeof(nan), &nan, sizeof(nan));
+  std::memcpy(bytes.data() + bytes.size() - 1 - sizeof(nan), &nan,
+              sizeof(nan));
   EXPECT_NE(load_error_for(bytes).find("variance"), std::string::npos);
 }
 

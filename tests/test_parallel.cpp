@@ -9,6 +9,7 @@
 #include <optional>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/error.hpp"
@@ -32,17 +33,31 @@ TEST(Parallel, ResolveThreadsTakesExplicitRequestLiterally) {
 }
 
 TEST(Parallel, EnvOverrideControlsDefaultThreads) {
+  // The chaos CI job runs the suite with ADVH_THREADS already exported;
+  // restore whatever was set so sibling tests see the job's environment.
+  const char* prior_raw = std::getenv("ADVH_THREADS");
+  const std::optional<std::string> prior =
+      prior_raw ? std::optional<std::string>(prior_raw) : std::nullopt;
   ASSERT_EQ(::setenv("ADVH_THREADS", "3", 1), 0);
   EXPECT_EQ(parallel::default_threads(), 3u);
   EXPECT_EQ(parallel::resolve_threads(0), 3u);
   // Explicit requests still win over the environment.
   EXPECT_EQ(parallel::resolve_threads(2), 2u);
-  // ADVH_THREADS=0 means "all cores"; garbage falls back to hardware.
+  // ADVH_THREADS=0 means "all cores".
   ASSERT_EQ(::setenv("ADVH_THREADS", "0", 1), 0);
   EXPECT_EQ(parallel::default_threads(), parallel::hardware_threads());
-  ASSERT_EQ(::setenv("ADVH_THREADS", "bogus", 1), 0);
-  EXPECT_EQ(parallel::default_threads(), parallel::hardware_threads());
-  ASSERT_EQ(::unsetenv("ADVH_THREADS"), 0);
+  // Malformed values must fail loudly, not silently change thread count
+  // (a silent fallback would mask a typo'd deployment knob).
+  for (const char* bad : {"bogus", "3x", "-1", "", "9999999999999"}) {
+    ASSERT_EQ(::setenv("ADVH_THREADS", bad, 1), 0);
+    EXPECT_THROW(parallel::default_threads(), std::invalid_argument) << bad;
+    EXPECT_THROW(parallel::resolve_threads(0), std::invalid_argument) << bad;
+  }
+  if (prior.has_value()) {
+    ASSERT_EQ(::setenv("ADVH_THREADS", prior->c_str(), 1), 0);
+  } else {
+    ASSERT_EQ(::unsetenv("ADVH_THREADS"), 0);
+  }
 }
 
 TEST(ThreadPool, ChunksCoverEveryIndexExactlyOnce) {
