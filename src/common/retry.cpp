@@ -5,6 +5,26 @@
 
 namespace advh {
 
+void cancel_token::cancel() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cancelled_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool cancel_token::cancelled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cancelled_;
+}
+
+bool cancel_token::wait_for(std::chrono::milliseconds d) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (cancelled_) return true;
+  if (d.count() <= 0) return false;
+  return cv_.wait_for(lock, d, [this] { return cancelled_; });
+}
+
 std::chrono::milliseconds retry_policy::delay(
     std::size_t retry_index) const noexcept {
   if (base_delay.count() <= 0) return std::chrono::milliseconds{0};
@@ -19,9 +39,16 @@ std::chrono::milliseconds retry_policy::delay(
 }
 
 std::size_t run_with_retry(const retry_policy& policy,
-                           const std::function<bool(std::size_t)>& attempt) {
+                           const std::function<bool(std::size_t)>& attempt,
+                           const cancel_token* cancel) {
   for (std::size_t i = 0; i < policy.max_attempts; ++i) {
-    if (i > 0) std::this_thread::sleep_for(policy.delay(i - 1));
+    if (i > 0) {
+      if (cancel != nullptr) {
+        if (cancel->wait_for(policy.delay(i - 1))) return 0;
+      } else {
+        std::this_thread::sleep_for(policy.delay(i - 1));
+      }
+    }
     if (attempt(i)) return i + 1;
   }
   return 0;

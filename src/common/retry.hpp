@@ -7,13 +7,45 @@
 // a cap. The policy itself is a pure value type — `delay(i)` is a
 // deterministic function — so tests can verify retry schedules without
 // sleeping.
+//
+// Backoff sleeps are cancellation-aware: a caller that needs to shut down
+// (the serve layer's drain path, a deadline-budgeted measurement) hands in
+// a cancel_token, and a pending backoff wait returns as soon as the token
+// is cancelled instead of blocking for the remaining schedule.
 #pragma once
 
 #include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <mutex>
 
 namespace advh {
+
+/// Thread-safe one-shot cancellation flag with a waitable edge. cancel()
+/// is sticky: once set, every current and future wait returns
+/// immediately. Non-copyable — share by reference/pointer.
+class cancel_token {
+ public:
+  cancel_token() = default;
+  cancel_token(const cancel_token&) = delete;
+  cancel_token& operator=(const cancel_token&) = delete;
+
+  /// Sets the flag and wakes every thread blocked in wait_for.
+  void cancel();
+
+  bool cancelled() const;
+
+  /// Blocks for up to `d` or until the token is cancelled, whichever
+  /// comes first. Returns true when the token is (or becomes) cancelled —
+  /// i.e. the wait was cut short — false when the full delay elapsed.
+  bool wait_for(std::chrono::milliseconds d) const;
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  bool cancelled_ = false;
+};
 
 struct retry_policy {
   /// Total attempts, including the first try. 1 disables retrying.
@@ -34,7 +66,14 @@ struct retry_policy {
 /// true, sleeping policy.delay(i) before each retry. Returns the number of
 /// attempts consumed (1 = first try succeeded), or 0 when every attempt
 /// returned false.
+///
+/// When `cancel` is non-null, a backoff sleep aborts as soon as the token
+/// is cancelled and no further attempts run (the function returns 0, the
+/// same as an exhausted budget). A token cancelled before the first call
+/// still permits exactly one attempt: cancellation cuts waiting short, it
+/// does not retroactively fail work that never needed a retry.
 std::size_t run_with_retry(const retry_policy& policy,
-                           const std::function<bool(std::size_t)>& attempt);
+                           const std::function<bool(std::size_t)>& attempt,
+                           const cancel_token* cancel = nullptr);
 
 }  // namespace advh

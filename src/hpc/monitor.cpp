@@ -52,6 +52,17 @@ measurement hpc_monitor::measure(const tensor& x,
   return do_measure(x, events, repeats);
 }
 
+measurement hpc_monitor::measure(const tensor& x,
+                                 std::span<const hpc_event> events,
+                                 std::size_t repeats,
+                                 const measure_budget& budget) {
+  if (repeats == 0) {
+    throw std::invalid_argument(
+        "hpc_monitor::measure: repeats must be positive");
+  }
+  return do_measure_budgeted(x, events, repeats, budget);
+}
+
 std::vector<measurement> hpc_monitor::measure_batch(
     std::span<const tensor> inputs, std::span<const hpc_event> events,
     std::size_t repeats, std::size_t threads) {
@@ -59,6 +70,31 @@ std::vector<measurement> hpc_monitor::measure_batch(
     throw std::invalid_argument(
         "hpc_monitor::measure_batch: repeats must be positive");
   }
+  return do_measure_batch(inputs, events, repeats, threads);
+}
+
+std::vector<measurement> hpc_monitor::measure_batch(
+    std::span<const tensor> inputs, std::span<const hpc_event> events,
+    std::size_t repeats, std::size_t threads, const measure_budget& budget) {
+  if (repeats == 0) {
+    throw std::invalid_argument(
+        "hpc_monitor::measure_batch: repeats must be positive");
+  }
+  return do_measure_batch_budgeted(inputs, events, repeats, threads, budget);
+}
+
+measurement hpc_monitor::do_measure_budgeted(const tensor& x,
+                                             std::span<const hpc_event> events,
+                                             std::size_t repeats,
+                                             const measure_budget& budget) {
+  (void)budget;  // no retry loop below this layer: nothing to cap
+  return do_measure(x, events, repeats);
+}
+
+std::vector<measurement> hpc_monitor::do_measure_batch_budgeted(
+    std::span<const tensor> inputs, std::span<const hpc_event> events,
+    std::size_t repeats, std::size_t threads, const measure_budget& budget) {
+  (void)budget;
   return do_measure_batch(inputs, events, repeats, threads);
 }
 

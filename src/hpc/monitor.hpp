@@ -22,7 +22,36 @@
 #include "hpc/events.hpp"
 #include "tensor/tensor.hpp"
 
+namespace advh {
+class cancel_token;  // common/retry.hpp
+}
+
 namespace advh::hpc {
+
+/// Deadline budget for one measurement (or one batch). The serve layer
+/// derives a budget from the request's remaining deadline and the current
+/// degradation-ladder rung; the resilient layer spends it: retry rounds
+/// are capped, backoff sleeps can be suppressed, and a cancelled token
+/// aborts further retries mid-measurement (graceful drain). A
+/// default-constructed budget changes nothing — backends without a retry
+/// loop ignore it entirely — and because the budget only *truncates* the
+/// retry schedule (stream indices are still keyed on sample/attempt
+/// alone), measurements under any fixed budget remain bitwise
+/// thread-count-invariant.
+struct measure_budget {
+  static constexpr std::size_t unlimited = ~static_cast<std::size_t>(0);
+
+  /// Ceiling on retry rounds (re-reads after the first) the resilient
+  /// layer may spend per sample. 0 = first read only; unlimited = whatever
+  /// the retry policy allows.
+  std::size_t max_retry_rounds = unlimited;
+  /// When false, retry rounds run back to back without backoff sleeps —
+  /// under a tight deadline, sleeping is worse than a busy re-read.
+  bool allow_backoff = true;
+  /// Optional cancellation: a cancelled token stops further retry rounds
+  /// (and cuts any pending backoff sleep short). Non-owning.
+  const cancel_token* cancel = nullptr;
+};
 
 struct measurement {
   /// Provenance/trust report for one measurement. An empty `available`
@@ -143,6 +172,12 @@ class hpc_monitor {
   measurement measure(const tensor& x, std::span<const hpc_event> events,
                       std::size_t repeats);
 
+  /// Deadline-budgeted variant: the budget caps what the resilient layer
+  /// may spend on retries/backoff (see measure_budget). Backends without
+  /// a retry loop behave exactly like the unbudgeted overload.
+  measurement measure(const tensor& x, std::span<const hpc_event> events,
+                      std::size_t repeats, const measure_budget& budget);
+
   /// Measures a batch of independent inputs; out[i] corresponds to
   /// inputs[i]. The base implementation is a serial loop over `measure`
   /// (hardware counters multiplex one physical PMU, so the perf backend
@@ -156,6 +191,14 @@ class hpc_monitor {
                                          std::span<const hpc_event> events,
                                          std::size_t repeats,
                                          std::size_t threads = 0);
+
+  /// Deadline-budgeted batch variant; every sample in the batch runs
+  /// under the same budget.
+  std::vector<measurement> measure_batch(std::span<const tensor> inputs,
+                                         std::span<const hpc_event> events,
+                                         std::size_t repeats,
+                                         std::size_t threads,
+                                         const measure_budget& budget);
 
   virtual std::string backend_name() const = 0;
 
@@ -172,6 +215,18 @@ class hpc_monitor {
   virtual std::vector<measurement> do_measure_batch(
       std::span<const tensor> inputs, std::span<const hpc_event> events,
       std::size_t repeats, std::size_t threads);
+
+  /// Budgeted backend hooks. The defaults ignore the budget and forward
+  /// to the unbudgeted implementations — only layers that actually spend
+  /// time on retries (resilient_monitor) override these.
+  virtual measurement do_measure_budgeted(const tensor& x,
+                                          std::span<const hpc_event> events,
+                                          std::size_t repeats,
+                                          const measure_budget& budget);
+
+  virtual std::vector<measurement> do_measure_batch_budgeted(
+      std::span<const tensor> inputs, std::span<const hpc_event> events,
+      std::size_t repeats, std::size_t threads, const measure_budget& budget);
 };
 
 using monitor_ptr = std::unique_ptr<hpc_monitor>;

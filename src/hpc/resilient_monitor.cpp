@@ -83,7 +83,7 @@ std::vector<hpc_event> resilient_monitor::surviving(
 
 measurement resilient_monitor::measure_sample(
     const tensor& x, std::span<const hpc_event> events, std::size_t repeats,
-    std::uint64_t sample_index) const {
+    std::uint64_t sample_index, const measure_budget& budget) const {
   const std::size_t n_events = events.size();
   const std::uint64_t base_stream = sample_index * attempt_stride;
 
@@ -127,14 +127,29 @@ measurement resilient_monitor::measure_sample(
   out.predicted = first.predicted;
   absorb(first);
 
-  for (std::size_t attempt = 1; attempt < cfg_.retry.max_attempts; ++attempt) {
+  // Budget-capped retry rounds: the rounds that do run are identical to
+  // the unbudgeted schedule (same stream indices), the budget merely
+  // truncates it — so budgeted measurements stay thread-invariant.
+  const std::size_t max_attempts =
+      budget.max_retry_rounds == measure_budget::unlimited
+          ? cfg_.retry.max_attempts
+          : std::min(cfg_.retry.max_attempts, budget.max_retry_rounds + 1);
+  for (std::size_t attempt = 1; attempt < max_attempts; ++attempt) {
     std::size_t needed = 0;
     for (std::size_t e = 0; e < n_events; ++e) {
       if (lost[e]) continue;
       needed = std::max(needed, repeats - good[e].size());
     }
     if (needed == 0) break;
-    std::this_thread::sleep_for(cfg_.retry.delay(attempt - 1));
+    if (budget.cancel != nullptr) {
+      // A cancelled token stops retrying outright; otherwise wait out the
+      // backoff on the token so a drain can cut the sleep short.
+      const auto delay = budget.allow_backoff ? cfg_.retry.delay(attempt - 1)
+                                              : std::chrono::milliseconds{0};
+      if (budget.cancel->wait_for(delay)) break;
+    } else if (budget.allow_backoff) {
+      std::this_thread::sleep_for(cfg_.retry.delay(attempt - 1));
+    }
     ++out.q.retries;
     absorb(reader_->read_repetitions(x, events, needed,
                                      base_stream + attempt));
@@ -171,19 +186,32 @@ measurement resilient_monitor::measure_sample(
 measurement resilient_monitor::do_measure(const tensor& x,
                                           std::span<const hpc_event> events,
                                           std::size_t repeats) {
-  return measure_sample(x, events, repeats, next_sample_++);
+  return measure_sample(x, events, repeats, next_sample_++, measure_budget{});
+}
+
+measurement resilient_monitor::do_measure_budgeted(
+    const tensor& x, std::span<const hpc_event> events, std::size_t repeats,
+    const measure_budget& budget) {
+  return measure_sample(x, events, repeats, next_sample_++, budget);
 }
 
 std::vector<measurement> resilient_monitor::do_measure_batch(
     std::span<const tensor> inputs, std::span<const hpc_event> events,
     std::size_t repeats, std::size_t threads) {
+  return do_measure_batch_budgeted(inputs, events, repeats, threads,
+                                   measure_budget{});
+}
+
+std::vector<measurement> resilient_monitor::do_measure_batch_budgeted(
+    std::span<const tensor> inputs, std::span<const hpc_event> events,
+    std::size_t repeats, std::size_t threads, const measure_budget& budget) {
   std::vector<measurement> out(inputs.size());
   const std::uint64_t base = next_sample_;
   next_sample_ += inputs.size();
   parallel::parallel_for(inputs.size(), threads,
                          [&](std::size_t i, std::size_t /*worker*/) {
                            out[i] = measure_sample(inputs[i], events, repeats,
-                                                   base + i);
+                                                   base + i, budget);
                          });
   return out;
 }

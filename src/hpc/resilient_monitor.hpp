@@ -76,10 +76,24 @@ class resilient_monitor final : public hpc_monitor {
                                             std::size_t repeats,
                                             std::size_t threads) override;
 
+  /// Budgeted variants: the budget caps retry rounds, suppresses backoff
+  /// sleeps, and honours cancellation (see measure_budget). A budget only
+  /// truncates the retry schedule — stream indices stay keyed on
+  /// (sample, attempt) — so any fixed budget is bitwise thread-invariant.
+  measurement do_measure_budgeted(const tensor& x,
+                                  std::span<const hpc_event> events,
+                                  std::size_t repeats,
+                                  const measure_budget& budget) override;
+
+  std::vector<measurement> do_measure_batch_budgeted(
+      std::span<const tensor> inputs, std::span<const hpc_event> events,
+      std::size_t repeats, std::size_t threads,
+      const measure_budget& budget) override;
+
  private:
   measurement measure_sample(const tensor& x, std::span<const hpc_event> events,
-                             std::size_t repeats,
-                             std::uint64_t sample_index) const;
+                             std::size_t repeats, std::uint64_t sample_index,
+                             const measure_budget& budget) const;
 
   monitor_ptr inner_;
   raw_reader* reader_;  ///< inner_ viewed through its raw_reader facet

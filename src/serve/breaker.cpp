@@ -1,0 +1,104 @@
+#include "serve/breaker.hpp"
+
+#include "common/error.hpp"
+
+namespace advh::serve {
+
+const char* to_string(breaker_state s) noexcept {
+  switch (s) {
+    case breaker_state::closed:
+      return "closed";
+    case breaker_state::open:
+      return "open";
+    case breaker_state::half_open:
+      return "half-open";
+  }
+  return "?";
+}
+
+circuit_breaker::circuit_breaker(const clock_face& clock, breaker_config cfg)
+    : clock_(clock), cfg_(cfg) {
+  ADVH_CHECK_MSG(cfg_.failure_threshold >= 1,
+                 "breaker failure_threshold must be positive");
+  ADVH_CHECK_MSG(cfg_.half_open_probes >= 1,
+                 "breaker half_open_probes must be positive");
+}
+
+void circuit_breaker::trip_open(clock_duration now) {
+  state_ = breaker_state::open;
+  opened_at_ = now;
+  consecutive_failures_ = 0;
+  half_open_inflight_ = 0;
+  half_open_successes_ = 0;
+  ++trips_;
+}
+
+bool circuit_breaker::allow() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto now = clock_.now();
+  if (state_ == breaker_state::open) {
+    if (now - opened_at_ < cfg_.cooldown) return false;
+    state_ = breaker_state::half_open;
+    half_open_inflight_ = 0;
+    half_open_successes_ = 0;
+  }
+  if (state_ == breaker_state::half_open) {
+    if (half_open_inflight_ >= cfg_.half_open_probes) return false;
+    ++half_open_inflight_;
+  }
+  return true;
+}
+
+void circuit_breaker::record_success() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case breaker_state::closed:
+      consecutive_failures_ = 0;
+      break;
+    case breaker_state::half_open:
+      if (half_open_inflight_ > 0) --half_open_inflight_;
+      if (++half_open_successes_ >= cfg_.half_open_probes) {
+        state_ = breaker_state::closed;
+        consecutive_failures_ = 0;
+        half_open_inflight_ = 0;
+        half_open_successes_ = 0;
+      }
+      break;
+    case breaker_state::open:
+      break;  // stale report from before the trip: ignore
+  }
+}
+
+void circuit_breaker::record_failure() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto now = clock_.now();
+  switch (state_) {
+    case breaker_state::closed:
+      if (++consecutive_failures_ >= cfg_.failure_threshold) trip_open(now);
+      break;
+    case breaker_state::half_open:
+      trip_open(now);  // a failed probe re-opens immediately
+      break;
+    case breaker_state::open:
+      break;
+  }
+}
+
+void circuit_breaker::release() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == breaker_state::half_open && half_open_inflight_ > 0) {
+    --half_open_inflight_;
+  }
+}
+
+breaker_state circuit_breaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+std::uint64_t circuit_breaker::trips() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return trips_;
+}
+
+}  // namespace advh::serve

@@ -1,0 +1,79 @@
+// Per-backend circuit breaker for the measurement path.
+//
+// The resilient measurement layer (src/hpc/resilient_monitor) retries
+// transient faults with backoff — exactly right for a healthy backend
+// hitting occasional read failures, and exactly wrong for a dead one: each
+// request would burn its whole deadline rediscovering the same outage.
+// The breaker sits in front of the measurement path and composes with
+// common/retry instead of replacing it:
+//
+//   closed     — requests flow; `failure_threshold` consecutive failures
+//                trip the breaker open.
+//   open       — requests shed instantly (rejected_breaker), preserving
+//                their callers' deadlines; after `cooldown` the breaker
+//                moves to half-open.
+//   half-open  — up to `half_open_probes` requests are let through as
+//                probes; that many consecutive successes close the
+//                breaker, any failure re-opens it and restarts cooldown.
+//
+// Time comes from the injected clock_face, so every transition is
+// deterministic under a virtual clock.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "serve/clock.hpp"
+
+namespace advh::serve {
+
+enum class breaker_state : std::uint8_t { closed = 0, open = 1, half_open = 2 };
+
+const char* to_string(breaker_state s) noexcept;
+
+struct breaker_config {
+  /// Consecutive failures (in closed state) that trip the breaker.
+  std::size_t failure_threshold = 5;
+  /// Time the breaker stays open before probing again.
+  clock_duration cooldown = std::chrono::milliseconds(100);
+  /// Probe budget in half-open: this many in-flight probes at most, and
+  /// this many consecutive successes close the breaker.
+  std::size_t half_open_probes = 2;
+};
+
+class circuit_breaker {
+ public:
+  explicit circuit_breaker(const clock_face& clock,
+                           breaker_config cfg = breaker_config{});
+
+  /// True when a request may proceed to measurement. Transitions
+  /// open -> half-open once the cooldown has elapsed; in half-open,
+  /// admits at most `half_open_probes` outstanding probes.
+  bool allow();
+
+  /// Reports the outcome of a request previously admitted by allow().
+  void record_success();
+  void record_failure();
+
+  /// Releases a half-open probe slot for a request that was admitted but
+  /// never reached measurement (shed on deadline before service).
+  void release();
+
+  breaker_state state() const;
+  std::uint64_t trips() const;
+
+ private:
+  void trip_open(clock_duration now);
+
+  const clock_face& clock_;
+  breaker_config cfg_;
+  mutable std::mutex mutex_;
+  breaker_state state_ = breaker_state::closed;
+  std::size_t consecutive_failures_ = 0;
+  std::size_t half_open_inflight_ = 0;
+  std::size_t half_open_successes_ = 0;
+  clock_duration opened_at_{0};
+  std::uint64_t trips_ = 0;
+};
+
+}  // namespace advh::serve

@@ -1,0 +1,74 @@
+// Injectable clocks for the serving layer.
+//
+// Every time-dependent decision in src/serve — admission feasibility,
+// degradation-ladder transitions, circuit-breaker cooldowns, deadline
+// misses — reads time through a clock_face. Production wires in
+// steady_clock_face (monotonic wall time); tests and the overload bench
+// wire in virtual_clock, which only moves when told to, so scheduling and
+// shedding behaviour replays bit for bit — the serving analogue of the
+// measurement engine's per-sample RNG streams.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+namespace advh::serve {
+
+/// Time since the clock's epoch. Nanoseconds keep the arithmetic exact:
+/// virtual-time runs add durations, never scale them.
+using clock_duration = std::chrono::nanoseconds;
+
+/// A clock with no deadline: larger than any horizon a run can reach.
+inline constexpr clock_duration no_deadline = clock_duration::max();
+
+class clock_face {
+ public:
+  virtual ~clock_face() = default;
+
+  /// Monotonic time since the clock's epoch.
+  virtual clock_duration now() const = 0;
+};
+
+/// Deterministic manually-advanced clock. Thread-safe: readers may query
+/// concurrently with an advancing driver, and time never goes backwards.
+class virtual_clock final : public clock_face {
+ public:
+  clock_duration now() const override {
+    return clock_duration{ns_.load(std::memory_order_acquire)};
+  }
+
+  /// Moves time forward by `d` (negative deltas are ignored).
+  void advance(clock_duration d) {
+    if (d.count() > 0) ns_.fetch_add(d.count(), std::memory_order_acq_rel);
+  }
+
+  /// Moves time forward to `t` if `t` is in the future; no-op otherwise
+  /// (an open-loop driver replaying an arrival schedule may fall behind a
+  /// busy server — arrivals then take effect at the server's current time).
+  void advance_to(clock_duration t) {
+    auto cur = ns_.load(std::memory_order_acquire);
+    while (t.count() > cur &&
+           !ns_.compare_exchange_weak(cur, t.count(),
+                                      std::memory_order_acq_rel)) {
+    }
+  }
+
+ private:
+  std::atomic<clock_duration::rep> ns_{0};
+};
+
+/// Real monotonic time, with the epoch pinned at construction.
+class steady_clock_face final : public clock_face {
+ public:
+  steady_clock_face() : epoch_(std::chrono::steady_clock::now()) {}
+
+  clock_duration now() const override {
+    return std::chrono::duration_cast<clock_duration>(
+        std::chrono::steady_clock::now() - epoch_);
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace advh::serve

@@ -1,0 +1,40 @@
+#include "serve/latency.hpp"
+
+#include <algorithm>
+
+namespace advh::serve {
+
+decaying_mean::decaying_mean(double alpha, double initial) noexcept
+    : alpha_(std::clamp(alpha, 0.0, 1.0)), value_(initial) {}
+
+void decaying_mean::observe(double v) noexcept {
+  if (samples_ == 0 && value_ == 0.0) {
+    value_ = v;  // an unseeded tracker adopts the first sample outright
+  } else {
+    value_ = (1.0 - alpha_) * value_ + alpha_ * v;
+  }
+  ++samples_;
+}
+
+latency_tracker::latency_tracker(double alpha, clock_duration initial_unit,
+                                 clock_duration initial_fixed) noexcept
+    : unit_(alpha, static_cast<double>(initial_unit.count())),
+      fixed_(initial_fixed) {}
+
+void latency_tracker::observe(clock_duration total, std::size_t repeats,
+                              std::size_t events) noexcept {
+  const std::size_t units = std::max<std::size_t>(repeats * events, 1);
+  const auto spread = total - std::min(total, fixed_);
+  unit_.observe(static_cast<double>(spread.count()) /
+                static_cast<double>(units));
+}
+
+clock_duration latency_tracker::estimate(std::size_t repeats,
+                                         std::size_t events) const noexcept {
+  const std::size_t units = std::max<std::size_t>(repeats * events, 1);
+  const double ns = unit_.value() * static_cast<double>(units);
+  return fixed_ + clock_duration{static_cast<clock_duration::rep>(
+                      std::max(ns, 0.0))};
+}
+
+}  // namespace advh::serve

@@ -1,0 +1,64 @@
+// Decaying service-time estimation for admission control.
+//
+// The admission controller must answer "can this request still make its
+// deadline?" before any measurement runs, which needs an estimate of how
+// long one measurement takes at the ladder rung it would run under. A
+// measurement's cost is dominated by its unit count — repeats x events —
+// so the tracker maintains an exponentially-decaying mean of the observed
+// per-unit cost plus a fixed per-request overhead estimate, and projects
+// the cost of any (repeats, events) combination from those. Estimates are
+// a pure function of the observation sequence: deterministic drivers get
+// deterministic admission decisions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "serve/clock.hpp"
+
+namespace advh::serve {
+
+/// Exponentially-decaying mean: value <- (1 - alpha) * value + alpha * v.
+/// Before the first observation it reports its seed value.
+class decaying_mean {
+ public:
+  explicit decaying_mean(double alpha = 0.2, double initial = 0.0) noexcept;
+
+  void observe(double v) noexcept;
+  double value() const noexcept { return value_; }
+  std::uint64_t samples() const noexcept { return samples_; }
+
+ private:
+  double alpha_;
+  double value_;
+  std::uint64_t samples_ = 0;
+};
+
+/// Per-unit measurement-cost tracker. One unit = one (repeat x event)
+/// counter reading; a request's projected cost is
+///   fixed_overhead + unit_cost * repeats * events.
+class latency_tracker {
+ public:
+  /// `initial_unit` / `initial_fixed` seed the estimates so admission has
+  /// something to reason with before the first completion.
+  latency_tracker(double alpha, clock_duration initial_unit,
+                  clock_duration initial_fixed) noexcept;
+
+  /// Records one completed measurement of `repeats` x `events` units that
+  /// took `total` (fixed overhead is attributed first, the remainder is
+  /// spread over the units).
+  void observe(clock_duration total, std::size_t repeats,
+               std::size_t events) noexcept;
+
+  /// Projected service time for one request at the given shape.
+  clock_duration estimate(std::size_t repeats, std::size_t events) const
+      noexcept;
+
+  std::uint64_t samples() const noexcept { return unit_.samples(); }
+
+ private:
+  decaying_mean unit_;   ///< ns per (repeat x event) unit
+  clock_duration fixed_; ///< per-request overhead, held constant
+};
+
+}  // namespace advh::serve

@@ -1,0 +1,97 @@
+#include "serve/queue.hpp"
+
+#include "common/error.hpp"
+
+namespace advh::serve {
+
+const char* to_string(priority p) noexcept {
+  switch (p) {
+    case priority::canary:
+      return "canary";
+    case priority::interactive:
+      return "interactive";
+    case priority::batch:
+      return "batch";
+  }
+  return "?";
+}
+
+request_queue::request_queue(std::size_t capacity) : capacity_(capacity) {
+  ADVH_CHECK_MSG(capacity_ >= 1, "queue capacity must be positive");
+}
+
+bool request_queue::try_push(request& r) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto lane = static_cast<std::size_t>(r.prio);
+    if (r.prio != priority::canary) {
+      const std::size_t bounded =
+          lanes_[static_cast<std::size_t>(priority::interactive)].size() +
+          lanes_[static_cast<std::size_t>(priority::batch)].size();
+      if (bounded >= capacity_) return false;
+    }
+    lanes_[lane].push_back(std::move(r));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::optional<request> request_queue::try_pop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& lane : lanes_) {
+    if (!lane.empty()) {
+      request r = std::move(lane.front());
+      lane.pop_front();
+      return r;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<request> request_queue::pop_wait(
+    std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait_for(lock, timeout, [&] {
+    if (closed_) return true;
+    for (const auto& lane : lanes_) {
+      if (!lane.empty()) return true;
+    }
+    return false;
+  });
+  for (auto& lane : lanes_) {
+    if (!lane.empty()) {
+      request r = std::move(lane.front());
+      lane.pop_front();
+      return r;
+    }
+  }
+  return std::nullopt;
+}
+
+void request_queue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t request_queue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lanes_[static_cast<std::size_t>(priority::interactive)].size() +
+         lanes_[static_cast<std::size_t>(priority::batch)].size();
+}
+
+std::size_t request_queue::depth(priority p) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lanes_[static_cast<std::size_t>(p)].size();
+}
+
+std::size_t request_queue::total_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& lane : lanes_) n += lane.size();
+  return n;
+}
+
+}  // namespace advh::serve

@@ -1,0 +1,85 @@
+// Bounded MPMC request queue with priority classes.
+//
+// The queue is the only buffer between traffic and the measurement path,
+// and it is explicitly bounded: when it is full the push *fails* — callers
+// get immediate backpressure instead of unbounded latency. Three priority
+// classes exist, served strictly highest-first with FIFO order inside a
+// class:
+//
+//   canary      — PR 4's drift probes. Never count against capacity and
+//                 never shed: the drift monitor must keep functioning
+//                 precisely when the system is under the most stress.
+//   interactive — latency-sensitive user queries.
+//   batch       — throughput traffic; first to starve under overload.
+//
+// The queue itself is a dumb, thread-safe container; all policy (admission
+// control, deadline checks, shedding) lives in detection_service.
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "serve/clock.hpp"
+#include "tensor/tensor.hpp"
+
+namespace advh::serve {
+
+enum class priority : std::uint8_t { canary = 0, interactive = 1, batch = 2 };
+inline constexpr std::size_t num_priorities = 3;
+
+const char* to_string(priority p) noexcept;
+
+/// One queued detection request.
+struct request {
+  std::uint64_t id = 0;
+  tensor input;
+  priority prio = priority::interactive;
+  /// Absolute submission time (service clock).
+  clock_duration submitted{0};
+  /// Absolute deadline; no_deadline = none. Canary probes default to none.
+  clock_duration deadline = no_deadline;
+};
+
+class request_queue {
+ public:
+  /// `capacity` bounds the queued interactive + batch requests. Canary
+  /// probes bypass the bound (the pinned canary set is small by
+  /// construction — see core::pick_canaries).
+  explicit request_queue(std::size_t capacity);
+
+  /// Enqueues `r`; returns false (leaving `r` untouched) when the bound
+  /// is hit. Canary pushes always succeed.
+  bool try_push(request& r);
+
+  /// Pops the oldest request of the highest non-empty priority class.
+  std::optional<request> try_pop();
+
+  /// Like try_pop, but blocks up to `timeout` for a request to arrive.
+  /// Wakes early when close() is called.
+  std::optional<request> pop_wait(std::chrono::milliseconds timeout);
+
+  /// Wakes all blocked pop_wait callers (drain/shutdown). The queue stays
+  /// usable; close only interrupts waiting.
+  void close();
+
+  /// Queued interactive + batch requests (the capacity-bounded set).
+  std::size_t depth() const;
+  /// Queued requests of one class.
+  std::size_t depth(priority p) const;
+  /// Queued requests across all classes, canaries included.
+  std::size_t total_depth() const;
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::array<std::deque<request>, num_priorities> lanes_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace advh::serve
