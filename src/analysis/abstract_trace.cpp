@@ -1,0 +1,132 @@
+#include "analysis/abstract_trace.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace advh::analysis {
+
+namespace {
+
+/// Total parameter bytes a layer's forward reads. collect_params is
+/// logically const (it appends pointers without mutating the layer), but
+/// hands out mutable parameter pointers, hence the cast; only sizes are
+/// read here.
+std::size_t param_bytes(const nn::layer& l) {
+  std::vector<nn::parameter*> params;
+  const_cast<nn::layer&>(l).collect_params(params);
+  std::size_t numel = 0;
+  for (const nn::parameter* p : params) numel += p->value.numel();
+  return numel * sizeof(float);
+}
+
+shape build(const nn::layer& l, const shape& in, nn::inference_trace& tr);
+
+/// Leaf emission, mirroring each layer kind's forward-time trace entry.
+shape emit_leaf(const nn::layer& l, const shape& in,
+                nn::inference_trace& tr) {
+  const shape out = l.infer_output_shape(in);
+  nn::layer_trace_entry e;
+  e.kind = l.kind();
+  e.name = l.name();
+  e.in_numel = in.numel();
+  e.out_numel = out.numel();
+  switch (l.kind()) {
+    case nn::layer_kind::conv2d:
+    case nn::layer_kind::depthwise_conv2d:
+      e.weight_bytes = param_bytes(l);
+      e.in_channels = in[1];
+      e.in_spatial = in[2] * in[3];
+      e.out_channels = out[1];
+      e.out_spatial = out[2] * out[3];
+      break;
+    case nn::layer_kind::linear:
+      e.weight_bytes = param_bytes(l);
+      e.in_channels = in[1];
+      e.in_spatial = 1;
+      e.out_channels = out[1];
+      e.out_spatial = 1;
+      break;
+    case nn::layer_kind::batchnorm2d:
+      // gamma/beta plus the running mean/variance buffers.
+      e.weight_bytes = 4 * in[1] * sizeof(float);
+      break;
+    default:
+      break;  // relu/pool/flatten/dropout entries carry counts only
+  }
+  tr.layers.push_back(std::move(e));
+  return out;
+}
+
+shape build_residual(const nn::layer& l,
+                     const std::vector<const nn::layer*>& kids,
+                     const shape& in, nn::inference_trace& tr) {
+  // for_each_child order: main path, optional projection, output relu.
+  ADVH_CHECK_MSG(kids.size() == 2 || kids.size() == 3,
+                 l.name() + ": residual block expects 2 or 3 children");
+  const shape main_out = build(*kids.front(), in, tr);
+  if (kids.size() == 3) build(*kids[1], in, tr);
+
+  nn::layer_trace_entry e;
+  e.kind = nn::layer_kind::residual_add;
+  e.name = l.name() + ".add";
+  e.in_numel = main_out.numel() * 2;
+  e.out_numel = main_out.numel();
+  tr.layers.push_back(std::move(e));
+
+  return build(*kids.back(), main_out, tr);
+}
+
+shape build_dense(const std::vector<const nn::layer*>& kids, const shape& in,
+                  nn::inference_trace& tr) {
+  shape cur = in;
+  for (const nn::layer* unit : kids) {
+    const shape unit_out = build(*unit, cur, tr);
+    const shape cat{1, cur[1] + unit_out[1], unit_out[2], unit_out[3]};
+
+    nn::layer_trace_entry e;
+    e.kind = nn::layer_kind::concat;
+    e.name = unit->name() + ".cat";
+    e.in_numel = cat.numel();
+    e.out_numel = cat.numel();
+    tr.layers.push_back(std::move(e));
+    cur = cat;
+  }
+  return cur;
+}
+
+shape build(const nn::layer& l, const shape& in, nn::inference_trace& tr) {
+  std::vector<const nn::layer*> kids;
+  l.for_each_child([&](const nn::layer& c) { kids.push_back(&c); });
+  if (kids.empty()) return emit_leaf(l, in, tr);
+
+  switch (l.kind()) {
+    case nn::layer_kind::residual_add:
+      return build_residual(l, kids, in, tr);
+    case nn::layer_kind::concat:
+      return build_dense(kids, in, tr);
+    default: {
+      // Plain container (sequential): fold children in execution order.
+      shape cur = in;
+      for (const nn::layer* k : kids) cur = build(*k, cur, tr);
+      return cur;
+    }
+  }
+}
+
+}  // namespace
+
+nn::inference_trace abstract_inference_trace(nn::model& m) {
+  const shape& chw = m.input_shape();
+  ADVH_CHECK_MSG(chw.rank() == 3,
+                 m.name() + ": abstract trace expects a CHW input shape");
+  shape cur{1, chw[0], chw[1], chw[2]};
+  nn::inference_trace tr;
+  const nn::sequential& root = m.net();
+  for (std::size_t i = 0; i < root.size(); ++i) {
+    cur = build(root.at(i), cur, tr);
+  }
+  return tr;
+}
+
+}  // namespace advh::analysis

@@ -1,0 +1,28 @@
+// Static construction of an inference trace from the model graph.
+//
+// trace_inference records the entry sequence a concrete forward pass
+// emits; this builder derives the same sequence — kinds, element counts,
+// parameter footprints, conv geometry — purely from the graph, by folding
+// the input shape through infer_output_shape and mirroring each layer's
+// emission rules (including the residual/dense composite ordering). The
+// active-input/output sets stay empty: they are the data-dependent part
+// the envelope pass abstracts to [0, in_numel].
+//
+// Fidelity contract: for any model that verifies cleanly, the abstract
+// trace matches a real trace_inference entry-for-entry on every field
+// except the active sets (asserted by tests/test_check.cpp). This is what
+// makes the envelope derived from it a sound bound on what the uarch
+// simulator can produce for *any* input.
+#pragma once
+
+#include "nn/model.hpp"
+
+namespace advh::analysis {
+
+/// Builds the statically-derived trace of one inference of `m` at its
+/// configured input shape. Throws advh::shape_error / unsupported_error
+/// when the graph cannot be folded (the graph pass reports those defects
+/// with codes; callers should verify first).
+nn::inference_trace abstract_inference_trace(nn::model& m);
+
+}  // namespace advh::analysis

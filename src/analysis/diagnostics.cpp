@@ -1,7 +1,8 @@
 #include "analysis/diagnostics.hpp"
 
-#include <cstdio>
 #include <sstream>
+
+#include "analysis/check.hpp"
 
 namespace advh::analysis {
 
@@ -37,6 +38,10 @@ const char* to_string(diag_code code) {
       return "batchnorm-epsilon";
     case diag_code::batchnorm_momentum:
       return "batchnorm-momentum";
+    case diag_code::graph_cycle:
+      return "graph-cycle";
+    case diag_code::layer_aliased:
+      return "layer-aliased";
   }
   return "unknown";
 }
@@ -75,38 +80,6 @@ std::string verification_report::to_text() const {
   }
   return os.str();
 }
-
-namespace {
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-}  // namespace
 
 std::string verification_report::to_json() const {
   std::ostringstream os;

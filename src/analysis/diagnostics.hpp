@@ -37,6 +37,9 @@ enum class diag_code {
   trailing_activation,  ///< activation/dropout after the logit head
   batchnorm_epsilon,    ///< epsilon outside its numeric contract
   batchnorm_momentum,   ///< running-stat momentum outside (0, 1)
+  // Graph well-formedness (malformed for_each_child wiring).
+  graph_cycle,          ///< a layer is its own (transitive) child
+  layer_aliased,        ///< one layer object reachable via two parents
 };
 
 /// Stable kebab-case identifier, e.g. "shape-mismatch" (used in JSON).

@@ -1,0 +1,183 @@
+#include "analysis/policy_pass.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "hpc/events.hpp"
+
+namespace advh::analysis {
+
+namespace {
+
+std::string rung_name(std::size_t r) { return "ladder rung " + std::to_string(r); }
+
+}  // namespace
+
+void check_detector_policy(const core::detector_config& cfg,
+                           check_report& out) {
+  if (cfg.events.empty()) {
+    out.add(severity::error, 420, "events",
+            "detector monitors zero events: no verdict can carry evidence");
+  }
+  for (std::size_t i = 0; i < cfg.events.size(); ++i) {
+    for (std::size_t j = i + 1; j < cfg.events.size(); ++j) {
+      if (cfg.events[i] == cfg.events[j]) {
+        out.add(severity::error, 421,
+                "event " + hpc::to_string(cfg.events[i]),
+                "event configured twice: its evidence would be "
+                "double-counted by the any-event fusion");
+      }
+    }
+  }
+  if (cfg.repeats == 0) {
+    out.add(severity::error, 422, "repeats",
+            "measurement repeat count is zero");
+  }
+  if (!std::isfinite(cfg.sigma_multiplier) || cfg.sigma_multiplier <= 0.0) {
+    out.add(severity::error, 423, "sigma_multiplier",
+            "threshold sigma multiplier must be positive and finite");
+  }
+  if (cfg.k_max == 0) {
+    out.add(severity::error, 426, "k_max",
+            "BIC scan upper bound is zero: no mixture can be fitted");
+  }
+  if (cfg.min_events_for_verdict == 0) {
+    out.add(severity::error, 424, "min_events_for_verdict",
+            "a verdict may be issued over zero surviving events: degraded "
+            "measurements would score benign without evidence (fail-open)");
+  } else if (cfg.min_events_for_verdict > cfg.events.size()) {
+    out.add(severity::error, 425, "min_events_for_verdict",
+            "evidence floor " + std::to_string(cfg.min_events_for_verdict) +
+                " exceeds the " + std::to_string(cfg.events.size()) +
+                " configured events: every verdict abstains");
+  }
+  if (!cfg.flag_unmodeled) {
+    out.add(severity::warning, 427, "flag_unmodeled",
+            "unmodelled predictions pass as benign (fail-open): the threat "
+            "model treats unobserved behaviour as suspect");
+  }
+  if (!cfg.flag_on_abstain) {
+    out.add(severity::warning, 428, "flag_on_abstain",
+            "abstaining verdicts pass as benign (fail-open): degraded "
+            "measurements weaken detection silently");
+  }
+}
+
+void check_serve_policy(const serve::serve_config& cfg,
+                        const core::detector_config& det_cfg,
+                        check_report& out) {
+  if (cfg.queue_capacity == 0) {
+    out.add(severity::error, 440, "queue_capacity",
+            "zero-capacity queue rejects every non-canary request");
+  }
+  if (cfg.batch_size == 0) {
+    out.add(severity::error, 441, "batch_size",
+            "service rounds of zero requests never drain the queue");
+  }
+  if (!std::isfinite(cfg.admission_margin) || cfg.admission_margin < 1.0) {
+    out.add(severity::error, 442, "admission_margin",
+            "admission margin below 1 admits requests whose own estimate "
+            "already misses their deadline");
+  }
+  if (!std::isfinite(cfg.batch_admit_occupancy) ||
+      cfg.batch_admit_occupancy <= 0.0 || cfg.batch_admit_occupancy > 1.0) {
+    out.add(severity::error, 443, "batch_admit_occupancy",
+            "batch backpressure threshold must lie in (0, 1]");
+  }
+  if (!std::isfinite(cfg.release_hysteresis) || cfg.release_hysteresis < 0.0 ||
+      cfg.release_hysteresis >= 1.0) {
+    out.add(severity::error, 444, "release_hysteresis",
+            "rung release hysteresis must lie in [0, 1)");
+  }
+  if (!std::isfinite(cfg.latency_alpha) || cfg.latency_alpha <= 0.0 ||
+      cfg.latency_alpha > 1.0) {
+    out.add(severity::error, 445, "latency_alpha",
+            "latency estimator decay must lie in (0, 1]");
+  }
+
+  const std::size_t n_events = det_cfg.events.size();
+  const std::vector<serve::ladder_rung> ladder =
+      serve::resolve_ladder(cfg, det_cfg.repeats);
+  if (ladder.empty() || ladder.front().engage_occupancy != 0.0) {
+    out.add(severity::error, 446, "ladder",
+            "rung 0 must engage at occupancy 0 (the unloaded operating "
+            "point)");
+  }
+  const std::size_t kept = std::clamp<std::size_t>(
+      cfg.kept_events_when_shedding, 1, std::max<std::size_t>(n_events, 1));
+  if (cfg.kept_events_when_shedding != kept) {
+    out.add(severity::warning, 456, "kept_events_when_shedding",
+            "value " + std::to_string(cfg.kept_events_when_shedding) +
+                " is clamped to " + std::to_string(kept) +
+                " at service construction");
+  }
+  for (std::size_t r = 0; r < ladder.size(); ++r) {
+    const serve::ladder_rung& rung = ladder[r];
+    if (r > 0 && rung.engage_occupancy <= ladder[r - 1].engage_occupancy) {
+      out.add(severity::error, 447, rung_name(r),
+              "engage occupancies must strictly increase with depth");
+    }
+    if (rung.repeats == 0) {
+      out.add(severity::error, 448, rung_name(r),
+              "zero measurement repeats produce no evidence at all");
+    }
+    if (r > 0 && rung.repeats > ladder[r - 1].repeats) {
+      out.add(severity::warning, 450, rung_name(r),
+              "repeats increase with queue depth: the ladder makes "
+              "overloaded requests more expensive, not cheaper");
+    }
+    if (rung.engage_occupancy > 1.0) {
+      out.add(severity::warning, 449, rung_name(r),
+              "engage occupancy above 1 is unreachable: the rung is dead "
+              "configuration");
+    }
+    // Degraded-path evidence floor: an event-shedding rung measures only
+    // the first `kept` events; the rest score as unavailable. If the
+    // survivors cannot clear min_events_for_verdict, every verdict at
+    // this rung abstains — which is safe only under fail-closed abstain.
+    if (rung.shed_events && kept < det_cfg.min_events_for_verdict) {
+      if (det_cfg.flag_on_abstain) {
+        out.add(severity::warning, 452, rung_name(r),
+                "sheds below the abstain floor: every verdict at this rung "
+                "is the (fail-closed) abstain policy, not evidence");
+      } else {
+        out.add(severity::error, 451, rung_name(r),
+                "sheds to " + std::to_string(kept) + " events, below "
+                "min_events_for_verdict " +
+                    std::to_string(det_cfg.min_events_for_verdict) +
+                    ", with fail-open abstain: degraded verdicts pass as "
+                    "benign without evidence");
+      }
+    }
+  }
+
+  // Deadline feasibility at the *cheapest* rung, using the static cost
+  // seeds the estimator starts from: if even that floor exceeds the
+  // default deadline, every defaulted request is rejected or shed — the
+  // deadline budget contradicts the ladder.
+  if (!ladder.empty() && cfg.default_deadline.count() > 0) {
+    const serve::ladder_rung& deepest = ladder.back();
+    const std::size_t events_at_floor = deepest.shed_events ? kept : n_events;
+    const auto floor_cost =
+        cfg.initial_fixed_cost +
+        cfg.initial_unit_cost * static_cast<long>(deepest.repeats *
+                                                  std::max<std::size_t>(
+                                                      events_at_floor, 1));
+    if (floor_cost > cfg.default_deadline) {
+      out.add(severity::error, 453, "default_deadline",
+              "below the estimated service floor of the deepest ladder "
+              "rung: every defaulted request is infeasible at admission");
+    }
+  }
+
+  if (cfg.batch_admit_occupancy < 1.0 && ladder.size() > 1 &&
+      cfg.batch_admit_occupancy >= ladder[1].engage_occupancy) {
+    out.add(severity::warning, 455, "batch_admit_occupancy",
+            "at or above the first degraded rung's engage occupancy: "
+            "queued batch alone can drag fidelity down for interactive "
+            "traffic");
+  }
+}
+
+}  // namespace advh::analysis

@@ -1,0 +1,31 @@
+// Policy-consistency pass (advh_check codes 4xx).
+//
+// The serve layer's degradation ladder and the detector's fail-closed
+// policies compose: every degraded path (repeat shedding, event shedding,
+// quarantine masking) must either still clear min_events_for_verdict or
+// provably land in fail-closed abstain. This pass verifies that statically
+// — at config-construction time, advh_check time and service start — so a
+// contradictory config (fail-open abstain under an event-shedding rung,
+// a default deadline no rung can serve, a zero-capacity queue) is
+// rejected before the first overloaded request, not during it.
+#pragma once
+
+#include "analysis/check.hpp"
+#include "core/detector.hpp"
+#include "serve/service.hpp"
+
+namespace advh::analysis {
+
+/// Checks a detector configuration's internal consistency (events,
+/// repeats, sigma rule, abstain floor, fail-open policy smells).
+void check_detector_policy(const core::detector_config& cfg,
+                           check_report& out);
+
+/// Checks a serve configuration against the detector config it will serve:
+/// ladder shape, admission arithmetic, degraded-path evidence floors.
+/// The effective ladder is resolved exactly as detection_service would.
+void check_serve_policy(const serve::serve_config& cfg,
+                        const core::detector_config& det_cfg,
+                        check_report& out);
+
+}  // namespace advh::analysis

@@ -12,8 +12,19 @@ verification_report verify_model(nn::model& m, const verify_options& opts) {
   report.input_shape = m.input_shape().to_string();
   report.num_classes = m.num_classes();
 
-  const std::vector<walk_entry> graph = walk_graph(m.net());
+  walk_result walked = walk_graph_checked(m.net());
+  const std::vector<walk_entry>& graph = walked.entries;
   for (const walk_entry& e : graph) report.layers_checked += e.leaf ? 1 : 0;
+  for (const walk_anomaly& a : walked.anomalies) {
+    const bool cycle = a.k == walk_anomaly::kind::cycle;
+    report.add(severity::error,
+               cycle ? diag_code::graph_cycle : diag_code::layer_aliased,
+               a.top_index, a.node_name,
+               cycle ? "layer is reachable from itself; the graph walk "
+                       "refused to recurse into it"
+                     : "layer object is registered under more than one "
+                       "parent; its computation would be double-counted");
+  }
 
   if (opts.check_shapes) detail::run_shape_pass(m, report);
   if (opts.check_params) detail::run_param_pass(m, graph, report);

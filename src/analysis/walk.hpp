@@ -5,9 +5,17 @@
 // the whole tree in execution order while remembering, for every node,
 // the index of the top-level layer that owns it — the coordinate the
 // verifier's diagnostics report.
+//
+// A malformed for_each_child wiring (a layer reachable from itself, or
+// one layer object registered under two parents) would make the naive
+// recursion unbounded or double-count a layer's computation. The walk
+// therefore tracks visited nodes: an already-visited child is never
+// descended into again, and the defect is reported as a walk_anomaly
+// (verifier codes graph-cycle / layer-aliased).
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "nn/sequential.hpp"
@@ -24,8 +32,31 @@ struct walk_entry {
   bool leaf = true;
 };
 
-/// Linearises `root`'s layer tree in execution order. The root container
-/// itself is not included.
+/// Structural defect found while walking (the walk stays bounded by
+/// refusing to re-enter the offending node).
+struct walk_anomaly {
+  enum class kind {
+    cycle,    ///< child is one of its own ancestors
+    aliased,  ///< child already reached through another parent
+  };
+  kind k = kind::cycle;
+  /// Top-level index under which the repeated node was re-encountered.
+  std::size_t top_index = 0;
+  /// Instance name of the repeated node.
+  std::string node_name;
+};
+
+struct walk_result {
+  std::vector<walk_entry> entries;
+  std::vector<walk_anomaly> anomalies;
+};
+
+/// Linearises `root`'s layer tree in execution order, recording structural
+/// anomalies instead of recursing into them. The root container itself is
+/// not included.
+walk_result walk_graph_checked(const nn::sequential& root);
+
+/// Entries-only convenience wrapper (same bounded traversal).
 std::vector<walk_entry> walk_graph(const nn::sequential& root);
 
 }  // namespace advh::analysis

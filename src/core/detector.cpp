@@ -1,5 +1,6 @@
 #include "core/detector.hpp"
 
+#include "analysis/policy_pass.hpp"
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "common/stats.hpp"
@@ -70,7 +71,16 @@ detector detector::fit(const benign_template& tpl, const detector_config& cfg,
                        std::size_t threads) {
   ADVH_CHECK_MSG(cfg.events.size() == tpl.num_events(),
                  "config/template event count mismatch");
-  ADVH_CHECK(cfg.sigma_multiplier > 0.0);
+  // Policy gate: an internally inconsistent config (zero repeats, abstain
+  // floor above the event count, non-positive sigma rule) is rejected
+  // before any template is fitted under it, with the same ADVH-Exxx codes
+  // advh_check reports.
+  {
+    analysis::check_report report;
+    report.target = "detector config";
+    analysis::check_detector_policy(cfg, report);
+    if (report.has_errors()) throw analysis::check_error(std::move(report));
+  }
 
   detector d;
   d.cfg_ = cfg;

@@ -34,23 +34,54 @@ void write_pod(std::ostream& os, const T& v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof(T));
 }
 
-template <typename T>
-T read_pod(std::istream& is, const std::string& path) {
-  T v{};
-  is.read(reinterpret_cast<char*>(&v), sizeof(T));
-  if (!is.good()) throw io_error(path + ": truncated detector file");
-  return v;
-}
+// ---------------------------------------------------------------------
+// Read side: the detector-file linter (advh_check's 2xx pass).
+//
+// Two defect classes share the ADVH-x2xx code space:
+//  * structural — the byte stream cannot be meaningfully parsed further
+//    (bad magic, truncation, implausible section sizes). The finding is
+//    recorded into the report and parsing aborts via io_error; the code
+//    rides in the exception text so throwing loaders and the advh_check
+//    CLI name the same identifier.
+//  * semantic — the bytes parse but describe an invalid artifact (weights
+//    that do not sum to 1, a threshold below its own NLL mean). The
+//    finding is recorded and parsing continues, so one linter pass
+//    reports every defect in the file, not just the first.
+// ---------------------------------------------------------------------
 
-double read_finite(std::istream& is, const std::string& path,
-                   const char* what) {
-  const double v = read_pod<double>(is, path);
-  if (!std::isfinite(v)) {
-    throw io_error(path + ": non-finite " + std::string(what) +
-                   " in drift state");
+struct parser {
+  std::istream& is;
+  const std::string& path;
+  analysis::check_report& rep;
+
+  [[noreturn]] void fail(int code, const std::string& where,
+                         const std::string& msg) {
+    rep.add(analysis::severity::error, code, where, msg);
+    throw io_error(path + ": " + msg + " [" +
+                   analysis::make_code(analysis::severity::error, code) + "]");
   }
-  return v;
-}
+
+  template <typename T>
+  T pod(const char* what) {
+    T v{};
+    is.read(reinterpret_cast<char*>(&v), sizeof(T));
+    if (!is.good()) {
+      fail(203, "file",
+           "truncated while reading " + std::string(what));
+    }
+    return v;
+  }
+
+  /// Drift-state doubles: any non-finite value poisons the statistics it
+  /// feeds, and every later field shares its byte stream — structural.
+  double finite(const char* what) {
+    const double v = pod<double>(what);
+    if (!std::isfinite(v)) {
+      fail(242, "drift state", "non-finite " + std::string(what));
+    }
+    return v;
+  }
+};
 
 std::string cell_name(std::uint64_t cls, hpc::hpc_event e) {
   return "(class " + std::to_string(cls) + ", event " + hpc::to_string(e) + ")";
@@ -60,34 +91,83 @@ std::string cell_name(std::uint64_t cls, hpc::hpc_event e) {
 /// detector files are loaded at service start from bytes the process did
 /// not produce, so every field the online scorer trusts is range-checked
 /// here (before gmm1d's own invariant checks can fire on garbage).
-void validate_cell(std::span<const gmm::component1d> comps, double threshold,
-                   double nll_mean, double nll_stddev, const std::string& path,
-                   std::uint64_t cls, hpc::hpc_event event) {
-  const std::string where = path + ": " + cell_name(cls, event);
+/// Returns false when the cell carries any error-severity defect — the
+/// caller then skips constructing the mixture and leaves the cell
+/// unmodelled.
+bool validate_cell(std::span<const gmm::component1d> comps, double threshold,
+                   double nll_mean, double nll_stddev, double sigma_multiplier,
+                   const std::string& where, analysis::check_report& rep) {
+  using analysis::severity;
+  bool ok = true;
+  bool stats_ok = true;
   if (!std::isfinite(threshold)) {
-    throw io_error(where + ": non-finite NLL threshold");
+    rep.add(severity::error, 230, where, "non-finite NLL threshold");
+    ok = stats_ok = false;
   }
   if (!std::isfinite(nll_mean) || !std::isfinite(nll_stddev) ||
       nll_stddev < 0.0) {
-    throw io_error(where + ": invalid template NLL statistics");
+    rep.add(severity::error, 236, where, "invalid template NLL statistics");
+    ok = stats_ok = false;
   }
   double weight_sum = 0.0;
-  for (const auto& comp : comps) {
+  for (std::size_t k = 0; k < comps.size(); ++k) {
+    const auto& comp = comps[k];
+    const std::string comp_where = where + " component " + std::to_string(k);
     if (!std::isfinite(comp.weight) || comp.weight < 0.0) {
-      throw io_error(where + ": invalid component weight");
+      rep.add(severity::error, 232, comp_where, "invalid component weight");
+      ok = false;
     }
     if (!std::isfinite(comp.mean)) {
-      throw io_error(where + ": non-finite component mean");
+      rep.add(severity::error, 235, comp_where, "non-finite component mean");
+      ok = false;
     }
     if (!std::isfinite(comp.variance) || comp.variance <= 0.0) {
-      throw io_error(where + ": non-positive component variance");
+      rep.add(severity::error, 233, comp_where,
+              "non-positive component variance");
+      ok = false;
+    } else if (comp.variance <
+               1e-12 * std::max(comp.mean * comp.mean, 1.0)) {
+      // Below the relative epsilon of double precision: (v - mean)^2 /
+      // variance is numerically meaningless, so the cell flags or passes
+      // on rounding noise. Degenerate fit (constant template column at
+      // the EM variance floor), not corruption — warn, don't block.
+      rep.add(severity::warning, 234, comp_where,
+              "variance is below the numerical floor for its mean: the "
+              "component degenerates to a spike and its NLL is dominated "
+              "by rounding");
     }
     weight_sum += comp.weight;
   }
   if (std::abs(weight_sum - 1.0) > 1e-6) {
-    throw io_error(where + ": component weights sum to " +
-                   std::to_string(weight_sum) + ", expected 1");
+    rep.add(severity::error, 231, where,
+            "component weights sum to " + std::to_string(weight_sum) +
+                ", expected 1");
+    ok = false;
   }
+  if (stats_ok && std::isfinite(sigma_multiplier) && sigma_multiplier > 0.0) {
+    // The fit computes threshold = nll_mean + sigma * nll_stddev exactly
+    // (core/detector.cpp); a threshold below the template's own mean NLL
+    // flags typical benign traffic, a silently edited threshold is the
+    // tampering the linter exists to catch.
+    const double expect = nll_mean + sigma_multiplier * nll_stddev;
+    const double tol = 1e-6 * std::max(1.0, std::abs(expect));
+    if (threshold < nll_mean - tol) {
+      rep.add(severity::error, 237, where,
+              "threshold " + std::to_string(threshold) +
+                  " lies below the template's mean NLL " +
+                  std::to_string(nll_mean) +
+                  ": typical benign traffic would flag");
+      ok = false;
+    } else if (std::abs(threshold - expect) > tol) {
+      rep.add(severity::warning, 238, where,
+              "threshold " + std::to_string(threshold) +
+                  " deviates from the sigma rule nll_mean + sigma * "
+                  "nll_stddev = " +
+                  std::to_string(expect) +
+                  ": hand-edited or written by a different fit rule");
+    }
+  }
+  return ok;
 }
 
 void write_detector_body(std::ostream& os, const detector& det) {
@@ -175,69 +255,72 @@ void write_drift_state(std::ostream& os, const drift_state& st) {
   write_pod(os, st.recalibrations);
 }
 
-drift_cell read_drift_cell(std::istream& is, const std::string& path,
-                           std::uint64_t max_window) {
+drift_cell read_drift_cell(parser& p, std::uint64_t max_window) {
   drift_cell cell;
-  cell.ref_offset = read_finite(is, path, "burn-in offset");
-  cell.cusum_pos = read_finite(is, path, "CUSUM statistic");
-  cell.cusum_neg = read_finite(is, path, "CUSUM statistic");
-  cell.ph_mean = read_finite(is, path, "Page-Hinkley mean");
-  cell.ph_up = read_finite(is, path, "Page-Hinkley sum");
-  cell.ph_up_min = read_finite(is, path, "Page-Hinkley extremum");
-  cell.ph_down = read_finite(is, path, "Page-Hinkley sum");
-  cell.ph_down_max = read_finite(is, path, "Page-Hinkley extremum");
+  cell.ref_offset = p.finite("burn-in offset");
+  cell.cusum_pos = p.finite("CUSUM statistic");
+  cell.cusum_neg = p.finite("CUSUM statistic");
+  cell.ph_mean = p.finite("Page-Hinkley mean");
+  cell.ph_up = p.finite("Page-Hinkley sum");
+  cell.ph_up_min = p.finite("Page-Hinkley extremum");
+  cell.ph_down = p.finite("Page-Hinkley sum");
+  cell.ph_down_max = p.finite("Page-Hinkley extremum");
   if (cell.cusum_pos < 0.0 || cell.cusum_neg < 0.0) {
-    throw io_error(path + ": negative CUSUM statistic in drift state");
+    p.fail(242, "drift state", "negative CUSUM statistic in drift state");
   }
-  cell.samples = read_pod<std::uint64_t>(is, path);
-  cell.quarantined = read_pod<std::uint8_t>(is, path);
+  cell.samples = p.pod<std::uint64_t>("drift sample count");
+  cell.quarantined = p.pod<std::uint8_t>("quarantine flag");
   if (cell.quarantined > 1) {
-    throw io_error(path + ": invalid quarantine flag in drift state");
+    p.fail(245, "drift state", "invalid quarantine flag in drift state");
   }
-  const auto n = read_pod<std::uint64_t>(is, path);
+  const auto n = p.pod<std::uint64_t>("drift window length");
   if (n > max_window) {
-    throw io_error(path + ": drift window of " + std::to_string(n) +
-                   " exceeds the policy window");
+    p.fail(243, "drift state",
+           "drift window of " + std::to_string(n) +
+               " exceeds the policy window");
   }
   cell.window.reserve(static_cast<std::size_t>(n));
   for (std::uint64_t i = 0; i < n; ++i) {
-    cell.window.push_back(read_finite(is, path, "window NLL"));
+    cell.window.push_back(p.finite("window NLL"));
   }
   return cell;
 }
 
-drift_state read_drift_state(std::istream& is, const std::string& path,
-                             std::uint64_t n_classes, std::uint64_t n_events) {
+drift_state read_drift_state(parser& p, std::uint64_t n_classes,
+                             std::uint64_t n_events) {
   drift_state st;
-  drift_policy& p = st.policy;
-  p.z_clamp = read_finite(is, path, "z_clamp");
-  p.cusum_slack = read_finite(is, path, "cusum_slack");
-  p.cusum_warn = read_finite(is, path, "cusum_warn");
-  p.cusum_alarm = read_finite(is, path, "cusum_alarm");
-  p.ph_delta = read_finite(is, path, "ph_delta");
-  p.ph_warn = read_finite(is, path, "ph_warn");
-  p.ph_alarm = read_finite(is, path, "ph_alarm");
-  p.ks_window = static_cast<std::size_t>(read_pod<std::uint64_t>(is, path));
-  p.ks_min_samples =
-      static_cast<std::size_t>(read_pod<std::uint64_t>(is, path));
-  p.ks_warn = read_finite(is, path, "ks_warn");
-  p.ks_alarm = read_finite(is, path, "ks_alarm");
-  p.reservoir_capacity =
-      static_cast<std::size_t>(read_pod<std::uint64_t>(is, path));
-  p.min_refit_rows =
-      static_cast<std::size_t>(read_pod<std::uint64_t>(is, path));
-  p.burn_in = static_cast<std::size_t>(read_pod<std::uint64_t>(is, path));
-  if (p.burn_in > kMaxWindow) {
-    throw io_error(path + ": implausible burn-in length");
+  drift_policy& pol = st.policy;
+  pol.z_clamp = p.finite("z_clamp");
+  pol.cusum_slack = p.finite("cusum_slack");
+  pol.cusum_warn = p.finite("cusum_warn");
+  pol.cusum_alarm = p.finite("cusum_alarm");
+  pol.ph_delta = p.finite("ph_delta");
+  pol.ph_warn = p.finite("ph_warn");
+  pol.ph_alarm = p.finite("ph_alarm");
+  pol.ks_window =
+      static_cast<std::size_t>(p.pod<std::uint64_t>("ks_window"));
+  pol.ks_min_samples =
+      static_cast<std::size_t>(p.pod<std::uint64_t>("ks_min_samples"));
+  pol.ks_warn = p.finite("ks_warn");
+  pol.ks_alarm = p.finite("ks_alarm");
+  pol.reservoir_capacity =
+      static_cast<std::size_t>(p.pod<std::uint64_t>("reservoir_capacity"));
+  pol.min_refit_rows =
+      static_cast<std::size_t>(p.pod<std::uint64_t>("min_refit_rows"));
+  pol.burn_in = static_cast<std::size_t>(p.pod<std::uint64_t>("burn_in"));
+  if (pol.burn_in > kMaxWindow) {
+    p.fail(204, "drift policy", "implausible burn-in length");
   }
-  if (p.z_clamp <= 0.0 || p.cusum_slack < 0.0 || p.cusum_warn <= 0.0 ||
-      p.cusum_alarm < p.cusum_warn || p.ph_delta < 0.0 || p.ph_warn <= 0.0 ||
-      p.ph_alarm < p.ph_warn || p.ks_window < 2 || p.ks_window > kMaxWindow ||
-      p.ks_min_samples < 2 || p.ks_min_samples > p.ks_window ||
-      p.ks_warn <= 0.0 || p.ks_alarm < p.ks_warn || p.ks_alarm > 1.0 ||
-      p.min_refit_rows < 2 || p.reservoir_capacity < p.min_refit_rows ||
-      p.reservoir_capacity > kMaxReservoir) {
-    throw io_error(path + ": inconsistent drift policy");
+  if (pol.z_clamp <= 0.0 || pol.cusum_slack < 0.0 || pol.cusum_warn <= 0.0 ||
+      pol.cusum_alarm < pol.cusum_warn || pol.ph_delta < 0.0 ||
+      pol.ph_warn <= 0.0 || pol.ph_alarm < pol.ph_warn || pol.ks_window < 2 ||
+      pol.ks_window > kMaxWindow || pol.ks_min_samples < 2 ||
+      pol.ks_min_samples > pol.ks_window || pol.ks_warn <= 0.0 ||
+      pol.ks_alarm < pol.ks_warn || pol.ks_alarm > 1.0 ||
+      pol.min_refit_rows < 2 ||
+      pol.reservoir_capacity < pol.min_refit_rows ||
+      pol.reservoir_capacity > kMaxReservoir) {
+    p.fail(241, "drift policy", "inconsistent drift policy");
   }
 
   for (auto* grid : {&st.canary, &st.victim}) {
@@ -245,33 +328,194 @@ drift_state read_drift_state(std::istream& is, const std::string& path,
     for (auto& row : *grid) {
       row.reserve(static_cast<std::size_t>(n_events));
       for (std::uint64_t e = 0; e < n_events; ++e) {
-        row.push_back(read_drift_cell(is, path, p.ks_window));
+        row.push_back(read_drift_cell(p, pol.ks_window));
       }
     }
   }
   st.reservoir.assign(static_cast<std::size_t>(n_classes), {});
   for (auto& pool : st.reservoir) {
-    const auto rows = read_pod<std::uint64_t>(is, path);
-    if (rows > p.reservoir_capacity) {
-      throw io_error(path + ": reservoir of " + std::to_string(rows) +
-                     " rows exceeds its capacity");
+    const auto rows = p.pod<std::uint64_t>("reservoir row count");
+    if (rows > pol.reservoir_capacity) {
+      p.fail(244, "drift state",
+             "reservoir of " + std::to_string(rows) +
+                 " rows exceeds its capacity");
     }
     pool.reserve(static_cast<std::size_t>(rows));
     for (std::uint64_t r = 0; r < rows; ++r) {
       std::vector<double> row;
       row.reserve(static_cast<std::size_t>(n_events));
       for (std::uint64_t e = 0; e < n_events; ++e) {
-        row.push_back(read_finite(is, path, "reservoir count"));
+        row.push_back(p.finite("reservoir count"));
       }
       pool.push_back(std::move(row));
     }
   }
-  st.canaries_accepted = read_pod<std::uint64_t>(is, path);
-  st.canaries_rejected = read_pod<std::uint64_t>(is, path);
-  st.victims_scored = read_pod<std::uint64_t>(is, path);
-  st.quarantined_verdicts = read_pod<std::uint64_t>(is, path);
-  st.recalibrations = read_pod<std::uint64_t>(is, path);
+  st.canaries_accepted = p.pod<std::uint64_t>("canary counter");
+  st.canaries_rejected = p.pod<std::uint64_t>("canary counter");
+  st.victims_scored = p.pod<std::uint64_t>("victim counter");
+  st.quarantined_verdicts = p.pod<std::uint64_t>("quarantine counter");
+  st.recalibrations = p.pod<std::uint64_t>("recalibration counter");
   return st;
+}
+
+/// Full linting parse of one ADET file. Structural defects abort via
+/// parser::fail (finding recorded, io_error thrown); semantic defects
+/// accumulate into the report and parsing continues.
+checkpoint read_checkpoint(parser& p) {
+  using analysis::severity;
+  if (p.pod<std::uint32_t>("magic") != kMagic) {
+    p.fail(201, "file", "not an AdvHunter detector file");
+  }
+  const auto version = p.pod<std::uint32_t>("format version");
+  if (version < kOldestSupported || version > kVersion) {
+    p.fail(202, "file",
+           "unsupported detector format version " + std::to_string(version));
+  }
+
+  detector_config cfg;
+  const auto n_events = p.pod<std::uint64_t>("event count");
+  if (n_events == 0) {
+    p.fail(210, "events", "detector monitors zero events");
+  }
+  if (n_events > 1024) {
+    p.fail(204, "events",
+           "implausible event count " + std::to_string(n_events));
+  }
+  for (std::uint64_t e = 0; e < n_events; ++e) {
+    const auto raw = p.pod<std::uint32_t>("hpc_event");
+    if (raw > static_cast<std::uint32_t>(hpc::hpc_event::llc_store_misses)) {
+      p.fail(211, "events",
+             "unknown hpc_event value " + std::to_string(raw));
+    }
+    cfg.events.push_back(static_cast<hpc::hpc_event>(raw));
+  }
+  for (std::size_t i = 0; i < cfg.events.size(); ++i) {
+    for (std::size_t j = i + 1; j < cfg.events.size(); ++j) {
+      if (cfg.events[i] == cfg.events[j]) {
+        p.rep.add(severity::error, 212,
+                  "event " + hpc::to_string(cfg.events[i]),
+                  "event configured twice: its evidence would be "
+                  "double-counted by the any-event fusion");
+      }
+    }
+  }
+  cfg.repeats = static_cast<std::size_t>(p.pod<std::uint64_t>("repeats"));
+  if (cfg.repeats == 0) {
+    p.rep.add(severity::error, 213, "repeats",
+              "measurement repeat count is zero");
+  }
+  cfg.k_max = static_cast<std::size_t>(p.pod<std::uint64_t>("k_max"));
+  if (cfg.k_max == 0) {
+    p.rep.add(severity::warning, 216, "k_max",
+              "BIC scan upper bound is zero: a drift recalibration under "
+              "this config cannot refit any cell");
+  }
+  cfg.sigma_multiplier = p.pod<double>("sigma multiplier");
+  const bool sigma_ok =
+      std::isfinite(cfg.sigma_multiplier) && cfg.sigma_multiplier > 0.0;
+  if (!sigma_ok) {
+    p.rep.add(severity::error, 214, "sigma_multiplier",
+              "invalid sigma multiplier");
+  }
+  if (version >= 2) {
+    cfg.flag_unmodeled = p.pod<std::uint8_t>("flag_unmodeled") != 0;
+  }
+  if (version >= 3) {
+    cfg.min_events_for_verdict =
+        static_cast<std::size_t>(p.pod<std::uint64_t>("min_events"));
+    if (cfg.min_events_for_verdict > n_events) {
+      p.rep.add(severity::error, 215, "min_events_for_verdict",
+                "evidence floor " +
+                    std::to_string(cfg.min_events_for_verdict) +
+                    " exceeds the " + std::to_string(n_events) +
+                    " stored events: every verdict abstains");
+    }
+    cfg.flag_on_abstain = p.pod<std::uint8_t>("flag_on_abstain") != 0;
+  }
+
+  const auto n_classes = p.pod<std::uint64_t>("class count");
+  if (n_classes == 0) {
+    p.fail(204, "classes", "detector covers zero classes");
+  }
+  if (n_classes > 1u << 20) {
+    p.fail(204, "classes",
+           "implausible class count " + std::to_string(n_classes));
+  }
+  std::vector<std::vector<std::optional<event_model>>> models(
+      n_classes, std::vector<std::optional<event_model>>(n_events));
+  for (std::uint64_t cls = 0; cls < n_classes; ++cls) {
+    for (std::uint64_t e = 0; e < n_events; ++e) {
+      if (p.pod<std::uint8_t>("cell presence byte") == 0) continue;
+      event_model em;
+      em.threshold = p.pod<double>("cell threshold");
+      em.nll_mean = p.pod<double>("cell NLL mean");
+      em.nll_stddev = p.pod<double>("cell NLL stddev");
+      em.template_size =
+          static_cast<std::size_t>(p.pod<std::uint64_t>("template size"));
+      const std::string where = cell_name(cls, cfg.events[e]);
+      if (em.template_size == 0) {
+        p.rep.add(severity::warning, 239, where,
+                  "zero template size: the cell's statistics are "
+                  "unsupported by any recorded sample");
+      }
+      const auto order = p.pod<std::uint64_t>("mixture order");
+      if (order == 0 || order > kMaxOrder) {
+        p.fail(204, where,
+               "implausible mixture order " + std::to_string(order));
+      }
+      std::vector<gmm::component1d> comps(order);
+      for (auto& c : comps) {
+        c.weight = p.pod<double>("component weight");
+        c.mean = p.pod<double>("component mean");
+        c.variance = p.pod<double>("component variance");
+      }
+      if (!validate_cell(comps, em.threshold, em.nll_mean, em.nll_stddev,
+                         cfg.sigma_multiplier, where, p.rep)) {
+        continue;  // defective cell: recorded, left unmodelled
+      }
+      em.model = gmm::gmm1d(std::move(comps));
+      models[cls][e] = std::move(em);
+    }
+  }
+
+  checkpoint out{detector::from_parts(std::move(cfg), std::move(models)), {}};
+  if (version >= 4) {
+    const auto has_drift = p.pod<std::uint8_t>("drift presence byte");
+    if (has_drift > 1) {
+      p.fail(240, "drift state", "invalid drift-section presence byte");
+    }
+    if (has_drift == 1) {
+      out.drift = read_drift_state(p, n_classes, n_events);
+      // Coherence between the drift grids and the detector they ride
+      // with: quarantine masking reads flags only from the canary grid
+      // (core/drift.cpp), and the controller only ever quarantines
+      // modelled cells.
+      for (std::uint64_t cls = 0; cls < n_classes; ++cls) {
+        for (std::uint64_t e = 0; e < n_events; ++e) {
+          const auto& events = out.det.config().events;
+          const std::string where = cell_name(cls, events[e]);
+          if (out.drift->victim[cls][e].quarantined != 0) {
+            p.rep.add(severity::error, 246, "victim " + where,
+                      "quarantine flag set on a victim-grid cell: the "
+                      "controller only quarantines canary cells, so this "
+                      "state was not produced by a coherent checkpoint");
+          }
+          if (out.drift->canary[cls][e].quarantined != 0 &&
+              !out.det.model_for(cls, e).has_value()) {
+            p.rep.add(severity::warning, 247, "canary " + where,
+                      "quarantined canary cell has no fitted model: the "
+                      "flag can never be lifted by recalibration");
+          }
+        }
+      }
+    }
+  }
+  if (p.is.peek() != std::char_traits<char>::eof()) {
+    p.rep.add(severity::warning, 248, "file",
+              "trailing bytes after the last section: written by a newer "
+              "format revision or padded by a foreign tool");
+  }
+  return out;
 }
 
 }  // namespace
@@ -296,103 +540,43 @@ void save_checkpoint(const drift_controller& ctl, const std::string& path) {
 checkpoint load_checkpoint(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is.good()) throw io_error("cannot open " + path);
-  if (read_pod<std::uint32_t>(is, path) != kMagic) {
-    throw io_error(path + " is not an AdvHunter detector file");
-  }
-  const auto version = read_pod<std::uint32_t>(is, path);
-  if (version < kOldestSupported || version > kVersion) {
-    throw io_error(path + ": unsupported detector format version " +
-                   std::to_string(version));
-  }
-
-  detector_config cfg;
-  const auto n_events = read_pod<std::uint64_t>(is, path);
-  if (n_events == 0) throw io_error(path + ": detector monitors zero events");
-  if (n_events > 1024) {
-    throw io_error(path + ": implausible event count " +
-                   std::to_string(n_events));
-  }
-  for (std::uint64_t e = 0; e < n_events; ++e) {
-    const auto raw = read_pod<std::uint32_t>(is, path);
-    if (raw > static_cast<std::uint32_t>(hpc::hpc_event::llc_store_misses)) {
-      throw io_error(path + ": unknown hpc_event value " +
-                     std::to_string(raw));
-    }
-    cfg.events.push_back(static_cast<hpc::hpc_event>(raw));
-  }
-  cfg.repeats = static_cast<std::size_t>(read_pod<std::uint64_t>(is, path));
-  if (cfg.repeats == 0) {
-    throw io_error(path + ": measurement repeat count is zero");
-  }
-  cfg.k_max = static_cast<std::size_t>(read_pod<std::uint64_t>(is, path));
-  cfg.sigma_multiplier = read_pod<double>(is, path);
-  if (!std::isfinite(cfg.sigma_multiplier) || cfg.sigma_multiplier <= 0.0) {
-    throw io_error(path + ": invalid sigma multiplier");
-  }
-  if (version >= 2) {
-    cfg.flag_unmodeled = read_pod<std::uint8_t>(is, path) != 0;
-  }
-  if (version >= 3) {
-    cfg.min_events_for_verdict =
-        static_cast<std::size_t>(read_pod<std::uint64_t>(is, path));
-    if (cfg.min_events_for_verdict > n_events) {
-      throw io_error(path + ": min_events_for_verdict " +
-                     std::to_string(cfg.min_events_for_verdict) +
-                     " exceeds event count");
-    }
-    cfg.flag_on_abstain = read_pod<std::uint8_t>(is, path) != 0;
-  }
-
-  const auto n_classes = read_pod<std::uint64_t>(is, path);
-  if (n_classes == 0) throw io_error(path + ": detector covers zero classes");
-  if (n_classes > 1u << 20) {
-    throw io_error(path + ": implausible class count " +
-                   std::to_string(n_classes));
-  }
-  std::vector<std::vector<std::optional<event_model>>> models(
-      n_classes, std::vector<std::optional<event_model>>(n_events));
-  for (std::uint64_t cls = 0; cls < n_classes; ++cls) {
-    for (std::uint64_t e = 0; e < n_events; ++e) {
-      if (read_pod<std::uint8_t>(is, path) == 0) continue;
-      event_model em;
-      em.threshold = read_pod<double>(is, path);
-      em.nll_mean = read_pod<double>(is, path);
-      em.nll_stddev = read_pod<double>(is, path);
-      em.template_size =
-          static_cast<std::size_t>(read_pod<std::uint64_t>(is, path));
-      const auto order = read_pod<std::uint64_t>(is, path);
-      if (order == 0 || order > kMaxOrder) {
-        throw io_error(path + ": " + cell_name(cls, cfg.events[e]) +
-                       ": implausible mixture order " + std::to_string(order));
-      }
-      std::vector<gmm::component1d> comps(order);
-      for (auto& c : comps) {
-        c.weight = read_pod<double>(is, path);
-        c.mean = read_pod<double>(is, path);
-        c.variance = read_pod<double>(is, path);
-      }
-      validate_cell(comps, em.threshold, em.nll_mean, em.nll_stddev, path,
-                    cls, cfg.events[e]);
-      em.model = gmm::gmm1d(std::move(comps));
-      models[cls][e] = std::move(em);
-    }
-  }
-
-  checkpoint out{detector::from_parts(std::move(cfg), std::move(models)), {}};
-  if (version >= 4) {
-    const auto has_drift = read_pod<std::uint8_t>(is, path);
-    if (has_drift > 1) {
-      throw io_error(path + ": invalid drift-section presence byte");
-    }
-    if (has_drift == 1) {
-      out.drift = read_drift_state(is, path, n_classes, n_events);
-    }
+  analysis::check_report rep;
+  rep.target = path;
+  parser p{is, path, rep};
+  checkpoint out = read_checkpoint(p);
+  if (rep.has_errors()) {
+    // Semantic defects accumulated without aborting the parse: the file
+    // is readable but not trustworthy. Same codes the advh_check CLI
+    // reports for this file.
+    throw io_error(path + ": detector file failed static checks [" +
+                   rep.error_codes() + "]\n" + rep.to_text());
   }
   return out;
 }
 
 detector load_detector(const std::string& path) {
   return load_checkpoint(path).det;
+}
+
+std::optional<checkpoint> lint_checkpoint_file(
+    const std::string& path, analysis::check_report& report) {
+  report.target = path;
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) {
+    report.add(analysis::severity::error, 1, "file",
+               "cannot open target for reading");
+    return std::nullopt;
+  }
+  parser p{is, path, report};
+  std::optional<checkpoint> out;
+  try {
+    out.emplace(read_checkpoint(p));
+  } catch (const io_error&) {
+    // Structural defect: the finding is already in the report.
+    return std::nullopt;
+  }
+  if (report.has_errors()) return std::nullopt;
+  return out;
 }
 
 }  // namespace advh::core

@@ -17,6 +17,7 @@
 #include <optional>
 #include <string>
 
+#include "analysis/check.hpp"
 #include "core/detector.hpp"
 #include "core/drift.hpp"
 
@@ -41,6 +42,21 @@ void save_checkpoint(const drift_controller& ctl, const std::string& path);
 
 /// Loads a detector together with its drift section (nullopt for files
 /// saved by save_detector or by pre-v4 writers).
+///
+/// Loading runs the full detector-file linter (advh_check's 2xx pass) as
+/// a gating pre-pass: a file with any error-severity finding throws
+/// io_error whose message embeds the same ADVH-Exxx codes advh_check
+/// reports. Warning-severity findings never block a load.
 checkpoint load_checkpoint(const std::string& path);
+
+/// Non-throwing linter entry point (the advh_check detector-file pass).
+/// Runs exactly the checks load_checkpoint gates on, accumulating every
+/// finding into `report` instead of stopping at the first structural
+/// defect's io_error. Returns the parsed checkpoint when the file is
+/// loadable (possibly with warnings), nullopt when any error-severity
+/// finding was recorded — so CLI verdict and loader behaviour agree by
+/// construction.
+std::optional<checkpoint> lint_checkpoint_file(const std::string& path,
+                                               analysis::check_report& report);
 
 }  // namespace advh::core

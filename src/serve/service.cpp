@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
+#include "analysis/policy_pass.hpp"
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/rng.hpp"
@@ -66,6 +69,136 @@ serve_config serve_config_from_env(serve_config base) {
   return base;
 }
 
+std::vector<ladder_rung> resolve_ladder(const serve_config& cfg,
+                                        std::size_t full_repeats) {
+  if (!cfg.ladder.empty()) return cfg.ladder;
+  // The issue ladder: R = 10 -> 5 -> 3 -> 1 for the paper's default R,
+  // derived proportionally for any other configured repeats.
+  const auto shed = [&](std::size_t num, std::size_t den) {
+    return std::max<std::size_t>(full_repeats * num / den, 1);
+  };
+  // Every degraded rung keeps one backoff-free repair round: at one
+  // repeat a single faulted read would otherwise erase the sample's
+  // only evidence, and fail-closed scoring would flag it — correct for
+  // the request, ruinous for clean-traffic accuracy under chaos.
+  return {
+      {0.00, full_repeats, hpc::measure_budget::unlimited, true, false},
+      {0.50, shed(5, 10), 2, false, false},
+      {0.75, shed(3, 10), 2, false, false},
+      {0.90, shed(1, 10), 1, false, true},
+  };
+}
+
+namespace {
+
+[[noreturn]] void bad_config_line(const std::string& path, std::size_t lineno,
+                                  const std::string& line,
+                                  const std::string& why) {
+  throw io_error(path + ":" + std::to_string(lineno) + ": " + why + " in \"" +
+                 line + "\"");
+}
+
+double parse_number(const std::string& path, std::size_t lineno,
+                    const std::string& line, const std::string& token) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0' || errno == ERANGE ||
+      !(v == v)) {  // rejects empty, trailing junk, overflow and NaN
+    bad_config_line(path, lineno, line, "malformed number \"" + token + "\"");
+  }
+  return v;
+}
+
+std::size_t parse_count(const std::string& path, std::size_t lineno,
+                        const std::string& line, const std::string& token) {
+  const double v = parse_number(path, lineno, line, token);
+  const auto n = static_cast<std::size_t>(v);
+  if (v < 0.0 || static_cast<double>(n) != v) {
+    bad_config_line(path, lineno, line,
+                    "expected a non-negative integer, got \"" + token + "\"");
+  }
+  return n;
+}
+
+}  // namespace
+
+serve_config load_serve_config(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw io_error(path + ": cannot open serve config");
+  serve_config cfg;
+  cfg.ladder.clear();
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key)) continue;  // blank / comment-only line
+    std::string eq;
+    if (!(ls >> eq) || eq != "=") {
+      bad_config_line(path, lineno, line, "expected \"key = value\"");
+    }
+    if (key == "rung") {
+      std::string engage, repeats, rounds, backoff, shed, extra;
+      if (!(ls >> engage >> repeats >> rounds >> backoff >> shed) ||
+          (ls >> extra)) {
+        bad_config_line(path, lineno, line,
+                        "expected \"rung = <engage> <repeats> "
+                        "<retry_rounds|unlimited> <backoff> <shed>\"");
+      }
+      ladder_rung r;
+      r.engage_occupancy = parse_number(path, lineno, line, engage);
+      r.repeats = parse_count(path, lineno, line, repeats);
+      r.max_retry_rounds = rounds == "unlimited"
+                               ? hpc::measure_budget::unlimited
+                               : parse_count(path, lineno, line, rounds);
+      r.allow_backoff = parse_count(path, lineno, line, backoff) != 0;
+      r.shed_events = parse_count(path, lineno, line, shed) != 0;
+      cfg.ladder.push_back(r);
+      continue;
+    }
+    std::string value, extra;
+    if (!(ls >> value) || (ls >> extra)) {
+      bad_config_line(path, lineno, line, "expected a single value");
+    }
+    if (key == "queue_capacity") {
+      cfg.queue_capacity = parse_count(path, lineno, line, value);
+    } else if (key == "default_deadline_ms") {
+      cfg.default_deadline = std::chrono::duration_cast<clock_duration>(
+          std::chrono::duration<double, std::milli>(
+              parse_number(path, lineno, line, value)));
+    } else if (key == "admission_margin") {
+      cfg.admission_margin = parse_number(path, lineno, line, value);
+    } else if (key == "release_hysteresis") {
+      cfg.release_hysteresis = parse_number(path, lineno, line, value);
+    } else if (key == "kept_events_when_shedding") {
+      cfg.kept_events_when_shedding = parse_count(path, lineno, line, value);
+    } else if (key == "batch_admit_occupancy") {
+      cfg.batch_admit_occupancy = parse_number(path, lineno, line, value);
+    } else if (key == "batch_size") {
+      cfg.batch_size = parse_count(path, lineno, line, value);
+    } else if (key == "threads") {
+      cfg.threads = parse_count(path, lineno, line, value);
+    } else if (key == "latency_alpha") {
+      cfg.latency_alpha = parse_number(path, lineno, line, value);
+    } else if (key == "initial_unit_cost_us") {
+      cfg.initial_unit_cost = std::chrono::duration_cast<clock_duration>(
+          std::chrono::duration<double, std::micro>(
+              parse_number(path, lineno, line, value)));
+    } else if (key == "initial_fixed_cost_us") {
+      cfg.initial_fixed_cost = std::chrono::duration_cast<clock_duration>(
+          std::chrono::duration<double, std::micro>(
+              parse_number(path, lineno, line, value)));
+    } else {
+      bad_config_line(path, lineno, line, "unknown key \"" + key + "\"");
+    }
+  }
+  return cfg;
+}
+
 const char* to_string(admit_status s) noexcept {
   switch (s) {
     case admit_status::admitted:
@@ -83,6 +216,24 @@ const char* to_string(admit_status s) noexcept {
   }
   return "?";
 }
+
+namespace {
+
+/// Policy-consistency gate, run before any member (queue, breaker,
+/// tracker) is built from the config: a contradictory serve/detector
+/// configuration (fail-open evidence hole, unserveable deadline,
+/// malformed ladder, zero-capacity queue) is rejected at construction
+/// with the same ADVH-Exxx codes advh_check reports, not discovered
+/// under the first overloaded request.
+serve_config checked_config(serve_config cfg, const core::detector& det) {
+  analysis::check_report report;
+  report.target = "serve config";
+  analysis::check_serve_policy(cfg, det.config(), report);
+  if (report.has_errors()) throw analysis::check_error(std::move(report));
+  return cfg;
+}
+
+}  // namespace
 
 detection_service::detection_service(const core::detector& det,
                                      hpc::hpc_monitor& monitor,
@@ -102,52 +253,16 @@ detection_service::detection_service(const core::detector& det,
       monitor_(monitor),
       clock_(clock),
       vclock_(vclock),
-      cfg_(std::move(cfg)),
+      cfg_(checked_config(std::move(cfg), det)),
       queue_(cfg_.queue_capacity),
       breaker_(clock_, cfg_.breaker),
       tracker_(cfg_.latency_alpha, cfg_.initial_unit_cost,
                cfg_.initial_fixed_cost),
       interactive_gap_(cfg_.latency_alpha) {
-  ADVH_CHECK_MSG(cfg_.batch_size >= 1, "batch_size must be positive");
-  ADVH_CHECK_MSG(cfg_.admission_margin >= 1.0,
-                 "admission_margin must be >= 1");
-  ADVH_CHECK_MSG(cfg_.batch_admit_occupancy > 0.0 &&
-                     cfg_.batch_admit_occupancy <= 1.0,
-                 "batch_admit_occupancy must be in (0, 1]");
-  const std::size_t full = det_.config().repeats;
   const std::size_t n_events = det_.config().events.size();
-  ADVH_CHECK_MSG(n_events >= 1, "detector must configure at least one event");
-  cfg_.kept_events_when_shedding =
-      std::clamp<std::size_t>(cfg_.kept_events_when_shedding, 1, n_events);
-  if (cfg_.ladder.empty()) {
-    // The issue ladder: R = 10 -> 5 -> 3 -> 1 for the paper's default R,
-    // derived proportionally for any other configured repeats.
-    const auto shed = [&](std::size_t num, std::size_t den) {
-      return std::max<std::size_t>(full * num / den, 1);
-    };
-    // Every degraded rung keeps one backoff-free repair round: at one
-    // repeat a single faulted read would otherwise erase the sample's
-    // only evidence, and fail-closed scoring would flag it — correct for
-    // the request, ruinous for clean-traffic accuracy under chaos.
-    ladder_ = {
-        {0.00, full, hpc::measure_budget::unlimited, true, false},
-        {0.50, shed(5, 10), 2, false, false},
-        {0.75, shed(3, 10), 2, false, false},
-        {0.90, shed(1, 10), 1, false, true},
-    };
-  } else {
-    ladder_ = cfg_.ladder;
-  }
-  ADVH_CHECK_MSG(ladder_.front().engage_occupancy == 0.0,
-                 "ladder rung 0 must engage at occupancy 0");
-  for (std::size_t r = 0; r < ladder_.size(); ++r) {
-    ADVH_CHECK_MSG(ladder_[r].repeats >= 1, "ladder repeats must be positive");
-    if (r > 0) {
-      ADVH_CHECK_MSG(ladder_[r].engage_occupancy >
-                         ladder_[r - 1].engage_occupancy,
-                     "ladder engage occupancies must increase");
-    }
-  }
+  cfg_.kept_events_when_shedding = std::clamp<std::size_t>(
+      cfg_.kept_events_when_shedding, 1, std::max<std::size_t>(n_events, 1));
+  ladder_ = resolve_ladder(cfg_, det_.config().repeats);
   stats_.served_by_rung.assign(ladder_.size(), 0);
 }
 

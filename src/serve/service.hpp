@@ -42,6 +42,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/retry.hpp"
@@ -136,6 +137,28 @@ struct serve_config {
 /// deployment manifest must fail loudly, not silently misconfigure the
 /// admission controller.
 serve_config serve_config_from_env(serve_config base = serve_config{});
+
+/// Resolves the effective degradation ladder: `cfg.ladder` verbatim when
+/// non-empty, otherwise the default ladder derived from the detector's
+/// full repeat count (occupancy {0, .5, .75, .9} -> repeats
+/// {R, R/2, 3R/10, R/10}, min 1, deepest rung sheds events). This is
+/// exactly the ladder detection_service will run, exposed so the
+/// policy-consistency pass (analysis/policy_pass) can statically verify
+/// the same ladder the service would serve.
+std::vector<ladder_rung> resolve_ladder(const serve_config& cfg,
+                                        std::size_t full_repeats);
+
+/// Loads a serve_config from a `key = value` text file ('#' comments,
+/// blank lines ignored). Recognised keys: queue_capacity,
+/// default_deadline_ms, admission_margin, release_hysteresis,
+/// kept_events_when_shedding, batch_admit_occupancy, batch_size, threads,
+/// latency_alpha, initial_unit_cost_us, initial_fixed_cost_us; each
+/// `rung = <engage> <repeats> <retry_rounds|unlimited> <backoff> <shed>`
+/// line appends one ladder rung (shallowest first). Values are parsed
+/// strictly — an unknown key or malformed value throws io_error; whether
+/// the *parsed* config is serveable is the policy pass's judgement
+/// (advh_check / detection_service construction), not the parser's.
+serve_config load_serve_config(const std::string& path);
 
 /// Admission decision for one submitted request.
 enum class admit_status : std::uint8_t {

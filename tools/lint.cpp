@@ -6,9 +6,9 @@
 // A model name builds a fresh factory model from src/nn/models; a state
 // file (saved by nn::save_state, e.g. advh_models/S2_resnet_small.advh)
 // additionally loads the trained parameters so the audit covers the
-// on-disk values (NaN/Inf, zeroed weights). Exit status: 0 when the graph
-// verifies (warnings allowed), 1 on verification errors, 2 on usage or
-// I/O problems.
+// on-disk values (NaN/Inf, zeroed weights). Exit status follows the
+// advh_check contract: 0 clean, 1 warnings only, 2 verification errors,
+// 64 on usage or I/O problems.
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -75,7 +75,7 @@ int usage(const std::string& help) {
             << "  model names: case_study_cnn, efficientnet_lite, "
                "resnet_small, densenet_small\n"
             << help;
-  return 2;
+  return 64;
 }
 
 }  // namespace
@@ -104,7 +104,7 @@ int main(int argc, char** argv) {
     if (!cli.parse(static_cast<int>(rest.size()), rest.data())) return 0;
   } catch (const advh::error& e) {
     std::cerr << "advh_lint: " << e.what() << "\n";
-    return 2;
+    return 64;
   }
 
   try {
@@ -114,7 +114,7 @@ int main(int argc, char** argv) {
       if (!arch_from_filename(target, arch)) {
         std::cerr << "advh_lint: cannot infer architecture from file name '"
                   << target << "' (expected one of the zoo names in it)\n";
-        return 2;
+        return 64;
       }
     } else {
       try {
@@ -122,14 +122,14 @@ int main(int argc, char** argv) {
       } catch (const advh::error&) {
         std::cerr << "advh_lint: '" << target
                   << "' is neither a known model name nor a state file\n";
-        return 2;
+        return 64;
       }
     }
 
     arch_defaults d = defaults_for(arch);
     if (!cli.get("input").empty() && !parse_chw(cli.get("input"), d.input)) {
       std::cerr << "advh_lint: --input must look like 3x32x32\n";
-      return 2;
+      return 64;
     }
     if (cli.get_int("classes") > 0) {
       d.classes = static_cast<std::size_t>(cli.get_int("classes"));
@@ -144,9 +144,10 @@ int main(int argc, char** argv) {
     const analysis::verification_report report = analysis::verify_model(*m);
     std::cout << (cli.get_bool("json") ? report.to_json() + "\n"
                                        : report.to_text());
-    return report.has_errors() ? 1 : 0;
+    if (report.has_errors()) return 2;
+    return report.diags.empty() ? 0 : 1;
   } catch (const advh::error& e) {
     std::cerr << "advh_lint: " << e.what() << "\n";
-    return 2;
+    return 64;
   }
 }

@@ -1,0 +1,242 @@
+// make_check_corpus — regenerates the corrupted-artifact corpus under
+// tests/data/ that tests/test_check.cpp and the CI static-analysis job
+// assert golden diagnostic codes against.
+//
+//   make_check_corpus <output-dir>
+//
+// Every ADET file is written byte-by-byte (not through detector_io's
+// writer) so each artifact carries exactly one seeded defect class and
+// the corpus cannot silently heal when the writer changes. The baseline
+// cell is constructed to be clean under the linter: threshold ==
+// nll_mean + sigma * nll_stddev exactly, weights summing to 1, variance
+// well above the numerical floor.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct blob {
+  std::vector<char> bytes;
+
+  template <typename T>
+  void pod(const T& v) {
+    const char* p = reinterpret_cast<const char*>(&v);
+    bytes.insert(bytes.end(), p, p + sizeof(T));
+  }
+  void u8(std::uint8_t v) { pod(v); }
+  void u32(std::uint32_t v) { pod(v); }
+  void u64(std::uint64_t v) { pod(v); }
+  void f64(double v) { pod(v); }
+};
+
+constexpr std::uint32_t kMagic = 0x41444554;  // "ADET"
+constexpr std::uint32_t kVersion = 4;
+
+/// ADET v4 header + config for one class over `events`, followed by one
+/// clean modelled cell per event (order-1 mixture, exact sigma rule).
+blob clean_detector(const std::vector<std::uint32_t>& events) {
+  blob b;
+  b.u32(kMagic);
+  b.u32(kVersion);
+  b.u64(events.size());
+  for (std::uint32_t e : events) b.u32(e);
+  b.u64(10);   // repeats
+  b.u64(4);    // k_max
+  b.f64(3.0);  // sigma_multiplier
+  b.u8(1);     // flag_unmodeled
+  b.u64(1);    // min_events_for_verdict
+  b.u8(1);     // flag_on_abstain
+  b.u64(1);    // n_classes
+  for (std::size_t e = 0; e < events.size(); ++e) {
+    b.u8(1);       // cell present
+    b.f64(13.0);   // threshold == 10 + 3 * 1 exactly (no W238)
+    b.f64(10.0);   // nll_mean
+    b.f64(1.0);    // nll_stddev
+    b.u64(32);     // template_size
+    b.u64(1);      // mixture order
+    b.f64(1.0);    // weight
+    b.f64(50000.0);
+    b.f64(2500.0);  // variance, far above the 1e-12 * mean^2 floor
+  }
+  return b;
+}
+
+void write_file(const std::string& dir, const std::string& name,
+                const blob& b) {
+  const std::string path = dir + "/" + name;
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(b.bytes.data(), static_cast<std::streamsize>(b.bytes.size()));
+  if (!os.good()) {
+    std::cerr << "make_check_corpus: cannot write " << path << "\n";
+    std::exit(1);
+  }
+  std::cout << "wrote " << path << " (" << b.bytes.size() << " bytes)\n";
+}
+
+/// A structurally sane drift policy (passes detector_io's consistency
+/// predicate) for the quarantine-coherence artifacts.
+void emit_drift_policy(blob& b) {
+  b.f64(8.0);   // z_clamp
+  b.f64(0.5);   // cusum_slack
+  b.f64(3.0);   // cusum_warn
+  b.f64(6.0);   // cusum_alarm
+  b.f64(0.05);  // ph_delta
+  b.f64(8.0);   // ph_warn
+  b.f64(15.0);  // ph_alarm
+  b.u64(64);    // ks_window
+  b.u64(16);    // ks_min_samples
+  b.f64(0.1);   // ks_warn
+  b.f64(0.2);   // ks_alarm
+  b.u64(128);   // reservoir_capacity
+  b.u64(32);    // min_refit_rows
+  b.u64(10);    // burn_in
+}
+
+void emit_drift_cell(blob& b, std::uint8_t quarantined) {
+  for (int i = 0; i < 8; ++i) b.f64(0.0);  // offsets/CUSUM/Page-Hinkley
+  b.u64(5);  // samples
+  b.u8(quarantined);
+  b.u64(0);  // empty window
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: make_check_corpus <output-dir>\n";
+    return 64;
+  }
+  const std::string dir = argv[1];
+  const std::uint32_t kInstructions = 0;  // hpc_event::instructions
+  const std::uint32_t kBranches = 1;      // hpc_event::branches
+
+  // --- E201: not an ADET file at all -------------------------------------
+  {
+    blob b;
+    b.u32(0xDEADBEEFu);
+    b.u64(0);
+    write_file(dir, "bad_magic.adet", b);
+  }
+
+  // --- E231: component weights do not sum to 1 ---------------------------
+  {
+    blob b;
+    b.u32(kMagic);
+    b.u32(kVersion);
+    b.u64(1);
+    b.u32(kInstructions);
+    b.u64(10);
+    b.u64(4);
+    b.f64(3.0);
+    b.u8(1);
+    b.u64(1);
+    b.u8(1);
+    b.u64(1);
+    b.u8(1);
+    b.f64(13.0);
+    b.f64(10.0);
+    b.f64(1.0);
+    b.u64(32);
+    b.u64(2);  // two components, weights 0.3 + 0.3 = 0.6
+    b.f64(0.3);
+    b.f64(50000.0);
+    b.f64(2500.0);
+    b.f64(0.3);
+    b.f64(52000.0);
+    b.f64(2500.0);
+    b.u8(0);  // no drift section
+    write_file(dir, "bad_weights.adet", b);
+  }
+
+  // --- E233: non-positive component variance -----------------------------
+  {
+    blob b = clean_detector({kInstructions});
+    // The clean cell's variance is the last 8 bytes before the (not yet
+    // written) drift presence byte; rewrite it in place.
+    const double neg = -1.0;
+    const char* p = reinterpret_cast<const char*>(&neg);
+    for (int i = 0; i < 8; ++i) b.bytes[b.bytes.size() - 8 + i] = p[i];
+    b.u8(0);
+    write_file(dir, "negative_variance.adet", b);
+  }
+
+  // --- E237: threshold tampered below the template's mean NLL ------------
+  {
+    blob b = clean_detector({kInstructions});
+    // threshold is the first f64 of the cell: bytes [cell_start,
+    // cell_start+8). Cell starts after header (4+4) + events (8+4) +
+    // config (8+8+8+1+8+1) + classes (8) + presence byte (1).
+    const std::size_t cell = 4 + 4 + 8 + 4 + 8 + 8 + 8 + 1 + 8 + 1 + 8 + 1;
+    const double tampered = 5.0;  // below nll_mean = 10
+    const char* p = reinterpret_cast<const char*>(&tampered);
+    for (int i = 0; i < 8; ++i) b.bytes[cell + i] = p[i];
+    b.u8(0);
+    write_file(dir, "tampered_threshold.adet", b);
+  }
+
+  // --- E212: the same event configured twice -----------------------------
+  {
+    blob b = clean_detector({kInstructions, kInstructions});
+    b.u8(0);
+    write_file(dir, "dup_events.adet", b);
+  }
+
+  // --- E203: drift section truncated mid-policy --------------------------
+  {
+    blob b = clean_detector({kInstructions});
+    b.u8(1);    // drift section present...
+    b.f64(8.0);  // ...but only three of its policy doubles survive
+    b.f64(0.5);
+    b.f64(3.0);
+    write_file(dir, "truncated_drift.adet", b);
+  }
+
+  // --- E246: quarantine flag on a victim-grid cell -----------------------
+  {
+    blob b = clean_detector({kInstructions});
+    b.u8(1);
+    emit_drift_policy(b);
+    emit_drift_cell(b, 0);  // canary grid: clean
+    emit_drift_cell(b, 1);  // victim grid: incoherently quarantined
+    b.u64(0);               // empty reservoir pool
+    for (int i = 0; i < 5; ++i) b.u64(0);  // counters
+    write_file(dir, "victim_quarantine.adet", b);
+  }
+
+  // --- E301 (envelope pass): mass far outside any feasible envelope ------
+  {
+    blob b;
+    b.u32(kMagic);
+    b.u32(kVersion);
+    b.u64(2);
+    b.u32(kInstructions);
+    b.u32(kBranches);
+    b.u64(10);
+    b.u64(4);
+    b.f64(3.0);
+    b.u8(1);
+    b.u64(1);
+    b.u8(1);
+    b.u64(1);
+    for (int e = 0; e < 2; ++e) {
+      b.u8(1);
+      b.f64(13.0);
+      b.f64(10.0);
+      b.f64(1.0);
+      b.u64(32);
+      b.u64(1);
+      b.f64(1.0);
+      b.f64(1.0e15);  // no model of any size executes 1e15 instructions
+      b.f64(1.0e20);  // variance above the W234 floor (1e-12 * mean^2)
+    }
+    b.u8(0);
+    // Lints clean (2xx): the defect is only visible against a model's
+    // static envelope, which is the point of the 3xx pass.
+    write_file(dir, "envelope_infeasible.adet", b);
+  }
+
+  return 0;
+}
