@@ -19,7 +19,8 @@
 
 namespace advh::bench {
 
-/// Sample-count multiplier from ADVH_BENCH_SCALE (default 1).
+/// Sample-count multiplier from ADVH_BENCH_SCALE (default 1). Strictly
+/// parsed: a set-but-malformed value throws std::invalid_argument.
 double scale();
 
 /// Parses the shared bench command line (the `--threads N` flag; 0 means

@@ -1,0 +1,61 @@
+#include "hpc/trace_sketch.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace advh::hpc {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+trace_sketch sketch_measurement(const measurement& m) {
+  trace_sketch s;
+  s.levels.reserve(m.mean_counts.size());
+  std::uint64_t sig = 0x7aceULL;
+  for (std::size_t e = 0; e < m.mean_counts.size(); ++e) {
+    std::int16_t level = trace_sketch::unavailable;
+    if (m.q.event_available(e)) {
+      const double mag = std::abs(m.mean_counts[e]);
+      const double l = 4.0 * std::log2(1.0 + mag);
+      // Counter means are bounded in practice; clamp defensively so a
+      // pathological reading cannot overflow the level.
+      const double clamped = std::min(l, 32000.0);
+      level = static_cast<std::int16_t>(std::lround(clamped));
+    }
+    s.levels.push_back(level);
+    sig = mix64(sig ^ static_cast<std::uint64_t>(
+                          static_cast<std::uint16_t>(level)) ^
+                (static_cast<std::uint64_t>(e) << 16));
+  }
+  s.signature = sig;
+  return s;
+}
+
+double sketch_distance(const trace_sketch& a, const trace_sketch& b) noexcept {
+  if (a.levels.size() != b.levels.size()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t e = 0; e < a.levels.size(); ++e) {
+    if (a.levels[e] == trace_sketch::unavailable ||
+        b.levels[e] == trace_sketch::unavailable) {
+      continue;
+    }
+    sum += std::abs(static_cast<double>(a.levels[e]) -
+                    static_cast<double>(b.levels[e]));
+    ++n;
+  }
+  if (n == 0) return std::numeric_limits<double>::infinity();
+  return sum / static_cast<double>(n);
+}
+
+}  // namespace advh::hpc

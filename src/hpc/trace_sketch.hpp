@@ -1,0 +1,53 @@
+// Compact per-measurement HPC trace sketches for the tracking layer.
+//
+// The query tracker (src/track) keeps per-client history on the *input*
+// side (content fingerprints) and on the *measurement* side: a campaign of
+// near-duplicate probes exercises the network almost identically, so the
+// per-event counter means of consecutive probes from one attacking client
+// sit on top of each other while an honest client's distinct queries
+// scatter. A trace sketch compresses one measurement into a few quantized
+// log-scale levels — small enough to keep per client at million-user
+// scale, stable enough that near-duplicate computations collide.
+//
+// Sketching is a pure function of the measurement (no clock, no RNG), so
+// sketches inherit the measurement engine's bitwise thread-invariance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hpc/monitor.hpp"
+
+namespace advh::hpc {
+
+/// Quantized summary of one measurement's per-event counter levels.
+struct trace_sketch {
+  /// Per requested event: the quantized log2 counter level, or
+  /// `unavailable` when the event was not measured. Quantization is in
+  /// quarter-octaves — coarse enough to absorb measurement noise, fine
+  /// enough that different inputs land in different cells.
+  std::vector<std::int16_t> levels;
+  /// Order-free 64-bit digest of `levels` (equal sketches <=> near-equal
+  /// traces at sketch resolution).
+  std::uint64_t signature = 0;
+
+  static constexpr std::int16_t unavailable = INT16_MIN;
+
+  bool empty() const noexcept { return levels.empty(); }
+  std::size_t bytes() const noexcept {
+    return levels.capacity() * sizeof(std::int16_t) + sizeof(signature);
+  }
+};
+
+/// Sketches one measurement: per available event,
+/// level = round(4 * log2(1 + |mean_count|)); unavailable events record
+/// trace_sketch::unavailable and are skipped by the distance.
+trace_sketch sketch_measurement(const measurement& m);
+
+/// Mean absolute level difference over the events available in *both*
+/// sketches (quarter-octaves). Returns +inf when the sketches share no
+/// available event or differ in event count — incomparable sketches must
+/// never read as "identical traces".
+double sketch_distance(const trace_sketch& a, const trace_sketch& b) noexcept;
+
+}  // namespace advh::hpc

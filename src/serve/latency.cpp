@@ -1,11 +1,31 @@
 #include "serve/latency.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace advh::serve {
 
+namespace {
+
+// A degenerate smoothing factor silently disables the estimator: alpha == 0
+// freezes the estimate at `initial` forever (observations are multiplied by
+// zero), and alpha == 1 discards all history, turning the "mean" into the
+// last sample. The old closed clamp [0, 1] admitted both. Clamp into an
+// open interval instead so every constructed tracker both learns and
+// smooths; NaN falls back to the documented default.
+constexpr double kAlphaMin = 1e-3;
+constexpr double kAlphaMax = 1.0 - 1e-3;
+constexpr double kAlphaDefault = 0.2;
+
+double clamp_alpha(double alpha) noexcept {
+  if (std::isnan(alpha)) return kAlphaDefault;
+  return std::clamp(alpha, kAlphaMin, kAlphaMax);
+}
+
+}  // namespace
+
 decaying_mean::decaying_mean(double alpha, double initial) noexcept
-    : alpha_(std::clamp(alpha, 0.0, 1.0)), value_(initial) {}
+    : alpha_(clamp_alpha(alpha)), value_(initial) {}
 
 void decaying_mean::observe(double v) noexcept {
   if (samples_ == 0 && value_ == 0.0) {

@@ -19,7 +19,10 @@
 namespace advh::serve {
 
 /// Exponentially-decaying mean: value <- (1 - alpha) * value + alpha * v.
-/// Before the first observation it reports its seed value.
+/// Before the first observation it reports its seed value. `alpha` is
+/// clamped into the open interval [1e-3, 1 - 1e-3] (NaN falls back to the
+/// default 0.2): the closed endpoints are degenerate — 0 freezes the
+/// estimate at its seed forever, 1 disables smoothing entirely.
 class decaying_mean {
  public:
   explicit decaying_mean(double alpha = 0.2, double initial = 0.0) noexcept;

@@ -20,20 +20,31 @@ request_queue::request_queue(std::size_t capacity) : capacity_(capacity) {
   ADVH_CHECK_MSG(capacity_ >= 1, "queue capacity must be positive");
 }
 
-bool request_queue::try_push(request& r) {
+push_result request_queue::push(request& r) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    // Closed beats full: once drain has closed the queue no consumer is
+    // guaranteed to come back, so admitting anything — canaries included —
+    // would strand the request forever.
+    if (closed_) {
+      ++rejected_closed_;
+      return push_result::rejected_closed;
+    }
     const auto lane = static_cast<std::size_t>(r.prio);
     if (r.prio != priority::canary) {
       const std::size_t bounded =
           lanes_[static_cast<std::size_t>(priority::interactive)].size() +
           lanes_[static_cast<std::size_t>(priority::batch)].size();
-      if (bounded >= capacity_) return false;
+      if (bounded >= capacity_) {
+        ++rejected_full_;
+        return push_result::rejected_full;
+      }
     }
     lanes_[lane].push_back(std::move(r));
+    ++accepted_;
   }
   cv_.notify_one();
-  return true;
+  return push_result::accepted;
 }
 
 std::optional<request> request_queue::try_pop() {
@@ -92,6 +103,21 @@ std::size_t request_queue::total_depth() const {
   std::size_t n = 0;
   for (const auto& lane : lanes_) n += lane.size();
   return n;
+}
+
+std::uint64_t request_queue::rejected_full() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rejected_full_;
+}
+
+std::uint64_t request_queue::rejected_closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rejected_closed_;
+}
+
+std::uint64_t request_queue::accepted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return accepted_;
 }
 
 }  // namespace advh::serve

@@ -12,6 +12,8 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/rng.hpp"
+#include "hpc/trace_sketch.hpp"
+#include "track/tracker.hpp"
 
 namespace advh::serve {
 
@@ -213,6 +215,8 @@ const char* to_string(admit_status s) noexcept {
       return "rejected-draining";
     case admit_status::rejected_backpressure:
       return "rejected-backpressure";
+    case admit_status::rejected_banned:
+      return "rejected-banned";
   }
   return "?";
 }
@@ -292,8 +296,14 @@ void detection_service::update_rung(double occupancy) {
   stats_.max_rung_engaged = std::max(stats_.max_rung_engaged, rung_);
 }
 
+void detection_service::attach_tracker(track::query_tracker& tracker) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  qtracker_ = &tracker;
+}
+
 submit_result detection_service::submit(
-    tensor input, priority prio, std::optional<clock_duration> deadline) {
+    tensor input, priority prio, std::optional<clock_duration> deadline,
+    std::uint64_t client) {
   std::lock_guard<std::mutex> lock(state_mutex_);
   const auto now = clock_.now();
   submit_result res;
@@ -320,6 +330,9 @@ submit_result detection_service::submit(
       case admit_status::rejected_backpressure:
         ++stats_.rejected_backpressure;
         break;
+      case admit_status::rejected_banned:
+        ++stats_.rejected_banned;
+        break;
       case admit_status::admitted:
         break;
     }
@@ -332,6 +345,22 @@ submit_result detection_service::submit(
   };
 
   if (draining_) return reject(admit_status::rejected_draining);
+
+  // Stateful query-stream defense: every identified submission is shown
+  // to the tracker, including ones later rejected for depth or deadline —
+  // an attacker cannot hide a campaign behind backpressure. Observation
+  // happens here, under the scheduler lock, so the tracker sees queries
+  // in admission order: its escalation and ban decisions are a pure
+  // function of the submission sequence, bitwise reproducible at any
+  // measurement thread count.
+  bool escalated = false;
+  if (qtracker_ != nullptr && client != 0 && !canary) {
+    const track::track_decision d = qtracker_->observe(client, input);
+    if (d.level == track::escalation::banned) {
+      return reject(admit_status::rejected_banned);
+    }
+    escalated = d.level == track::escalation::elevated;
+  }
 
   // Batch backpressure: batch work that queues deeply just sits behind
   // every interactive arrival until its deadline expires, while its queue
@@ -350,6 +379,8 @@ submit_result detection_service::submit(
   r.id = res.id;
   r.input = std::move(input);
   r.prio = prio;
+  r.client = client;
+  r.escalated = escalated;
   r.submitted = now;
   if (deadline.has_value()) {
     r.deadline = *deadline == no_deadline ? no_deadline : now + *deadline;
@@ -405,11 +436,17 @@ submit_result detection_service::submit(
   // consumes a half-open probe slot.
   if (!breaker_.allow()) return reject(admit_status::rejected_breaker);
 
-  if (!queue_.try_push(r)) {
+  const push_result pushed = queue_.push(r);
+  if (pushed != push_result::accepted) {
     breaker_.release();
-    return reject(admit_status::rejected_queue_full);
+    // rejected_closed can only race ahead of the draining_ flag; report
+    // it as the shutdown it is, not as backpressure.
+    return reject(pushed == push_result::rejected_closed
+                      ? admit_status::rejected_draining
+                      : admit_status::rejected_queue_full);
   }
   ++stats_.admitted;
+  if (escalated) ++stats_.escalated_admitted;
   if (prio == priority::interactive) {
     if (have_interactive_) {
       interactive_gap_.observe(
@@ -432,6 +469,8 @@ response detection_service::serve_one(const planned& p,
   out.rung = p.rung;
   out.repeats_used = static_cast<std::uint32_t>(p.repeats);
   out.events_shed = p.events < det_.config().events.size();
+  out.client = p.req.client;
+  out.escalated = p.req.escalated;
 
   if (p.shed) {
     out.outcome = response::kind::shed_deadline;
@@ -488,6 +527,16 @@ response detection_service::serve_one(const planned& p,
   ++stats_.served;
   ++stats_.served_by_rung[p.rung];
   if (p.req.prio == priority::canary) ++stats_.canary_served;
+  if (p.req.escalated) ++stats_.escalated_served;
+
+  // Feed the served measurement's HPC trace sketch back to the tracker:
+  // near-identical consecutive computation signatures corroborate a
+  // fingerprint-level campaign (weighted below a fingerprint hit, so the
+  // chaos-exposed measurement path can accelerate elevation but never
+  // decides a ban).
+  if (qtracker_ != nullptr && p.req.client != 0) {
+    qtracker_->record_trace(p.req.client, hpc::sketch_measurement(*m));
+  }
   if (out.v.adversarial_any) ++stats_.flagged_adversarial;
   if (out.v.degraded) ++stats_.degraded_verdicts;
   if (out.v.abstained) ++stats_.abstained_verdicts;
@@ -529,12 +578,17 @@ std::vector<response> detection_service::service_batch() {
       planned p;
       p.req = std::move(*popped);
       const bool canary = p.req.prio == priority::canary;
-      p.rung = canary ? 0 : rung_;
-      p.repeats = canary ? det_.config().repeats : rung.repeats;
-      p.events = (!canary && rung.shed_events) ? cfg_.kept_events_when_shedding
-                                               : n_events;
+      // Tracker-escalated clients are measured like canaries: rung 0,
+      // full repeats, full events — suspicion buys scrutiny, and the
+      // corroborating trace sketch needs full-fidelity evidence.
+      const bool full_fidelity = canary || p.req.escalated;
+      p.rung = full_fidelity ? 0 : rung_;
+      p.repeats = full_fidelity ? det_.config().repeats : rung.repeats;
+      p.events = (!full_fidelity && rung.shed_events)
+                     ? cfg_.kept_events_when_shedding
+                     : n_events;
       const clock_duration est = tracker_.estimate(p.repeats, p.events);
-      if (!canary && p.req.deadline != no_deadline &&
+      if (!full_fidelity && p.req.deadline != no_deadline &&
           now + pending + est > p.req.deadline) {
         p.shed = true;  // cannot make it: shed now, cheaply
       } else {
@@ -546,10 +600,11 @@ std::vector<response> detection_service::service_batch() {
   }
   if (plan.empty()) return {};
 
-  // Measure outside the scheduler lock: canary group first (full
-  // fidelity), then the traffic group at the rung's parameters. Group
-  // composition is a pure function of pop order, so the backend's sample
-  // streams — and with them every measurement — replay deterministically.
+  // Measure outside the scheduler lock: the full-fidelity group first
+  // (canaries + tracker-escalated requests), then the traffic group at
+  // the rung's parameters. Group composition is a pure function of pop
+  // order, so the backend's sample streams — and with them every
+  // measurement — replay deterministically.
   const auto& events = det_.config().events;
   const auto measure_group =
       [&](const std::vector<std::size_t>& idx, std::size_t repeats,
@@ -569,18 +624,18 @@ std::vector<response> detection_service::service_batch() {
     }
   };
 
-  std::vector<std::size_t> canary_idx, traffic_idx;
+  std::vector<std::size_t> full_idx, traffic_idx;
   for (std::size_t i = 0; i < plan.size(); ++i) {
     if (plan[i].shed) continue;
-    (plan[i].req.prio == priority::canary ? canary_idx : traffic_idx)
-        .push_back(i);
+    const bool full_fidelity =
+        plan[i].req.prio == priority::canary || plan[i].req.escalated;
+    (full_fidelity ? full_idx : traffic_idx).push_back(i);
   }
 
-  hpc::measure_budget canary_budget;
-  canary_budget.cancel = &drain_cancel_;
-  std::optional<std::vector<hpc::measurement>> canary_ms =
-      measure_group(canary_idx, det_.config().repeats, events.size(),
-                    canary_budget);
+  hpc::measure_budget full_budget;
+  full_budget.cancel = &drain_cancel_;
+  std::optional<std::vector<hpc::measurement>> full_ms = measure_group(
+      full_idx, det_.config().repeats, events.size(), full_budget);
 
   std::optional<std::vector<hpc::measurement>> traffic_ms;
   if (!traffic_idx.empty()) {
@@ -604,9 +659,9 @@ std::vector<response> detection_service::service_batch() {
       const hpc::measurement* m = nullptr;
       bool failed = false;
       if (!p.shed) {
-        if (p.req.prio == priority::canary) {
-          if (canary_ms.has_value()) {
-            m = &(*canary_ms)[c];
+        if (p.req.prio == priority::canary || p.req.escalated) {
+          if (full_ms.has_value()) {
+            m = &(*full_ms)[c];
           } else {
             failed = true;
           }

@@ -29,6 +29,11 @@
 //   * circuit breaker (serve/breaker) — a dead measurement backend sheds
 //     instantly instead of burning each request's deadline on
 //     retry/backoff;
+//   * stateful query-stream defense (src/track, optional) — identified
+//     submissions are fingerprinted in admission order; clients replaying
+//     near-duplicate probes are escalated to full-fidelity measurement
+//     and, past the ban threshold, rejected up front (rejected_banned)
+//     before consuming queue slots or PMU time;
 //   * graceful drain — stop admitting, flush admitted work, cancellation
 //     token cuts in-flight backoff short.
 //
@@ -50,6 +55,10 @@
 #include "serve/breaker.hpp"
 #include "serve/latency.hpp"
 #include "serve/queue.hpp"
+
+namespace advh::track {
+class query_tracker;
+}  // namespace advh::track
 
 namespace advh::serve {
 
@@ -169,6 +178,9 @@ enum class admit_status : std::uint8_t {
   rejected_draining = 4,
   /// Batch-only: queue occupancy above serve_config::batch_admit_occupancy.
   rejected_backpressure = 5,
+  /// The attached query tracker (src/track) has banned this client's
+  /// query stream; the request is shed before consuming any queue slot.
+  rejected_banned = 6,
 };
 
 const char* to_string(admit_status s) noexcept;
@@ -197,6 +209,10 @@ struct response {
   std::uint32_t repeats_used = 0;
   std::size_t rung = 0;        ///< ladder rung the request ran under
   bool events_shed = false;
+  /// Client identity the request was submitted under (0 = anonymous).
+  std::uint64_t client = 0;
+  /// Served at full fidelity because the tracker escalated the client.
+  bool escalated = false;
   /// Completed after its deadline — the failure mode admission control
   /// exists to prevent; the overload bench gates on zero of these.
   bool deadline_missed = false;
@@ -212,6 +228,12 @@ struct serve_stats {
   std::uint64_t rejected_breaker = 0;
   std::uint64_t rejected_draining = 0;
   std::uint64_t rejected_backpressure = 0;
+  /// Requests shed because the query tracker banned the client.
+  std::uint64_t rejected_banned = 0;
+  /// Requests admitted while their client was tracker-escalated (served
+  /// at full fidelity regardless of the current ladder rung).
+  std::uint64_t escalated_admitted = 0;
+  std::uint64_t escalated_served = 0;
   std::uint64_t shed_deadline = 0;
   std::uint64_t failed_backend = 0;
   std::uint64_t deadline_misses = 0;
@@ -247,8 +269,24 @@ class detection_service {
   /// Submits one request. `deadline` is relative to now (nullopt: the
   /// configured default for interactive/batch, none for canaries). The
   /// input tensor is consumed only when the request is admitted.
+  ///
+  /// `client` names the submitting query stream for the stateful defense
+  /// (src/track); 0 = anonymous/untracked. When a tracker is attached,
+  /// every identified submission is fingerprinted in admission order
+  /// (under the scheduler lock, so the tracker sees a deterministic
+  /// stream regardless of measurement thread count): banned clients are
+  /// rejected up front with rejected_banned, elevated clients' requests
+  /// are flagged for full-fidelity service.
   submit_result submit(tensor input, priority prio,
-                       std::optional<clock_duration> deadline = std::nullopt);
+                       std::optional<clock_duration> deadline = std::nullopt,
+                       std::uint64_t client = 0);
+
+  /// Attaches the stateful query tracker. Must be called before traffic
+  /// is submitted; the tracker must outlive the service. The service
+  /// feeds it twice per identified request: the input fingerprint at
+  /// submit, and the HPC trace sketch after a served measurement
+  /// (corroboration signal for the escalation ladder).
+  void attach_tracker(track::query_tracker& tracker);
 
   /// Services up to cfg.batch_size queued requests: picks the ladder rung
   /// from queue occupancy, sheds queued requests that can no longer meet
@@ -303,6 +341,7 @@ class detection_service {
   hpc::hpc_monitor& monitor_;
   const clock_face& clock_;
   virtual_clock* vclock_;  ///< non-null in simulation mode
+  track::query_tracker* qtracker_ = nullptr;  ///< optional, not owned
   serve_config cfg_;
   std::vector<ladder_rung> ladder_;
   request_queue queue_;

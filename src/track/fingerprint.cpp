@@ -1,0 +1,97 @@
+#include "track/fingerprint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace advh::track {
+
+namespace {
+
+/// splitmix64 finalizer: cheap, well-mixed 64-bit hash step (the same
+/// mixer rng.cpp seeds xoshiro with).
+std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::int64_t quantize(float v, double step) noexcept {
+  return static_cast<std::int64_t>(std::llround(static_cast<double>(v) / step));
+}
+
+}  // namespace
+
+std::size_t overlap(const fingerprint& a, const fingerprint& b) noexcept {
+  std::size_t n = 0, i = 0, j = 0;
+  while (i < a.hashes.size() && j < b.hashes.size()) {
+    if (a.hashes[i] < b.hashes[j]) {
+      ++i;
+    } else if (b.hashes[j] < a.hashes[i]) {
+      ++j;
+    } else {
+      ++n;
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+double match_fraction(const fingerprint& a, const fingerprint& b) noexcept {
+  const std::size_t denom = std::min(a.hashes.size(), b.hashes.size());
+  if (denom == 0) return 0.0;
+  return static_cast<double>(overlap(a, b)) / static_cast<double>(denom);
+}
+
+fingerprint fingerprint_input(const tensor& x, const fingerprint_config& cfg) {
+  if (cfg.window == 0 || cfg.stride == 0 || cfg.top_k == 0 ||
+      !(cfg.quantize_step > 0.0)) {
+    throw std::invalid_argument(
+        "fingerprint_config: window, stride and top_k must be positive and "
+        "quantize_step > 0");
+  }
+  fingerprint fp;
+  const auto data = x.data();
+  if (data.empty()) return fp;
+
+  // Quantize once up front; windows then hash integer buckets only, so a
+  // sub-step perturbation produces a byte-identical hash stream.
+  std::vector<std::int64_t> q(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    q[i] = quantize(data[i], cfg.quantize_step);
+  }
+
+  // An input shorter than one window still fingerprints (one truncated
+  // window) so tiny tensors are trackable rather than invisible.
+  const std::size_t w = std::min(cfg.window, q.size());
+  const std::size_t last = q.size() - w;
+
+  // Keep the top_k smallest window hashes with a max-heap: the heap root
+  // is the largest kept hash, evicted whenever a smaller one arrives.
+  std::vector<std::uint64_t>& heap = fp.hashes;
+  heap.reserve(cfg.top_k);
+  for (std::size_t start = 0;; start += cfg.stride) {
+    std::uint64_t h = cfg.salt;
+    for (std::size_t i = 0; i < w; ++i) {
+      h = mix64(h ^ static_cast<std::uint64_t>(q[start + i]));
+    }
+    if (heap.size() < cfg.top_k) {
+      heap.push_back(h);
+      std::push_heap(heap.begin(), heap.end());
+    } else if (h < heap.front()) {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = h;
+      std::push_heap(heap.begin(), heap.end());
+    }
+    if (start >= last || last - start < cfg.stride) break;
+  }
+  std::sort(heap.begin(), heap.end());
+  // Distinct windows can hash equal (and duplicate windows always do);
+  // dedup keeps the fingerprint a set so overlap() counts set overlap.
+  heap.erase(std::unique(heap.begin(), heap.end()), heap.end());
+  return fp;
+}
+
+}  // namespace advh::track

@@ -1,0 +1,73 @@
+// Probabilistic content fingerprints for query-stream tracking.
+//
+// A query-based black-box attacker (the paper's own threat model) probes
+// the deployment with long runs of *near-duplicate* inputs: each probe is
+// the previous one plus a small perturbation. Blacklight's observation is
+// that such probes collide heavily under a quantize-and-hash fingerprint
+// even though they differ at full precision: quantize the input, hash
+// every sliding window of the quantized stream, and keep only the K
+// smallest hashes. Two images within a small L_inf ball share most of
+// their quantized windows, so their top-K hash sets overlap strongly; two
+// independent natural images overlap almost never. The fingerprint is
+// probabilistic in the min-hash sense — the K smallest of a keyed hash
+// family form a uniform sample of all window hashes, so the overlap of two
+// fingerprints estimates the Jaccard similarity of the full window sets at
+// a fraction of the memory.
+//
+// The salt plays Blacklight's secret-key role: an attacker who does not
+// know it cannot craft perturbations that decollide the windows it
+// samples.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace advh::track {
+
+struct fingerprint_config {
+  /// Quantization step applied to every input value before hashing.
+  /// Perturbations below the step vanish entirely; larger ones still leave
+  /// most windows untouched. Blacklight's pixel quantization analogue.
+  double quantize_step = 0.05;
+  /// Sliding-window length, in elements of the flattened input.
+  std::size_t window = 16;
+  /// Window stride; 1 = maximally overlapping windows.
+  std::size_t stride = 1;
+  /// Fingerprint size: the top_k smallest window hashes are kept.
+  std::size_t top_k = 32;
+  /// Keyed-hash salt (the deployment's secret in Blacklight).
+  std::uint64_t salt = 0xadb1ac7ULL;
+};
+
+/// One query's content fingerprint: the top_k smallest keyed window
+/// hashes, sorted ascending (canonical form, so equality and overlap are
+/// order-free set operations).
+struct fingerprint {
+  std::vector<std::uint64_t> hashes;
+
+  bool empty() const noexcept { return hashes.empty(); }
+  /// Heap bytes this fingerprint pins (the table's accounting unit).
+  std::size_t bytes() const noexcept {
+    return hashes.capacity() * sizeof(std::uint64_t);
+  }
+};
+
+/// Number of hashes the two (sorted) fingerprints share.
+std::size_t overlap(const fingerprint& a, const fingerprint& b) noexcept;
+
+/// Overlap as a fraction of the smaller fingerprint, in [0, 1]. Two
+/// fingerprints of a near-duplicate pair score close to 1; independent
+/// natural inputs score close to 0.
+double match_fraction(const fingerprint& a, const fingerprint& b) noexcept;
+
+/// Fingerprints one input. Deterministic in (x, cfg): no global state, no
+/// clock, no allocation-order dependence — the same tensor always yields
+/// byte-identical hashes, which is what makes the whole tracking layer
+/// replayable. Throws std::invalid_argument on a degenerate config
+/// (zero window/stride/top_k, or a non-positive quantize step).
+fingerprint fingerprint_input(const tensor& x, const fingerprint_config& cfg);
+
+}  // namespace advh::track

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <memory>
 #include <thread>
@@ -20,6 +21,7 @@
 #include "hpc/sim_backend.hpp"
 #include "nn/models/models.hpp"
 #include "serve/service.hpp"
+#include "track/tracker.hpp"
 
 namespace advh::serve {
 namespace {
@@ -136,6 +138,31 @@ TEST(DecayingMean, AdoptsFirstSampleThenDecays) {
   EXPECT_EQ(m.samples(), 2u);
 }
 
+// Regression: the old clamp admitted the closed endpoints. alpha == 0
+// multiplied every observation by zero — the estimate stayed frozen at its
+// seed forever, so admission control never learned the real service cost.
+TEST(DecayingMean, AlphaZeroStillLearns) {
+  decaying_mean m(0.0, 100.0);
+  for (int i = 0; i < 200; ++i) m.observe(0.0);
+  EXPECT_LT(m.value(), 90.0) << "alpha=0 froze the estimate at its seed";
+}
+
+// Regression: alpha == 1 kept only the last sample — no smoothing at all,
+// so one outlier measurement rewrote the whole estimate.
+TEST(DecayingMean, AlphaOneStillSmooths) {
+  decaying_mean m(1.0, 0.0);
+  m.observe(100.0);  // adopted (unseeded)
+  m.observe(0.0);    // an outlier must not erase all history
+  EXPECT_GT(m.value(), 0.0);
+}
+
+TEST(DecayingMean, NanAlphaFallsBackToDefault) {
+  decaying_mean m(std::nan(""), 0.0);
+  m.observe(100.0);
+  m.observe(0.0);
+  EXPECT_DOUBLE_EQ(m.value(), 80.0);  // the documented default alpha 0.2
+}
+
 TEST(LatencyTracker, EstimateScalesWithUnits) {
   latency_tracker t(0.2, microseconds(100), microseconds(200));
   const auto small = t.estimate(1, 1);
@@ -188,6 +215,67 @@ TEST(RequestQueue, BoundRejectsTrafficButNeverCanaries) {
   EXPECT_EQ(q.depth(), 2u);
   EXPECT_EQ(q.total_depth(), 3u);
   EXPECT_EQ(q.depth(priority::canary), 1u);
+}
+
+// Audit regression: the exact-full boundary. Capacity counts interactive
+// and batch together; at exactly `capacity` queued the next push of either
+// lane is rejected, and popping one slot reopens exactly one.
+TEST(RequestQueue, ExactFullBoundaryAcrossLanes) {
+  request_queue q(2);
+  auto i1 = make_request(1, priority::interactive);
+  auto b1 = make_request(2, priority::batch);
+  EXPECT_EQ(q.push(i1), push_result::accepted);
+  EXPECT_EQ(q.push(b1), push_result::accepted);
+  // Exactly full: both bounded lanes reject, per-lane accounting cannot
+  // sneak a third request in through the other lane.
+  auto i2 = make_request(3, priority::interactive);
+  auto b2 = make_request(4, priority::batch);
+  EXPECT_EQ(q.push(i2), push_result::rejected_full);
+  EXPECT_EQ(q.push(b2), push_result::rejected_full);
+  ASSERT_TRUE(q.try_pop().has_value());
+  EXPECT_EQ(q.push(i2), push_result::accepted);  // one slot, one admit
+  auto b3 = make_request(5, priority::batch);
+  EXPECT_EQ(q.push(b3), push_result::rejected_full);
+  EXPECT_EQ(q.accepted(), 3u);
+  EXPECT_EQ(q.rejected_full(), 3u);
+}
+
+// Audit regression: a push racing a drain. The old queue accepted pushes
+// after close(), stranding admitted requests in a queue whose blocked
+// consumers had already woken and left.
+TEST(RequestQueue, ClosedQueueRejectsEveryPush) {
+  request_queue q(4);
+  auto before = make_request(1, priority::interactive);
+  ASSERT_EQ(q.push(before), push_result::accepted);
+  q.close();
+  auto late = make_request(2, priority::interactive);
+  auto canary = make_request(3, priority::canary);
+  EXPECT_EQ(q.push(late), push_result::rejected_closed);
+  EXPECT_EQ(q.push(canary), push_result::rejected_closed);  // canaries too
+  EXPECT_EQ(q.rejected_closed(), 2u);
+  // Already-queued work stays poppable for the drain's flush.
+  auto r = q.try_pop();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->id, 1u);
+}
+
+// The queue's counters are updated under the same lock as the decision,
+// so accepted + rejected_full + rejected_closed == pushes, always.
+TEST(RequestQueue, CounterIdentityUnderChurn) {
+  request_queue q(3);
+  std::uint64_t pushes = 0;
+  for (int round = 0; round < 40; ++round) {
+    auto r = make_request(static_cast<std::uint64_t>(round),
+                          round % 3 == 0 ? priority::batch
+                                         : priority::interactive);
+    (void)q.push(r);
+    ++pushes;
+    if (round % 4 == 0) (void)q.try_pop();
+    if (round == 30) q.close();
+  }
+  EXPECT_EQ(q.accepted() + q.rejected_full() + q.rejected_closed(), pushes);
+  EXPECT_GT(q.rejected_full(), 0u);
+  EXPECT_GT(q.rejected_closed(), 0u);
 }
 
 TEST(RequestQueue, CloseWakesBlockedPop) {
@@ -764,6 +852,124 @@ TEST(DetectionService, SimulatedRunIsBitwiseThreadInvariant) {
   expect_identical(parallel.first, replay.first);
 }
 
+// ----------------------------------------------- stateful query tracking --
+
+track::track_config fast_track_config() {
+  track::track_config cfg;
+  cfg.fp.window = 8;
+  cfg.elevate_hits = 3.0;
+  cfg.ban_hits = 6.0;
+  return cfg;
+}
+
+/// Inputs whose quantized bin pattern is independent per variant —
+/// test_input's scaled ramp collapses into one quantization bin at small
+/// scales, which would make every honest query fingerprint-collide with
+/// the previous one and get the honest client banned.
+tensor varied_input(std::uint64_t variant) {
+  tensor x(shape{1, 1, 16, 16});
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    std::uint64_t h = (i + 1) * 0x9e3779b97f4a7c15ULL +
+                      (variant + 1) * 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 31;
+    h *= 0x94d049bb133111ebULL;
+    h ^= h >> 29;
+    x.data()[i] = 0.05f + 0.1f * static_cast<float>(h % 23);
+  }
+  return x;
+}
+
+TEST(TrackedService, CampaignClientEscalatesThenGetsBanned) {
+  serve_config cfg;
+  cfg.default_deadline = std::chrono::seconds(10);
+  serve_rig rig(cfg);
+  track::query_tracker tracker(rig.clock, fast_track_config());
+  rig.service->attach_tracker(tracker);
+
+  const std::uint64_t attacker = 42;
+  const std::uint64_t honest = 7;
+  std::vector<response> responses;
+  std::uint64_t attacker_rejections = 0;
+  for (int round = 0; round < 12; ++round) {
+    // The attacker replays one probe; the honest client sends fresh work.
+    const auto a = rig.service->submit(test_input(0.6), priority::interactive,
+                                       std::nullopt, attacker);
+    if (a.status == admit_status::rejected_banned) ++attacker_rejections;
+    const auto h =
+        rig.service->submit(varied_input(static_cast<std::uint64_t>(round)),
+                            priority::interactive, std::nullopt, honest);
+    EXPECT_TRUE(h.admitted()) << "honest client harmed in round " << round;
+    auto batch = rig.service->service_batch();
+    responses.insert(responses.end(), batch.begin(), batch.end());
+  }
+  rig.service->drain();
+  auto rest = rig.service->flush();
+  responses.insert(responses.end(), rest.begin(), rest.end());
+
+  EXPECT_EQ(tracker.level(attacker), track::escalation::banned);
+  EXPECT_EQ(tracker.level(honest), track::escalation::none);
+  EXPECT_GT(attacker_rejections, 0u);
+
+  const auto s = rig.service->stats();
+  EXPECT_EQ(s.rejected_banned, attacker_rejections);
+  EXPECT_GT(s.escalated_admitted, 0u);
+  EXPECT_GT(s.escalated_served, 0u);
+  // Escalated requests were served at full fidelity (rung 0, full R).
+  const auto full_r = static_cast<std::uint32_t>(rig.det.config().repeats);
+  std::uint64_t escalated_seen = 0;
+  for (const response& r : responses) {
+    if (!r.escalated) continue;
+    ++escalated_seen;
+    EXPECT_EQ(r.client, attacker);
+    if (r.outcome == response::kind::served) {
+      EXPECT_EQ(r.rung, 0u);
+      EXPECT_EQ(r.repeats_used, full_r);
+    }
+  }
+  EXPECT_EQ(escalated_seen, s.escalated_admitted);
+  // Terminal accounting still closes with the tracker in the loop.
+  EXPECT_EQ(s.submitted, s.admitted + s.rejected_queue_full +
+                             s.rejected_deadline + s.rejected_breaker +
+                             s.rejected_draining + s.rejected_backpressure +
+                             s.rejected_banned);
+  EXPECT_EQ(s.admitted, s.served + s.shed_deadline + s.failed_backend);
+}
+
+TEST(TrackedService, BanDecisionsAreThreadInvariant) {
+  // The same interleaved traffic script at 1 and 4 measurement threads
+  // must produce identical ban decisions and admission statuses: tracker
+  // state advances in admission order under the scheduler lock, not in
+  // measurement order.
+  const auto run = [](std::size_t threads) {
+    serve_config cfg;
+    cfg.threads = threads;
+    cfg.default_deadline = std::chrono::seconds(10);
+    serve_rig rig(cfg);
+    track::query_tracker tracker(rig.clock, fast_track_config());
+    rig.service->attach_tracker(tracker);
+    std::vector<int> statuses;
+    for (int round = 0; round < 10; ++round) {
+      for (std::uint64_t c = 1; c <= 4; ++c) {
+        const bool attacker = c == 2;
+        const tensor x =
+            attacker ? test_input(0.7)
+                     : varied_input(static_cast<std::uint64_t>(4 * round + c));
+        const auto res = rig.service->submit(x, priority::interactive,
+                                             std::nullopt, c);
+        statuses.push_back(static_cast<int>(res.status));
+      }
+      (void)rig.service->service_batch();
+    }
+    rig.service->drain();
+    (void)rig.service->flush();
+    const auto ts = tracker.stats();
+    statuses.push_back(static_cast<int>(ts.bans));
+    statuses.push_back(static_cast<int>(ts.elevations));
+    return statuses;
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
 // -------------------------------------------------------- TSan saturation --
 
 TEST(DetectionService, ConcurrentSubmitAndServiceStaysConsistent) {
@@ -821,7 +1027,8 @@ TEST(DetectionService, ConcurrentSubmitAndServiceStaysConsistent) {
   EXPECT_EQ(s.submitted, kSubmitters * kPerThread);
   EXPECT_EQ(s.submitted, s.admitted + s.rejected_queue_full +
                              s.rejected_deadline + s.rejected_breaker +
-                             s.rejected_draining + s.rejected_backpressure);
+                             s.rejected_draining + s.rejected_backpressure +
+                             s.rejected_banned);
   // Every admitted request reached exactly one terminal outcome.
   EXPECT_EQ(s.admitted, s.served + s.shed_deadline + s.failed_backend);
   EXPECT_EQ(responses.size(), s.admitted);
