@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstring>
 #include <filesystem>
+#include <vector>
 
 #include "common/error.hpp"
 
@@ -42,17 +43,39 @@ void write_all(int fd, std::string_view bytes, const std::string& path) {
 void fsync_path(const std::string& path, int open_flags) {
   const int fd = ::open(path.c_str(), open_flags);
   if (fd < 0) fail(path, "open for fsync failed");
-  const int rc = ::fsync(fd);
-  ::close(fd);
-  if (rc != 0) fail(path, "fsync failed");
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail(path, "fsync failed");
+  }
+  // A failed close can report a deferred write error the fsync missed;
+  // swallowing it would claim durability the kernel never delivered.
+  if (::close(fd) != 0) fail(path, "close after fsync failed");
 }
 #endif
 }  // namespace
 
 void atomic_write_file(const std::string& path, std::string_view bytes) {
   const std::filesystem::path dest(path);
+  // Ancestors that do not exist yet. Each new directory entry lives in its
+  // parent, so after create_directories the whole created chain (plus the
+  // first pre-existing ancestor) must be fsynced, or a power cut could drop
+  // the entire new subtree — and the checkpoint inside it — after rename.
+  std::vector<std::string> created_chain;
   if (dest.has_parent_path()) {
     std::error_code ec;
+    for (std::filesystem::path p = dest.parent_path();
+         !p.empty() && p != p.parent_path() &&
+         !std::filesystem::exists(p, ec);
+         p = p.parent_path()) {
+      created_chain.push_back(p.string());
+    }
+    if (!created_chain.empty()) {
+      const std::filesystem::path top =
+          std::filesystem::path(created_chain.back()).parent_path();
+      if (!top.empty()) created_chain.push_back(top.string());
+    }
     std::filesystem::create_directories(dest.parent_path(), ec);
     if (ec) {
       throw io_error(path + ": cannot create parent directory (" +
@@ -89,6 +112,9 @@ void atomic_write_file(const std::string& path, std::string_view bytes) {
   const std::string dir =
       dest.has_parent_path() ? dest.parent_path().string() : std::string(".");
   fsync_path(dir, O_RDONLY | O_DIRECTORY);
+  for (const std::string& d : created_chain) {
+    if (d != dir) fsync_path(d, O_RDONLY | O_DIRECTORY);
+  }
 #else
   {
     std::ofstream os(tmp, std::ios::binary | std::ios::trunc);

@@ -21,7 +21,9 @@ inline constexpr const char* kAtomicTmpSuffix = ".tmp";
 
 /// Atomically replaces (or creates) `path` with `bytes`: write to
 /// `path + kAtomicTmpSuffix`, flush + fsync, rename over `path`, fsync
-/// the parent directory. Parent directories are created when missing. A
+/// the parent directory and every ancestor directory this call created
+/// (a fresh checkpoint tree must survive power loss as a unit). Parent
+/// directories are created when missing. A
 /// stale temp file from an earlier crash is silently overwritten. Throws
 /// advh::io_error when any step fails; on failure the destination is left
 /// untouched (the temp file may remain and will be reused next time).

@@ -17,9 +17,14 @@ constexpr std::uint32_t kMagic = 0x41444554;  // "ADET"
 // (min_events_for_verdict u64 + flag_on_abstain u8) after that byte;
 // 4 appends an optional drift-controller section (presence byte, then
 // policy + per-cell sequential-detector state + canary reservoirs) after
-// the model grid. Older files still load (policies default to the
-// fail-closed detector_config values; drift state defaults to absent).
+// the model grid; 5 appends a fleet section (view epoch, shard identity,
+// content version, rollback flag) after the drift section. Older files
+// still load (policies default to the fail-closed detector_config values;
+// drift state and fleet metadata default to absent). Writers emit v4
+// unless fleet metadata is attached, so meta-less saves stay
+// byte-identical across revisions.
 constexpr std::uint32_t kVersion = 4;
+constexpr std::uint32_t kVersionFleet = 5;
 constexpr std::uint32_t kOldestSupported = 1;
 // A BIC scan never selects more components than template rows; anything
 // beyond this is corrupt bytes, not a plausible fit.
@@ -170,10 +175,11 @@ bool validate_cell(std::span<const gmm::component1d> comps, double threshold,
   return ok;
 }
 
-void write_detector_body(std::ostream& os, const detector& det) {
+void write_detector_body(std::ostream& os, const detector& det,
+                         std::uint32_t version) {
   const auto& cfg = det.config();
   write_pod(os, kMagic);
-  write_pod(os, kVersion);
+  write_pod(os, version);
   write_pod(os, static_cast<std::uint64_t>(cfg.events.size()));
   for (hpc::hpc_event e : cfg.events) {
     write_pod(os, static_cast<std::uint32_t>(e));
@@ -203,6 +209,14 @@ void write_detector_body(std::ostream& os, const detector& det) {
       }
     }
   }
+}
+
+void write_meta(std::ostream& os, const checkpoint_meta& m) {
+  write_pod(os, m.epoch);
+  write_pod(os, m.shard_index);
+  write_pod(os, m.shard_count);
+  write_pod(os, m.content_version);
+  write_pod(os, static_cast<std::uint8_t>(m.rollback ? 1 : 0));
 }
 
 void write_drift_cell(std::ostream& os, const drift_cell& cell) {
@@ -367,7 +381,7 @@ checkpoint read_checkpoint(parser& p) {
     p.fail(201, "file", "not an AdvHunter detector file");
   }
   const auto version = p.pod<std::uint32_t>("format version");
-  if (version < kOldestSupported || version > kVersion) {
+  if (version < kOldestSupported || version > kVersionFleet) {
     p.fail(202, "file",
            "unsupported detector format version " + std::to_string(version));
   }
@@ -478,7 +492,9 @@ checkpoint read_checkpoint(parser& p) {
     }
   }
 
-  checkpoint out{detector::from_parts(std::move(cfg), std::move(models)), {}};
+  checkpoint out{detector::from_parts(std::move(cfg), std::move(models)),
+                 {},
+                 {}};
   if (version >= 4) {
     const auto has_drift = p.pod<std::uint8_t>("drift presence byte");
     if (has_drift > 1) {
@@ -510,6 +526,24 @@ checkpoint read_checkpoint(parser& p) {
       }
     }
   }
+  if (version >= 5) {
+    checkpoint_meta m;
+    m.epoch = p.pod<std::uint64_t>("fleet epoch");
+    m.shard_index = p.pod<std::uint64_t>("fleet shard index");
+    m.shard_count = p.pod<std::uint64_t>("fleet shard count");
+    m.content_version = p.pod<std::uint64_t>("fleet content version");
+    const auto rb = p.pod<std::uint8_t>("fleet rollback flag");
+    if (m.shard_count == 0 || m.shard_index >= m.shard_count || rb > 1 ||
+        m.content_version == 0) {
+      p.fail(249, "fleet section",
+             "inconsistent fleet metadata (shard " +
+                 std::to_string(m.shard_index) + "/" +
+                 std::to_string(m.shard_count) + ", content version " +
+                 std::to_string(m.content_version) + ")");
+    }
+    m.rollback = rb != 0;
+    out.meta = m;
+  }
   if (p.is.peek() != std::char_traits<char>::eof()) {
     p.rep.add(severity::warning, 248, "file",
               "trailing bytes after the last section: written by a newer "
@@ -520,19 +554,23 @@ checkpoint read_checkpoint(parser& p) {
 
 }  // namespace
 
-void save_detector(const detector& det, const std::string& path) {
+void save_detector(const detector& det, const std::string& path,
+                   const std::optional<checkpoint_meta>& meta) {
   std::ostringstream os(std::ios::binary);
-  write_detector_body(os, det);
+  write_detector_body(os, det, meta.has_value() ? kVersionFleet : kVersion);
   write_pod(os, static_cast<std::uint8_t>(0));  // no drift section
+  if (meta.has_value()) write_meta(os, *meta);
   ADVH_CHECK_MSG(os.good(), "serialisation failed for " + path);
   atomic_write_file(path, os.view());
 }
 
-void save_checkpoint(const drift_controller& ctl, const std::string& path) {
+void save_checkpoint(const drift_controller& ctl, const std::string& path,
+                     const std::optional<checkpoint_meta>& meta) {
   std::ostringstream os(std::ios::binary);
-  write_detector_body(os, ctl.det());
+  write_detector_body(os, ctl.det(), meta.has_value() ? kVersionFleet : kVersion);
   write_pod(os, static_cast<std::uint8_t>(1));
   write_drift_state(os, ctl.state());
+  if (meta.has_value()) write_meta(os, *meta);
   ADVH_CHECK_MSG(os.good(), "serialisation failed for " + path);
   atomic_write_file(path, os.view());
 }

@@ -7,7 +7,11 @@
 // and threshold; format v4 appends an optional drift section carrying the
 // drift-controller state (sequential-detector cells, quarantine flags,
 // canary reservoirs) so a long-running deployment can checkpoint and
-// resume its feedback loop.
+// resume its feedback loop; format v5 appends a fleet section (view
+// epoch, shard identity, content version, rollback flag) so replicated
+// deployments can fence shipped checkpoints against stale or foreign
+// state. Files without fleet metadata are still written as v4, byte for
+// byte — v5 only exists when metadata is attached.
 //
 // Every writer goes through advh::atomic_write_file (write-temp + fsync +
 // rename), so a process killed mid-checkpoint leaves either the previous
@@ -23,22 +27,43 @@
 
 namespace advh::core {
 
-/// Atomically writes the detector (ADET v4, empty drift section).
-void save_detector(const detector& det, const std::string& path);
+/// Fleet provenance of a shipped checkpoint (ADET v5 fleet section).
+/// Receivers fence on every field: a checkpoint from the wrong shard, an
+/// earlier view epoch or a non-increasing content version must be
+/// rejected whole, never partially applied.
+struct checkpoint_meta {
+  /// Membership-view epoch the writer held when it published.
+  std::uint64_t epoch = 0;
+  /// Which (model, class) template shard this file carries.
+  std::uint64_t shard_index = 0;
+  std::uint64_t shard_count = 1;
+  /// Monotone per-shard version; a rollback republishes old parameters
+  /// under a *higher* content version with `rollback` set.
+  std::uint64_t content_version = 1;
+  bool rollback = false;
+};
+
+/// Atomically writes the detector. Without `meta` the file is ADET v4,
+/// byte-identical to what earlier revisions wrote; with `meta` it is v5
+/// with the fleet section appended.
+void save_detector(const detector& det, const std::string& path,
+                   const std::optional<checkpoint_meta>& meta = std::nullopt);
 
 /// Loads a detector from any supported ADET version, discarding a drift
 /// section if one is present. Throws advh::io_error on corrupt bytes.
 detector load_detector(const std::string& path);
 
-/// A loaded ADET v4 checkpoint: the detector plus, when the file carried
-/// one, the persisted drift-controller state.
+/// A loaded ADET checkpoint: the detector plus, when the file carried
+/// them, the persisted drift-controller state and fleet metadata.
 struct checkpoint {
   detector det;
   std::optional<drift_state> drift;
+  std::optional<checkpoint_meta> meta;
 };
 
 /// Atomically writes the controller's detector and full drift state.
-void save_checkpoint(const drift_controller& ctl, const std::string& path);
+void save_checkpoint(const drift_controller& ctl, const std::string& path,
+                     const std::optional<checkpoint_meta>& meta = std::nullopt);
 
 /// Loads a detector together with its drift section (nullopt for files
 /// saved by save_detector or by pre-v4 writers).

@@ -1,0 +1,179 @@
+#include "fleet/checkpoint.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/fs.hpp"
+
+namespace advh::fleet {
+
+namespace {
+
+constexpr std::uint32_t kBanMagic = 0x4144424cU;  // "ADBL"
+constexpr std::uint32_t kBanVersion = 1;
+
+template <typename T>
+void append_le(std::string& buf, T v) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &v, sizeof(T));
+  buf.append(bytes, sizeof(T));
+}
+
+template <typename T>
+T read_le(std::ifstream& is, const std::string& path, const char* what) {
+  T v{};
+  if (!is.read(reinterpret_cast<char*>(&v), sizeof(T))) {
+    throw io_error("ban ledger " + path + ": truncated reading " + what);
+  }
+  return v;
+}
+
+[[noreturn]] void fence(const std::string& path, const std::string& why) {
+  throw io_error("fleet checkpoint fenced: " + path + ": " + why);
+}
+
+}  // namespace
+
+std::string shard_checkpoint_path(const std::string& dir, std::uint64_t shard,
+                                  std::uint64_t content_version) {
+  return dir + "/shard" + std::to_string(shard) + "_v" +
+         std::to_string(content_version) + ".adet";
+}
+
+std::string shard_latest_path(const std::string& dir, std::uint64_t shard) {
+  return dir + "/shard" + std::to_string(shard) + "_latest.adet";
+}
+
+std::string ban_ledger_path(const std::string& dir, std::uint32_t node) {
+  return dir + "/bans_r" + std::to_string(node) + ".advhbans";
+}
+
+std::vector<std::vector<std::optional<core::event_model>>> models_of(
+    const core::detector& det) {
+  const std::size_t classes = det.num_classes();
+  const std::size_t events = det.config().events.size();
+  std::vector<std::vector<std::optional<core::event_model>>> out(classes);
+  for (std::size_t c = 0; c < classes; ++c) {
+    out[c].resize(events);
+    for (std::size_t e = 0; e < events; ++e) {
+      out[c][e] = det.model_for(c, e);
+    }
+  }
+  return out;
+}
+
+core::detector restrict_to_shard(const core::detector& det,
+                                 std::uint64_t shard,
+                                 const fleet_config& cfg) {
+  auto models = models_of(det);
+  for (std::size_t c = 0; c < models.size(); ++c) {
+    if (shard_of_class(c, cfg) == shard) continue;
+    for (auto& m : models[c]) m.reset();
+  }
+  return core::detector::from_parts(det.config(), std::move(models));
+}
+
+std::string stage_shard_checkpoint(const core::detector& det,
+                                   const fleet_config& cfg,
+                                   const std::string& dir, std::uint64_t shard,
+                                   const core::checkpoint_meta& meta) {
+  const core::detector restricted = restrict_to_shard(det, shard, cfg);
+  const std::string versioned =
+      shard_checkpoint_path(dir, shard, meta.content_version);
+  core::save_detector(restricted, versioned, meta);
+  return versioned;
+}
+
+std::string save_shard_checkpoint(const core::detector& det,
+                                  const fleet_config& cfg,
+                                  const std::string& dir, std::uint64_t shard,
+                                  const core::checkpoint_meta& meta) {
+  const core::detector restricted = restrict_to_shard(det, shard, cfg);
+  const std::string versioned =
+      shard_checkpoint_path(dir, shard, meta.content_version);
+  core::save_detector(restricted, versioned, meta);
+  // Publish-by-rename: the alias flips atomically from the previous
+  // complete snapshot to this one.
+  core::save_detector(restricted, shard_latest_path(dir, shard), meta);
+  return versioned;
+}
+
+core::checkpoint load_shard_checkpoint(const std::string& path,
+                                       std::uint64_t expected_shard,
+                                       const fleet_config& cfg,
+                                       std::uint64_t min_epoch,
+                                       std::uint64_t min_version_exclusive) {
+  core::checkpoint cp = core::load_checkpoint(path);
+  if (!cp.meta.has_value()) {
+    fence(path, "no fleet section (legacy or foreign detector file)");
+  }
+  const core::checkpoint_meta& m = *cp.meta;
+  if (m.shard_count != cfg.class_shards) {
+    fence(path, "foreign shard geometry (file has " +
+                    std::to_string(m.shard_count) + " shards, fleet has " +
+                    std::to_string(cfg.class_shards) + ")");
+  }
+  if (m.shard_index != expected_shard) {
+    fence(path, "wrong shard (file carries shard " +
+                    std::to_string(m.shard_index) + ", expected " +
+                    std::to_string(expected_shard) + ")");
+  }
+  if (m.epoch < min_epoch) {
+    fence(path, "epoch regression (file epoch " + std::to_string(m.epoch) +
+                    " < fence epoch " + std::to_string(min_epoch) + ")");
+  }
+  if (m.content_version <= min_version_exclusive) {
+    fence(path, "content version did not advance (file v" +
+                    std::to_string(m.content_version) + " <= applied v" +
+                    std::to_string(min_version_exclusive) + ")");
+  }
+  return cp;
+}
+
+void merge_shard(
+    std::vector<std::vector<std::optional<core::event_model>>>& models,
+    const core::detector& src, std::uint64_t shard, const fleet_config& cfg) {
+  for (std::size_t c = 0; c < models.size(); ++c) {
+    if (shard_of_class(c, cfg) != shard) continue;
+    for (std::size_t e = 0; e < models[c].size(); ++e) {
+      models[c][e] = src.model_for(c, e);
+    }
+  }
+}
+
+void write_ban_ledger(const std::string& path,
+                      const std::vector<std::uint64_t>& clients) {
+  std::string buf;
+  buf.reserve(16 + clients.size() * 8);
+  append_le(buf, kBanMagic);
+  append_le(buf, kBanVersion);
+  append_le(buf, static_cast<std::uint64_t>(clients.size()));
+  for (const std::uint64_t c : clients) append_le(buf, c);
+  atomic_write_file(path, buf);
+}
+
+std::vector<std::uint64_t> read_ban_ledger(const std::string& path) {
+  if (!std::filesystem::exists(path)) return {};
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw io_error("ban ledger " + path + ": cannot open");
+  if (read_le<std::uint32_t>(is, path, "magic") != kBanMagic) {
+    throw io_error("ban ledger " + path + ": bad magic");
+  }
+  if (read_le<std::uint32_t>(is, path, "version") != kBanVersion) {
+    throw io_error("ban ledger " + path + ": unsupported version");
+  }
+  const auto count = read_le<std::uint64_t>(is, path, "count");
+  if (count > (1ULL << 32)) {
+    throw io_error("ban ledger " + path + ": implausible count");
+  }
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    out.push_back(read_le<std::uint64_t>(is, path, "client id"));
+  }
+  return out;
+}
+
+}  // namespace advh::fleet

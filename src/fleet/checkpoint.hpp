@@ -1,0 +1,97 @@
+// Checkpoint shipping and durable ban ledgers — the fleet's recovery
+// substrate.
+//
+// Each shard owner periodically publishes its (model, class) template
+// shard as a restricted ADET v5 checkpoint (only the shard's classes
+// carry models; the fleet section records epoch, shard identity and a
+// monotone content version). Files land as
+//
+//   <dir>/shard<S>_v<V>.adet      — immutable versioned snapshot
+//   <dir>/shard<S>_latest.adet    — alias, republished atomically
+//
+// both through advh::atomic_write_file, so a crash at any instant leaves
+// loadable files. Receivers never trust a file by its name:
+// load_shard_checkpoint fences on every metadata field and throws a typed
+// io_error — wrong shard, foreign shard geometry, epoch regression,
+// non-advancing content version, or a legacy file with no fleet section
+// at all. A fenced or corrupt checkpoint is rejected whole; there is no
+// partial apply by construction (merge happens only after a load returned).
+//
+// Ban ledgers are the other durable artifact: every replica appends its
+// locally-decided bans to <dir>/bans_r<node>.advhbans *before* the
+// banning response leaves the node, so a ban decision can never be lost
+// to a crash — the acceptance gate "zero lost ban decisions" rests on
+// this write ordering.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/detector_io.hpp"
+#include "fleet/config.hpp"
+#include "fleet/membership.hpp"
+
+namespace advh::fleet {
+
+std::string shard_checkpoint_path(const std::string& dir, std::uint64_t shard,
+                                  std::uint64_t content_version);
+std::string shard_latest_path(const std::string& dir, std::uint64_t shard);
+std::string ban_ledger_path(const std::string& dir, std::uint32_t node);
+
+/// The per-(class, event) model matrix of `det`, copied out so a replica
+/// can overlay shipped shards and reassemble via detector::from_parts.
+std::vector<std::vector<std::optional<core::event_model>>> models_of(
+    const core::detector& det);
+
+/// A copy of `det` carrying models only for the classes of `shard`
+/// (cls % class_shards == shard); every other class scores as unmodeled.
+core::detector restrict_to_shard(const core::detector& det,
+                                 std::uint64_t shard,
+                                 const fleet_config& cfg);
+
+/// Writes the immutable versioned snapshot only, WITHOUT touching the
+/// latest alias — what a recalibration stages for canary validation. A
+/// poisoned staged file must never become what a recovering replica
+/// loads, so the alias flips only at promotion (save_shard_checkpoint).
+std::string stage_shard_checkpoint(const core::detector& det,
+                                   const fleet_config& cfg,
+                                   const std::string& dir, std::uint64_t shard,
+                                   const core::checkpoint_meta& meta);
+
+/// Publishes `det`'s `shard` under `meta`: writes the immutable versioned
+/// snapshot, then republishes the latest alias. Returns the versioned
+/// path (what checkpoint_announce carries).
+std::string save_shard_checkpoint(const core::detector& det,
+                                  const fleet_config& cfg,
+                                  const std::string& dir, std::uint64_t shard,
+                                  const core::checkpoint_meta& meta);
+
+/// Loads and fences a shipped shard checkpoint. Throws advh::io_error
+/// when the file has no fleet section (legacy/foreign file), names a
+/// different shard or shard geometry, carries an epoch below `min_epoch`,
+/// or a content version not strictly above `min_version_exclusive`
+/// (pass 0 to accept any version). On success the whole checkpoint is
+/// returned; fencing rejections never leave partial state anywhere.
+core::checkpoint load_shard_checkpoint(const std::string& path,
+                                       std::uint64_t expected_shard,
+                                       const fleet_config& cfg,
+                                       std::uint64_t min_epoch,
+                                       std::uint64_t min_version_exclusive);
+
+/// Overlays `src`'s models for the classes of `shard` onto `models`
+/// (other classes untouched). `src` must have the same geometry.
+void merge_shard(
+    std::vector<std::vector<std::optional<core::event_model>>>& models,
+    const core::detector& src, std::uint64_t shard, const fleet_config& cfg);
+
+/// Atomically writes a ban ledger (ADBL v1: magic, version, count, ids).
+void write_ban_ledger(const std::string& path,
+                      const std::vector<std::uint64_t>& clients);
+
+/// Reads a ban ledger. A missing file is an empty ledger (no bans were
+/// ever recorded there); corrupt or truncated bytes throw advh::io_error.
+std::vector<std::uint64_t> read_ban_ledger(const std::string& path);
+
+}  // namespace advh::fleet

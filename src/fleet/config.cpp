@@ -1,0 +1,90 @@
+#include "fleet/config.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace advh::fleet {
+
+namespace {
+
+/// Strict parsing for the fleet env knobs, mirroring the convention of
+/// serve::env_positive / track::env_positive_int: the whole string must
+/// parse and the value must land in the stated range.
+double env_number(const char* name, const char* value, double min_value,
+                  double max_value) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(value, &end);
+  if (end == value || *end != '\0' || errno == ERANGE || !(v >= min_value) ||
+      !(v <= max_value)) {
+    throw std::invalid_argument(std::string(name) + "=\"" + value +
+                                "\": expected a number in [" +
+                                std::to_string(min_value) + ", " +
+                                std::to_string(max_value) + "]");
+  }
+  return v;
+}
+
+std::size_t env_int(const char* name, const char* value, double min_value,
+                    double max_value) {
+  const double v = env_number(name, value, min_value, max_value);
+  const auto n = static_cast<std::size_t>(v);
+  if (static_cast<double>(n) != v) {
+    throw std::invalid_argument(std::string(name) + "=\"" + value +
+                                "\": expected an integer in [" +
+                                std::to_string(min_value) + ", " +
+                                std::to_string(max_value) + "]");
+  }
+  return n;
+}
+
+}  // namespace
+
+fleet_config fleet_config_from_env(fleet_config base) {
+  if (const char* env = std::getenv("ADVH_FLEET_REPLICAS")) {
+    base.replicas = env_int("ADVH_FLEET_REPLICAS", env, 1.0, 64.0);
+  }
+  if (const char* env = std::getenv("ADVH_FLEET_LOSS_RATE")) {
+    base.loss_rate = env_number("ADVH_FLEET_LOSS_RATE", env, 0.0, 0.95);
+  }
+  return base;
+}
+
+void validate(const fleet_config& cfg) {
+  const auto fail = [](const std::string& msg) {
+    throw std::invalid_argument("fleet config: " + msg);
+  };
+  if (cfg.replicas < 1 || cfg.replicas > 64) {
+    fail("replicas must lie in [1, 64]");
+  }
+  if (cfg.class_shards < 1) fail("class_shards must be positive");
+  if (cfg.ring_ranges < 1) fail("ring_ranges must be positive");
+  if (cfg.tick.count() <= 0) fail("tick must be positive");
+  if (cfg.hb_interval < 1) fail("hb_interval must be positive");
+  if (cfg.retransmit < 1) fail("retransmit must be positive");
+  if (cfg.min_delay > cfg.max_delay) fail("min_delay must be <= max_delay");
+  if (!(cfg.loss_rate >= 0.0) || cfg.loss_rate > 0.95) {
+    fail("loss_rate must lie in [0, 0.95]");
+  }
+  if (cfg.handoff_batch < 1) fail("handoff_batch must be positive");
+  if (cfg.canary_interval < 1) fail("canary_interval must be positive");
+  if (cfg.checkpoint_interval < 1) {
+    fail("checkpoint_interval must be positive");
+  }
+  if (cfg.request_timeout <= cfg.max_delay) {
+    fail("request_timeout must exceed max_delay (a request needs time to "
+         "arrive before the router abstains)");
+  }
+  // The split-brain safety condition. See the header comment: a stale
+  // owner must be self-fenced strictly before the controller can have
+  // reassigned its ranges.
+  if (cfg.lease + cfg.max_delay >= cfg.failure_timeout) {
+    fail("split-brain hazard: lease + max_delay must be < failure_timeout "
+         "(a stale replica must fence itself before its shards can be "
+         "reassigned)");
+  }
+}
+
+}  // namespace advh::fleet

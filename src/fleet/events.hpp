@@ -1,0 +1,69 @@
+// Shared journal + counters of one fleet simulation run.
+//
+// Every externally observable event — request resolutions, view changes,
+// ban decisions, checkpoint promotions, fault injections — is appended as
+// one text line at a deterministic point of the tick loop, so the whole
+// journal is the run's reproducibility witness: two runs of the same
+// scenario must produce byte-identical journals at any thread count
+// (bench_fleet_failover gates on exactly that).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "fleet/net.hpp"
+
+namespace advh::fleet {
+
+struct fleet_stats {
+  std::uint64_t submitted = 0;
+  /// Terminal buckets, indexed by req_outcome.
+  std::array<std::uint64_t, 9> by_outcome{};
+  /// Served verdicts produced by a replica that was not the authoritative
+  /// owner of the client's range at serve time (controller's view). The
+  /// epoch fence exists to keep this at zero; the failover bench gates on
+  /// it.
+  std::uint64_t split_brain_serves = 0;
+  std::uint64_t bans_decided = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t view_changes = 0;
+  /// Clients moved between replicas by range handoff.
+  std::uint64_t handoff_clients = 0;
+  std::uint64_t checkpoints_published = 0;
+  std::uint64_t checkpoints_applied = 0;
+  std::uint64_t canary_probes = 0;
+  std::uint64_t drift_alarms = 0;
+  /// Recalibration rollouts promoted fleet-wide / rolled back after a
+  /// failed canary validation.
+  std::uint64_t rollouts = 0;
+  std::uint64_t rollbacks = 0;
+  net_stats net{};
+
+  std::uint64_t outcome(req_outcome o) const noexcept {
+    return by_outcome[static_cast<std::size_t>(o)];
+  }
+};
+
+class event_log {
+ public:
+  void line(std::uint64_t tick, const std::string& what) {
+    text_ += "t=" + std::to_string(tick) + " " + what + "\n";
+  }
+
+  const std::string& text() const noexcept { return text_; }
+  fleet_stats& stats() noexcept { return stats_; }
+  const fleet_stats& stats() const noexcept { return stats_; }
+
+  void count(req_outcome o) {
+    ++stats_.by_outcome[static_cast<std::size_t>(o)];
+  }
+
+ private:
+  std::string text_;
+  fleet_stats stats_;
+};
+
+}  // namespace advh::fleet

@@ -1,0 +1,93 @@
+#include "fleet/fault_plan.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace advh::fleet {
+
+namespace {
+
+bool event_order(const fault_event& a, const fault_event& b) noexcept {
+  if (a.tick != b.tick) return a.tick < b.tick;
+  if (a.replica != b.replica) return a.replica < b.replica;
+  return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+}
+
+}  // namespace
+
+const char* to_string(fault_kind k) noexcept {
+  switch (k) {
+    case fault_kind::crash:
+      return "crash";
+    case fault_kind::recover:
+      return "recover";
+    case fault_kind::stall:
+      return "stall";
+    case fault_kind::unstall:
+      return "unstall";
+  }
+  return "?";
+}
+
+fault_plan::fault_plan(std::vector<fault_event> events)
+    : events_(std::move(events)) {
+  std::sort(events_.begin(), events_.end(), event_order);
+}
+
+fault_plan fault_plan::chaos(const fleet_config& cfg, std::uint64_t horizon,
+                             double rate, std::uint64_t seed) {
+  std::vector<fault_event> events;
+  if (cfg.replicas < 2 || rate <= 0.0) return fault_plan(std::move(events));
+  // Replica 0 is the designated survivor: chaos never touches it, so the
+  // fleet always has somewhere to fail over to and a chaotic run cannot
+  // degenerate into "everyone dead, nothing to measure".
+  for (std::size_t r = 1; r < cfg.replicas; ++r) {
+    rng g = rng::stream(seed ^ 0xfa017ULL, r);
+    std::uint64_t t = 1;
+    while (t < horizon) {
+      if (!g.bernoulli(rate)) {
+        ++t;
+        continue;
+      }
+      const bool is_crash = g.bernoulli(0.5);
+      // Episode long enough for failure detection to fire, short enough
+      // that several episodes fit a bench horizon.
+      const std::uint64_t len =
+          cfg.failure_timeout + 2 + g.uniform_index(cfg.failure_timeout + 1);
+      events.push_back(
+          {t, is_crash ? fault_kind::crash : fault_kind::stall, r});
+      if (t + len < horizon) {
+        events.push_back(
+            {t + len, is_crash ? fault_kind::recover : fault_kind::unstall,
+             r});
+      }
+      // Cool-down before the next episode so recovery completes.
+      t += len + cfg.failure_timeout;
+    }
+  }
+  return fault_plan(std::move(events));
+}
+
+std::vector<fault_event> fault_plan::at(std::uint64_t tick) const {
+  std::vector<fault_event> out;
+  auto it = std::lower_bound(
+      events_.begin(), events_.end(), tick,
+      [](const fault_event& e, std::uint64_t t) { return e.tick < t; });
+  for (; it != events_.end() && it->tick == tick; ++it) out.push_back(*it);
+  return out;
+}
+
+void fault_plan::poison(std::uint64_t shard, std::uint64_t content_version) {
+  poisoned_.emplace_back(shard, content_version);
+}
+
+bool fault_plan::poisoned(std::uint64_t shard,
+                          std::uint64_t content_version) const {
+  for (const auto& [s, v] : poisoned_) {
+    if (s == shard && v == content_version) return true;
+  }
+  return false;
+}
+
+}  // namespace advh::fleet

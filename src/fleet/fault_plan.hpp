@@ -1,0 +1,71 @@
+// Seeded fault plan: the chaos schedule of a fleet simulation.
+//
+// Faults are *data*, not code paths: a fault_plan is a sorted list of
+// (tick, kind, replica) events — crashes, recoveries, stalls, unstalls —
+// either scripted explicitly (failover scenarios with known kill times)
+// or generated from a seed and a rate (chaos sweeps). Because the plan is
+// fixed before the run starts, fault injection cannot observe simulation
+// state, which is what keeps a chaotic run bitwise identical at any
+// thread count.
+//
+// The plan also owns the recalibration *poison* seam: `poisoned(shard,
+// version)` deterministically marks a staged checkpoint as failing canary
+// validation, driving the rollback path in tests and the failover bench
+// without corrupting real files.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fleet/config.hpp"
+
+namespace advh::fleet {
+
+enum class fault_kind : std::uint8_t {
+  crash = 0,    ///< replica loses volatile state; disk survives
+  recover = 1,  ///< replica reboots from its checkpoints + ban ledgers
+  stall = 2,    ///< replica freezes: inbox buffers, nothing processes
+  unstall = 3,  ///< replica resumes, processing its buffered inbox
+};
+
+const char* to_string(fault_kind k) noexcept;
+
+struct fault_event {
+  std::uint64_t tick = 0;
+  fault_kind kind = fault_kind::crash;
+  std::size_t replica = 0;  ///< replica index (not node id)
+};
+
+class fault_plan {
+ public:
+  fault_plan() = default;
+
+  /// Scripted plan: `events` need not be sorted; they are ordered by
+  /// (tick, replica, kind) so two scripts listing the same events replay
+  /// identically.
+  explicit fault_plan(std::vector<fault_event> events);
+
+  /// Seeded chaos plan over `horizon` ticks: each replica independently
+  /// draws crash/stall episodes at `rate` per tick (bounded episode
+  /// lengths), leaving at least one replica untouched per episode window
+  /// so the fleet always has a survivor to fail over to.
+  static fault_plan chaos(const fleet_config& cfg, std::uint64_t horizon,
+                          double rate, std::uint64_t seed);
+
+  /// Events scheduled exactly at `tick`, in deterministic order.
+  std::vector<fault_event> at(std::uint64_t tick) const;
+
+  const std::vector<fault_event>& events() const noexcept { return events_; }
+
+  /// Marks staged recalibration checkpoint (shard, content_version) as
+  /// poisoned: canary validation must fail it and the rollout must roll
+  /// back. Deterministic in (seed, shard, version).
+  void poison(std::uint64_t shard, std::uint64_t content_version);
+  bool poisoned(std::uint64_t shard, std::uint64_t content_version) const;
+
+ private:
+  std::vector<fault_event> events_;  ///< sorted by (tick, replica, kind)
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> poisoned_;
+};
+
+}  // namespace advh::fleet

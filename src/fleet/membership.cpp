@@ -1,0 +1,116 @@
+#include "fleet/membership.hpp"
+
+#include <algorithm>
+
+namespace advh::fleet {
+
+std::optional<std::uint32_t> shard_owner(const membership_view& view,
+                                         std::uint64_t shard) {
+  if (view.live.empty()) return std::nullopt;
+  return view.live[shard % view.live.size()];
+}
+
+std::optional<std::uint32_t> range_owner(const membership_view& view,
+                                         std::uint32_t range) {
+  if (view.live.empty()) return std::nullopt;
+  return view.live[range % view.live.size()];
+}
+
+std::vector<std::uint32_t> ranges_owned(const membership_view& view,
+                                        std::uint32_t node,
+                                        std::uint32_t ring_ranges) {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t r = 0; r < ring_ranges; ++r) {
+    if (range_owner(view, r) == node) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> shards_owned(const membership_view& view,
+                                        std::uint32_t node,
+                                        std::uint64_t class_shards) {
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t s = 0; s < class_shards; ++s) {
+    if (shard_owner(view, s) == node) out.push_back(s);
+  }
+  return out;
+}
+
+controller::controller(const fleet_config& cfg)
+    : cfg_(cfg), last_heartbeat_(cfg.replicas) {
+  // Initial view: every replica is presumed live at epoch 1 — the fleet
+  // starts whole and failure detection prunes from there. Heartbeat
+  // bookkeeping starts at tick 0 so a replica crashed at boot is still
+  // detected after failure_timeout.
+  view_.epoch = 1;
+  for (std::size_t i = 0; i < cfg_.replicas; ++i) {
+    view_.live.push_back(replica_node(i));
+    last_heartbeat_[i] = 0;
+  }
+}
+
+void controller::on_heartbeat(std::uint32_t node, std::uint64_t tick) {
+  const std::size_t idx = node - 2;
+  if (idx >= last_heartbeat_.size()) return;
+  if (!last_heartbeat_[idx].has_value() ||
+      *last_heartbeat_[idx] < tick) {
+    last_heartbeat_[idx] = tick;
+  }
+}
+
+std::uint64_t controller::acked_heartbeat(std::uint32_t node) const {
+  const std::size_t idx = node - 2;
+  if (idx >= last_heartbeat_.size()) return 0;
+  return last_heartbeat_[idx].value_or(0);
+}
+
+std::optional<membership_view> controller::step(std::uint64_t tick) {
+  // Two-phase view change (lease transfer). A membership change is
+  // ANNOUNCED immediately — replicas fence out of lost ranges and start
+  // acquisition graces off the announced view — but the controller's
+  // AUTHORITATIVE view (what the split-brain probe audits, i.e. who is
+  // allowed to produce verdicts) flips only `lease + 1` ticks later.
+  // Rationale: a perfectly healthy replica that loses a range to a
+  // membership *addition* keeps serving it under its stale view until it
+  // learns of the change. It cannot be forced to learn in bounded time,
+  // but it provably cannot serve past its lease: every lease refresh it
+  // can obtain after the announcement either carries the announced view
+  // (it stops serving the lost range) or is an older beacon whose acked
+  // heartbeat predates the announcement (its lease expires within
+  // `lease` ticks). Waiting out one full lease before the flip therefore
+  // makes old-owner serving and new-owner serving disjoint in time.
+  if (pending_.has_value() && tick >= activate_at_) {
+    view_ = *pending_;
+    pending_.reset();
+  }
+
+  std::vector<std::uint32_t> live;
+  for (std::size_t i = 0; i < cfg_.replicas; ++i) {
+    if (!last_heartbeat_[i].has_value()) continue;
+    if (tick - *last_heartbeat_[i] >= cfg_.failure_timeout) {
+      // Dead until a fresh heartbeat readmits it.
+      last_heartbeat_[i] = std::nullopt;
+      continue;
+    }
+    live.push_back(replica_node(i));
+  }
+  std::sort(live.begin(), live.end());
+
+  const membership_view& target = pending_.has_value() ? *pending_ : view_;
+  if (live == target.live) return std::nullopt;
+  membership_view next;
+  next.epoch = target.epoch + 1;
+  next.live = std::move(live);
+  pending_ = std::move(next);
+  // Further churn inside the window restarts the clock: the authoritative
+  // view only moves once the announced membership has been stable for a
+  // full lease.
+  activate_at_ = tick + cfg_.lease + 1;
+  return *pending_;
+}
+
+const membership_view& controller::announced() const noexcept {
+  return pending_.has_value() ? *pending_ : view_;
+}
+
+}  // namespace advh::fleet

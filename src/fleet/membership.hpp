@@ -1,0 +1,140 @@
+// Fleet membership: who is alive, who owns what, and the epoch fence.
+//
+// A `membership_view` is the unit of agreement in the fleet: a strictly
+// increasing epoch plus the sorted list of live replica node ids. All
+// ownership (template class shards and fingerprint-ring ranges) is a pure
+// function of the view, so two nodes holding the same view compute the
+// same owners with no further coordination — and two nodes holding
+// *different* views are distinguished by the epoch, which every routed
+// request and checkpoint carries.
+//
+// The controller (node 0) is the single view authority. It watches
+// replica heartbeats, declares a replica dead after `failure_timeout`
+// ticks of silence, readmits it on a fresh heartbeat, and bumps the epoch
+// on every membership change. The controller itself never fails in the
+// simulation — fleet availability under a *failing* coordinator is a
+// consensus problem out of scope for this reproduction; the interesting
+// failure surface here is the replicas that hold detection state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fleet/config.hpp"
+
+namespace advh::fleet {
+
+/// Fixed node ids: the controller and router are infrastructure, replicas
+/// start at id 2.
+inline constexpr std::uint32_t kControllerNode = 0;
+inline constexpr std::uint32_t kRouterNode = 1;
+inline constexpr std::uint32_t replica_node(std::size_t replica_index) {
+  return static_cast<std::uint32_t>(replica_index + 2);
+}
+
+/// splitmix64 finalizer — the same client-id mixer the track table uses,
+/// so ring placement is uniform even for sequential client ids.
+inline std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+struct membership_view {
+  /// Strictly increasing with every membership change; epoch 0 means "no
+  /// view installed yet" and fences everything.
+  std::uint64_t epoch = 0;
+  /// Live replica node ids, sorted ascending.
+  std::vector<std::uint32_t> live;
+
+  friend bool operator==(const membership_view& a, const membership_view& b) {
+    return a.epoch == b.epoch && a.live == b.live;
+  }
+};
+
+/// Template shard of a predicted class.
+inline std::uint64_t shard_of_class(std::size_t cls,
+                                    const fleet_config& cfg) noexcept {
+  return static_cast<std::uint64_t>(cls) % cfg.class_shards;
+}
+
+/// Fingerprint-ring range of a client: top bits of the mixed id, mapped
+/// onto `ring_ranges` equal arcs.
+inline std::uint32_t range_of_client(std::uint64_t client,
+                                     const fleet_config& cfg) noexcept {
+  // 128-bit multiply-high keeps the mapping exact for any range count.
+  const unsigned __int128 wide =
+      static_cast<unsigned __int128>(mix64(client)) * cfg.ring_ranges;
+  return static_cast<std::uint32_t>(wide >> 64);
+}
+
+/// Owner of template shard `shard` under `view`; nullopt when no replica
+/// is live (the fleet abstains rather than guessing).
+std::optional<std::uint32_t> shard_owner(const membership_view& view,
+                                         std::uint64_t shard);
+
+/// Owner of fingerprint-ring range `range` under `view`.
+std::optional<std::uint32_t> range_owner(const membership_view& view,
+                                         std::uint32_t range);
+
+/// Ring ranges owned by `node` under `view`.
+std::vector<std::uint32_t> ranges_owned(const membership_view& view,
+                                        std::uint32_t node,
+                                        std::uint32_t ring_ranges);
+
+/// Template shards owned by `node` under `view`.
+std::vector<std::uint64_t> shards_owned(const membership_view& view,
+                                        std::uint32_t node,
+                                        std::uint64_t class_shards);
+
+/// The controller: heartbeat bookkeeping and view generation. Driven once
+/// per simulation tick; deterministic by construction (no wall clock, no
+/// randomness).
+class controller {
+ public:
+  controller(const fleet_config& cfg);
+
+  /// Records a heartbeat from `node` observed at `tick`.
+  void on_heartbeat(std::uint32_t node, std::uint64_t tick);
+
+  /// The last heartbeat tick the controller has RECEIVED from `node` (0
+  /// if none, or while the node is declared dead). Every view beacon to a
+  /// replica carries this value, and the replica's serving lease runs on
+  /// it — NOT on beacon send times. That closes the asymmetric-loss hole:
+  /// heartbeat silence (what failure detection watches) and beacon
+  /// reception (what a send-time lease would watch) are independent
+  /// channels under message loss, so a replica whose heartbeats are lost
+  /// could otherwise stay unfenced while its ranges are reassigned. With
+  /// the acked clock, death after `failure_timeout` of silence implies
+  /// every beacon the replica can ever receive carries an ack at least
+  /// `failure_timeout` old — provably past its `lease`, hence fenced.
+  std::uint64_t acked_heartbeat(std::uint32_t node) const;
+
+  /// Advances failure detection to `tick`. Returns the newly ANNOUNCED
+  /// view when membership changed (epoch bumped), nullopt otherwise. The
+  /// authoritative view() flips to an announced view only after it has
+  /// been stable for `lease + 1` ticks — the lease-transfer barrier that
+  /// keeps a stale-but-healthy previous owner's serving window disjoint
+  /// from its successor's.
+  std::optional<membership_view> step(std::uint64_t tick);
+
+  /// The authoritative view: who may produce verdicts right now.
+  const membership_view& view() const noexcept { return view_; }
+
+  /// The announced view (the pending one during a lease-transfer window,
+  /// the authoritative one otherwise) — what beacons carry.
+  const membership_view& announced() const noexcept;
+
+ private:
+  const fleet_config& cfg_;
+  membership_view view_;
+  /// Announced but not yet authoritative (lease-transfer barrier).
+  std::optional<membership_view> pending_;
+  std::uint64_t activate_at_ = 0;
+  /// Last heartbeat tick per replica node id; nullopt = currently dead.
+  std::vector<std::optional<std::uint64_t>> last_heartbeat_;
+};
+
+}  // namespace advh::fleet

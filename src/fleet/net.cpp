@@ -1,0 +1,122 @@
+#include "fleet/net.hpp"
+
+#include "common/rng.hpp"
+
+namespace advh::fleet {
+
+namespace {
+
+/// Salt separating the loss stream from the delay stream of one message.
+constexpr std::uint64_t kLossSalt = 0x10551055ULL;
+constexpr std::uint64_t kDelaySalt = 0xde1a9de1ULL;
+
+/// Retransmission attempts a reliable message may need; the last attempt
+/// always survives, bounding worst-case reliable latency at
+/// 64 * retransmit + max_delay ticks.
+constexpr std::uint64_t kMaxAttempts = 64;
+
+}  // namespace
+
+const char* to_string(msg_kind k) noexcept {
+  switch (k) {
+    case msg_kind::heartbeat:
+      return "heartbeat";
+    case msg_kind::view_beacon:
+      return "view_beacon";
+    case msg_kind::request:
+      return "request";
+    case msg_kind::response:
+      return "response";
+    case msg_kind::ban_announce:
+      return "ban_announce";
+    case msg_kind::checkpoint_announce:
+      return "checkpoint_announce";
+    case msg_kind::handoff_batch:
+      return "handoff_batch";
+    case msg_kind::canary_vote_request:
+      return "canary_vote_request";
+    case msg_kind::canary_vote:
+      return "canary_vote";
+    case msg_kind::stage_request:
+      return "stage_request";
+    case msg_kind::stage_result:
+      return "stage_result";
+  }
+  return "?";
+}
+
+const char* to_string(req_outcome o) noexcept {
+  switch (o) {
+    case req_outcome::served_clean:
+      return "served_clean";
+    case req_outcome::served_flagged:
+      return "served_flagged";
+    case req_outcome::shed:
+      return "shed";
+    case req_outcome::failed:
+      return "failed";
+    case req_outcome::rejected:
+      return "rejected";
+    case req_outcome::rejected_banned:
+      return "rejected_banned";
+    case req_outcome::abstain_fenced:
+      return "abstain_fenced";
+    case req_outcome::abstain_timeout:
+      return "abstain_timeout";
+    case req_outcome::abstain_no_owner:
+      return "abstain_no_owner";
+  }
+  return "?";
+}
+
+sim_net::sim_net(const fleet_config& cfg) : cfg_(cfg) {}
+
+std::uint64_t sim_net::delay_for(std::uint64_t seq,
+                                 std::uint64_t attempt) const {
+  if (cfg_.max_delay == cfg_.min_delay) return cfg_.min_delay;
+  rng g = rng::stream(cfg_.seed ^ kDelaySalt, seq * 131 + attempt);
+  return cfg_.min_delay +
+         g.uniform_index(cfg_.max_delay - cfg_.min_delay + 1);
+}
+
+void sim_net::send(message m, std::uint64_t now) {
+  const std::uint64_t seq = seq_++;
+  ++stats_.sent;
+  m.send_tick = now;
+  rng loss = rng::stream(cfg_.seed ^ kLossSalt, seq * 97);
+  if (cfg_.loss_rate > 0.0 && loss.bernoulli(cfg_.loss_rate)) {
+    ++stats_.lost;
+    return;
+  }
+  heap_.push(pending{now + delay_for(seq, 0), seq, std::move(m)});
+}
+
+void sim_net::send_reliable(message m, std::uint64_t now) {
+  const std::uint64_t seq = seq_++;
+  ++stats_.sent;
+  m.send_tick = now;
+  // The whole retransmission future is decided here: attempt k is lost
+  // with an independent draw; the first survivor sets the delivery tick.
+  // The final attempt is exempt from loss so reliable traffic always
+  // lands.
+  std::uint64_t attempt = 0;
+  for (; attempt + 1 < kMaxAttempts; ++attempt) {
+    rng loss = rng::stream(cfg_.seed ^ kLossSalt, seq * 97 + attempt);
+    if (!(cfg_.loss_rate > 0.0 && loss.bernoulli(cfg_.loss_rate))) break;
+  }
+  stats_.retransmissions += attempt;
+  heap_.push(pending{now + attempt * cfg_.retransmit + delay_for(seq, attempt),
+                     seq, std::move(m)});
+}
+
+std::vector<message> sim_net::deliver_until(std::uint64_t tick) {
+  std::vector<message> out;
+  while (!heap_.empty() && heap_.top().deliver_tick <= tick) {
+    out.push_back(std::move(const_cast<pending&>(heap_.top()).msg));
+    heap_.pop();
+    ++stats_.delivered;
+  }
+  return out;
+}
+
+}  // namespace advh::fleet

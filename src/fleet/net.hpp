@@ -1,0 +1,154 @@
+// Deterministic simulated network for the fleet discrete-event loop.
+//
+// The trick that keeps multi-replica chaos bitwise reproducible: a
+// message's complete delivery fate — lost or delivered, at which tick —
+// is computed entirely AT SEND TIME from seeded per-message RNG streams.
+// No retransmission machinery runs later; for a reliable message the
+// sender's schedule already accounts for every retransmission attempt
+// (attempt k is lost with `loss_rate` independently; the first surviving
+// attempt delivers at send + k * retransmit + delay). Attempt 64 always
+// survives, so reliable control traffic (view beacons, checkpoint
+// promotions, ban announcements, handoff batches) is guaranteed to land
+// — late, maybe, but deterministically. Best-effort traffic (requests,
+// responses, heartbeats) gets a single attempt: one Bernoulli draw, lost
+// means gone, and the loss is counted.
+//
+// Pending messages sit in a min-heap ordered by (deliver_tick, sequence
+// number), so delivery order is a total order independent of anything
+// the rest of the simulation does.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "fleet/membership.hpp"
+#include "tensor/tensor.hpp"
+#include "track/table.hpp"
+
+namespace advh::fleet {
+
+enum class msg_kind : std::uint8_t {
+  heartbeat = 0,           ///< replica -> controller (best-effort)
+  view_beacon = 1,         ///< controller -> replica (reliable)
+  request = 2,             ///< router -> owner replica (best-effort)
+  response = 3,            ///< replica -> router (best-effort)
+  ban_announce = 4,        ///< replica -> everyone (reliable)
+  checkpoint_announce = 5, ///< owner -> everyone (reliable)
+  handoff_batch = 6,       ///< old owner -> new owner (reliable)
+  canary_vote_request = 7, ///< alarmed owner -> live peers (reliable)
+  canary_vote = 8,         ///< peer -> alarmed owner (reliable)
+  stage_request = 9,       ///< owner -> validator peer (reliable)
+  stage_result = 10,       ///< validator peer -> owner (reliable)
+};
+
+const char* to_string(msg_kind k) noexcept;
+
+/// Terminal outcome of one routed fleet request. Every submitted request
+/// lands in exactly one bucket; everything that is not `served_*` is
+/// fail-closed (no verdict was produced, nothing was admitted as benign).
+enum class req_outcome : std::uint8_t {
+  served_clean = 0,
+  served_flagged = 1,    ///< served; detector flagged adversarial/abstain
+  shed = 2,              ///< owner admitted but shed (deadline)
+  failed = 3,            ///< owner measurement backend failed
+  rejected = 4,          ///< owner admission control rejected
+  rejected_banned = 5,   ///< client is banned (router or owner)
+  abstain_fenced = 6,    ///< owner was epoch-fenced; abstained fail-closed
+  abstain_timeout = 7,   ///< no response within request_timeout
+  abstain_no_owner = 8,  ///< no live owner under the current view
+};
+
+const char* to_string(req_outcome o) noexcept;
+
+/// One simulated message. A single fat struct instead of a closed class
+/// hierarchy: the simulation copies messages through one queue and each
+/// kind reads only its named fields. Unused fields stay default.
+struct message {
+  msg_kind kind = msg_kind::heartbeat;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint64_t send_tick = 0;
+
+  // request / response
+  std::uint64_t req_id = 0;
+  std::uint64_t client = 0;
+  tensor input;
+  req_outcome outcome = req_outcome::abstain_timeout;
+  bool flagged = false;
+
+  // fencing / ownership context (request, response, checkpoint, votes)
+  std::uint64_t epoch = 0;
+  std::uint32_t range = 0;
+  std::uint64_t shard = 0;
+
+  // view_beacon
+  membership_view view;
+  /// Last heartbeat tick the controller acknowledged from the DESTINATION
+  /// replica — the replica's lease clock (see controller::acked_heartbeat).
+  std::uint64_t acked_hb = 0;
+
+  // checkpoint_announce / stage_* — which detector content generation
+  std::uint64_t content_version = 0;
+  std::string path;
+  bool ok = false;          ///< stage_result verdict
+  std::uint64_t ballot = 0; ///< canary vote round
+
+  // handoff_batch
+  std::vector<track::client_record> records;
+};
+
+struct net_stats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  /// Best-effort messages whose single attempt was lost.
+  std::uint64_t lost = 0;
+  /// Messages dropped at delivery because the destination was down.
+  std::uint64_t dropped_dst_down = 0;
+  /// Extra attempts reliable messages needed beyond the first.
+  std::uint64_t retransmissions = 0;
+};
+
+class sim_net {
+ public:
+  sim_net(const fleet_config& cfg);
+
+  /// Queues `m` at tick `now`, best-effort: one delivery attempt, lost
+  /// with probability loss_rate.
+  void send(message m, std::uint64_t now);
+
+  /// Queues `m` at tick `now`, reliable: the at-send schedule walks
+  /// retransmission attempts until one survives loss (the last attempt
+  /// always does), so delivery is guaranteed but may be late.
+  void send_reliable(message m, std::uint64_t now);
+
+  /// Pops every message whose delivery tick is <= `tick`, in
+  /// (deliver_tick, send sequence) order.
+  std::vector<message> deliver_until(std::uint64_t tick);
+
+  const net_stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct pending {
+    std::uint64_t deliver_tick;
+    std::uint64_t seq;
+    message msg;
+  };
+  struct later {
+    bool operator()(const pending& a, const pending& b) const noexcept {
+      if (a.deliver_tick != b.deliver_tick)
+        return a.deliver_tick > b.deliver_tick;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::uint64_t delay_for(std::uint64_t seq, std::uint64_t attempt) const;
+
+  const fleet_config& cfg_;
+  std::priority_queue<pending, std::vector<pending>, later> heap_;
+  std::uint64_t seq_ = 0;
+  net_stats stats_;
+};
+
+}  // namespace advh::fleet

@@ -1,0 +1,205 @@
+// One fleet worker replica: an embedded detection_service + query_tracker
+// behind the epoch fence, with crash/recovery, checkpoint shipping,
+// fingerprint-range handoff and quorum-gated recalibration.
+//
+// A replica is a state machine driven once per simulation tick. All of
+// its volatile state — service, tracker, virtual clock, model mirror,
+// drift cells — dies on crash() and is rebuilt by recover() from the
+// durable artifacts alone: shard checkpoint files and ban ledgers
+// (fleet/checkpoint). What recovery restores is therefore exactly what
+// the fleet's durability story claims to protect: detector parameters as
+// of the last promoted checkpoint, and every ban decision ever persisted
+// by any replica.
+//
+// Serving discipline (the epoch fence): a replica produces a verdict for
+// a routed request only when ALL of
+//   1. the controller's acknowledgment of this replica's heartbeats
+//      (carried on every beacon) is at most `lease` ticks old,
+//   2. the request's epoch equals its installed view epoch,
+//   3. it is the owner of the request's ring range under that view,
+//   4. any range gained through a view change has outlived its
+//      acquisition grace (the previous — possibly perfectly healthy —
+//      owner's lease must have provably expired first),
+// hold — both at admission and again when the response leaves (a view
+// may change while a request is queued). Anything else resolves
+// abstain_fenced: fail closed, never a stale verdict. Combined with the
+// config invariant lease + max_delay < failure_timeout, a replica whose
+// ranges have been reassigned is provably self-fenced before its
+// successor can begin serving them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/detector_io.hpp"
+#include "fleet/checkpoint.hpp"
+#include "fleet/config.hpp"
+#include "fleet/events.hpp"
+#include "fleet/fault_plan.hpp"
+#include "fleet/membership.hpp"
+#include "fleet/net.hpp"
+#include "hpc/monitor.hpp"
+#include "serve/service.hpp"
+#include "track/tracker.hpp"
+
+namespace advh::fleet {
+
+/// What a replica needs from the outside world. The monitor factory is
+/// called at every boot (genesis and recovery), so each boot starts from
+/// a deterministic measurement-noise state.
+struct replica_deps {
+  /// Genesis detector (full model set, content version 1). Must outlive
+  /// the fleet.
+  const core::detector* base = nullptr;
+  std::function<std::unique_ptr<hpc::hpc_monitor>()> make_monitor;
+  /// Shared checkpoint/ledger directory (models the shipped-state store).
+  std::string dir;
+  /// Known-benign labelled inputs for canary probing; drives drift cells
+  /// and fills the recalibration reservoirs. Must outlive the fleet.
+  const std::vector<std::pair<std::size_t, tensor>>* canary_pool = nullptr;
+};
+
+class replica {
+ public:
+  replica(std::size_t index, const fleet_config& cfg, replica_deps deps,
+          sim_net& net, const fault_plan& plan, event_log& log);
+
+  std::uint32_t node() const noexcept { return replica_node(index_); }
+  bool up() const noexcept { return up_; }
+  bool is_stalled() const noexcept { return stalled_; }
+
+  // Fault injection (sim tick loop). crash() drops volatile state and the
+  // inbox; recover() reboots from disk; stall()/unstall() freeze and
+  // resume processing (the inbox keeps buffering while stalled).
+  void crash(std::uint64_t tick);
+  void recover(std::uint64_t tick);
+  void stall(std::uint64_t tick);
+  void unstall(std::uint64_t tick);
+
+  /// Delivers one network message (dropped when the replica is down).
+  void enqueue(message m);
+
+  /// One simulation tick: clock sync, inbox, heartbeat, canary probes,
+  /// service rounds, handoff and rollout progress, periodic checkpoints.
+  void on_tick(std::uint64_t tick);
+
+  /// Split-brain instrumentation: invoked with (node, client) immediately
+  /// before a served verdict leaves this replica. The sim points this at
+  /// the controller's authoritative view.
+  void set_serve_probe(std::function<void(std::uint32_t, std::uint64_t)> p) {
+    probe_ = std::move(p);
+  }
+
+  const membership_view& view() const noexcept { return view_; }
+  std::uint64_t applied_version(std::uint64_t shard) const;
+  const serve::detection_service* service() const noexcept {
+    return service_.get();
+  }
+  const track::query_tracker* tracker() const noexcept {
+    return tracker_.get();
+  }
+
+ private:
+  void boot(std::uint64_t tick, bool genesis);
+  void rebuild_detector();
+  bool fence_ok(std::uint32_t range, std::uint64_t tick) const;
+  void respond(std::uint64_t tick, std::uint64_t req_id, std::uint64_t client,
+               std::uint32_t range, req_outcome outcome, bool flagged);
+
+  void handle(message& m, std::uint64_t tick);
+  void handle_request(message& m, std::uint64_t tick);
+  void apply_beacon(const message& m, std::uint64_t tick);
+  void apply_checkpoint(const message& m, std::uint64_t tick);
+  void persist_ban(std::uint64_t client, std::uint64_t tick);
+  void replay_ban_ledgers();
+
+  void canary_step(std::uint64_t tick);
+  void service_step(std::uint64_t tick);
+  void handoff_step(std::uint64_t tick);
+  void rollout_step(std::uint64_t tick);
+  void stage_refit(std::uint64_t tick);
+  void finish_rollout(bool ok, std::uint64_t tick);
+  void publish_checkpoints(std::uint64_t tick);
+  void reset_cells_for_shard(std::uint64_t shard);
+
+  std::size_t index_;
+  const fleet_config& cfg_;
+  replica_deps deps_;
+  sim_net& net_;
+  const fault_plan& plan_;
+  event_log& log_;
+
+  bool up_ = false;
+  bool stalled_ = false;
+  std::vector<message> inbox_;
+
+  // --- volatile node state, rebuilt at every boot ---
+  std::unique_ptr<serve::virtual_clock> clock_;
+  std::unique_ptr<hpc::hpc_monitor> monitor_;
+  std::unique_ptr<track::query_tracker> tracker_;
+  /// Every detector generation this boot has served with; the service
+  /// holds a pointer into the latest, older ones stay alive until reboot.
+  std::vector<std::unique_ptr<core::detector>> dets_;
+  /// Full model mirror (base + every applied shard overlay).
+  std::vector<std::vector<std::optional<core::event_model>>> models_;
+  std::unique_ptr<serve::detection_service> service_;
+
+  membership_view view_;
+  /// Monotone max of received beacon send ticks — the lease clock. Using
+  /// the *send* tick means stale beacons buffered during a stall can
+  /// never unfence a replica after it resumes.
+  std::uint64_t freshest_beacon_ = 0;
+
+  struct pending_req {
+    std::uint64_t req_id = 0;
+    std::uint64_t client = 0;
+    std::uint32_t range = 0;
+  };
+  /// service submission id -> routed-request context.
+  std::map<std::uint64_t, pending_req> pending_;
+
+  /// This node's durable ban decisions, mirrored in its ledger file.
+  std::vector<std::uint64_t> local_bans_;
+  /// Per template shard: applied content version and its epoch fence.
+  std::map<std::uint64_t, std::uint64_t> applied_;
+  std::map<std::uint64_t, std::uint64_t> applied_epoch_;
+
+  // --- drift / recalibration ---
+  std::vector<std::vector<core::drift_cell>> cells_;  // [class][event]
+  std::vector<std::vector<std::vector<double>>> reservoir_;  // [class][row]
+  std::vector<std::vector<const tensor*>> canaries_;  // [class] -> inputs
+  std::vector<std::size_t> canary_cursor_;
+
+  struct rollout_state {
+    std::uint64_t shard = 0;
+    std::uint64_t staged_version = 0;
+    std::uint64_t ballot = 0;
+    std::uint64_t votes_yes = 0;
+    std::uint64_t votes_total = 0;
+    std::uint64_t started = 0;
+    bool staging = false;  ///< false: collecting votes; true: validating
+    std::string staged_path;
+  };
+  std::optional<rollout_state> rollout_;
+  std::unique_ptr<core::detector> staged_det_;
+  std::uint64_t ballot_counter_ = 0;
+  std::uint64_t last_ballot_tick_ = 0;
+
+  /// Active range handoffs: range -> destination node.
+  std::map<std::uint32_t, std::uint32_t> handoffs_;
+  /// Ranges gained through a view change -> the change beacon's send
+  /// tick. fence_ok refuses to serve such a range until the previous
+  /// owner's lease has provably expired (send tick + lease), closing the
+  /// healthy-predecessor window a membership addition opens.
+  std::map<std::uint32_t, std::uint64_t> acquired_at_;
+
+  std::function<void(std::uint32_t, std::uint64_t)> probe_;
+};
+
+}  // namespace advh::fleet

@@ -1,0 +1,111 @@
+#include "fleet/router.hpp"
+
+#include "fleet/checkpoint.hpp"
+
+namespace advh::fleet {
+
+router::router(const fleet_config& cfg, const std::string& dir, sim_net& net,
+               event_log& log)
+    : cfg_(cfg), dir_(dir), net_(net), log_(log) {
+  // The router starts with the genesis view, like the replicas: the fleet
+  // is whole until the controller says otherwise.
+  view_.epoch = 1;
+  for (std::size_t i = 0; i < cfg_.replicas; ++i) {
+    view_.live.push_back(replica_node(i));
+  }
+}
+
+void router::reload_ledgers() {
+  for (std::size_t i = 0; i < cfg_.replicas; ++i) {
+    for (const std::uint64_t c :
+         read_ban_ledger(ban_ledger_path(dir_, replica_node(i)))) {
+      banned_.insert(c);
+    }
+  }
+}
+
+void router::resolve(std::uint64_t tick, std::uint64_t req_id,
+                     std::uint64_t client, req_outcome outcome, bool flagged,
+                     std::uint32_t served_by) {
+  log_.count(outcome);
+  log_.line(tick, "req=" + std::to_string(req_id) +
+                      " client=" + std::to_string(client) +
+                      " outcome=" + to_string(outcome) +
+                      " flagged=" + (flagged ? "1" : "0") +
+                      " node=" + std::to_string(served_by));
+}
+
+std::uint64_t router::submit(std::uint64_t client, tensor input,
+                             std::uint64_t tick) {
+  const std::uint64_t req_id = next_req_id_++;
+  ++log_.stats().submitted;
+  if (banned_.count(client) != 0) {
+    resolve(tick, req_id, client, req_outcome::rejected_banned, false, 0);
+    return req_id;
+  }
+  const std::uint32_t range = range_of_client(client, cfg_);
+  const auto owner = range_owner(view_, range);
+  if (!owner.has_value()) {
+    resolve(tick, req_id, client, req_outcome::abstain_no_owner, false, 0);
+    return req_id;
+  }
+  message m;
+  m.kind = msg_kind::request;
+  m.src = kRouterNode;
+  m.dst = *owner;
+  m.req_id = req_id;
+  m.client = client;
+  m.input = std::move(input);
+  m.epoch = view_.epoch;
+  m.range = range;
+  net_.send(std::move(m), tick);
+  pending_[req_id] = pending_req{client, tick + cfg_.request_timeout};
+  return req_id;
+}
+
+void router::enqueue(message m) { inbox_.push_back(std::move(m)); }
+
+void router::drain_inbox(std::uint64_t tick) {
+  std::vector<message> msgs;
+  msgs.swap(inbox_);
+  for (message& m : msgs) {
+    switch (m.kind) {
+      case msg_kind::view_beacon:
+        if (m.view.epoch > view_.epoch) {
+          view_ = m.view;
+          // Bans decided by a replica that crashed before its announce
+          // landed: the ledger survived; the view change is when the
+          // router re-syncs from it.
+          reload_ledgers();
+        }
+        break;
+      case msg_kind::ban_announce:
+        banned_.insert(m.client);
+        break;
+      case msg_kind::response: {
+        const auto it = pending_.find(m.req_id);
+        if (it == pending_.end()) break;  // already timed out: drop
+        const std::uint64_t client = it->second.client;
+        pending_.erase(it);
+        resolve(tick, m.req_id, client, m.outcome, m.flagged, m.src);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+void router::on_tick(std::uint64_t tick) {
+  std::vector<std::uint64_t> expired;
+  for (const auto& [req_id, p] : pending_) {
+    if (p.deadline_tick <= tick) expired.push_back(req_id);
+  }
+  for (const std::uint64_t req_id : expired) {
+    const std::uint64_t client = pending_[req_id].client;
+    pending_.erase(req_id);
+    resolve(tick, req_id, client, req_outcome::abstain_timeout, false, 0);
+  }
+}
+
+}  // namespace advh::fleet

@@ -1,0 +1,82 @@
+// Deterministic fleet router (node 1): the single entry point for client
+// traffic.
+//
+// The router maps each request's client id to its fingerprint-ring range,
+// looks up the range owner under its installed view, and forwards the
+// request stamped with that view's epoch — the first half of the epoch
+// fence (the owner verifies the second half). Everything the router does
+// is fail-closed:
+//
+//   * a banned client is rejected before any network hop (the router
+//     learns bans from reliable ban announcements and re-reads the
+//     durable ledgers on every view change);
+//   * no live owner -> abstain_no_owner, immediately;
+//   * no response within request_timeout ticks -> abstain_timeout. A
+//     late response (crashed owner, re-routed range) finds no pending
+//     entry and is dropped — a request resolves exactly once.
+//
+// Every resolution is journalled at a deterministic point of the tick
+// loop, so the router's journal is the run's externally visible history.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "fleet/config.hpp"
+#include "fleet/events.hpp"
+#include "fleet/membership.hpp"
+#include "fleet/net.hpp"
+
+namespace advh::fleet {
+
+class router {
+ public:
+  router(const fleet_config& cfg, const std::string& dir, sim_net& net,
+         event_log& log);
+
+  /// Submits one client request at `tick`; assigns and returns the fleet
+  /// request id. Ban checks and ownerless views resolve immediately.
+  std::uint64_t submit(std::uint64_t client, tensor input,
+                       std::uint64_t tick);
+
+  /// Delivers one network message (responses, beacons, ban announces).
+  void enqueue(message m);
+
+  /// Processes the inbox; called by the sim before arrivals each tick.
+  void drain_inbox(std::uint64_t tick);
+
+  /// Expires pending requests past request_timeout (fail-closed
+  /// abstain_timeout), in request-id order.
+  void on_tick(std::uint64_t tick);
+
+  const membership_view& view() const noexcept { return view_; }
+  std::size_t pending() const noexcept { return pending_.size(); }
+  bool banned(std::uint64_t client) const {
+    return banned_.count(client) != 0;
+  }
+
+ private:
+  void resolve(std::uint64_t tick, std::uint64_t req_id, std::uint64_t client,
+               req_outcome outcome, bool flagged, std::uint32_t served_by);
+  void reload_ledgers();
+
+  const fleet_config& cfg_;
+  std::string dir_;
+  sim_net& net_;
+  event_log& log_;
+
+  membership_view view_;
+  std::set<std::uint64_t> banned_;
+  std::vector<message> inbox_;
+
+  struct pending_req {
+    std::uint64_t client = 0;
+    std::uint64_t deadline_tick = 0;
+  };
+  std::map<std::uint64_t, pending_req> pending_;
+  std::uint64_t next_req_id_ = 1;
+};
+
+}  // namespace advh::fleet

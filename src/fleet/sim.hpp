@@ -1,0 +1,105 @@
+// Single-process discrete-event simulation of the whole detection fleet.
+//
+// One fleet_sim owns the controller, the router, N replicas, the
+// simulated network and the fault plan, and advances them in a fixed
+// per-tick phase order:
+//
+//   1. fault injection (crashes, recoveries, stalls, unstalls)
+//   2. controller failure detection + view beacons
+//   3. network delivery (messages due this tick, total-ordered)
+//   4. router inbox (responses/beacons/bans), then this tick's arrivals
+//   5. replicas, ascending node id (clock sync, inbox, heartbeat,
+//      canaries, service rounds, handoff, rollout, checkpoints)
+//   6. router timeouts (fail-closed abstains)
+//
+// Because every phase is sequential and every source of randomness is a
+// seeded stream keyed on stable identifiers (message sequence numbers,
+// request ids, per-sample measurement streams), an entire chaotic
+// multi-replica campaign — crashes, loss, drift, recalibration — replays
+// bitwise identically at any measurement thread count. The journal
+// (event_log) is the witness; bench_fleet_failover diffs it across
+// thread counts.
+//
+// The split-brain gate is instrumented here: each replica's serve probe
+// checks, at the instant a served verdict leaves the replica, whether the
+// CONTROLLER's authoritative view agrees that the replica owns the
+// client's range. Any disagreement increments split_brain_serves, which
+// must stay zero.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fleet/config.hpp"
+#include "fleet/events.hpp"
+#include "fleet/fault_plan.hpp"
+#include "fleet/membership.hpp"
+#include "fleet/net.hpp"
+#include "fleet/replica.hpp"
+#include "fleet/router.hpp"
+
+namespace advh::fleet {
+
+/// What the fleet needs from the embedding experiment.
+struct fleet_deps {
+  /// Genesis detector; must outlive the sim.
+  const core::detector* base = nullptr;
+  /// Fresh measurement backend per replica boot; the index selects the
+  /// replica so replicas can carry distinct noise seeds.
+  std::function<std::unique_ptr<hpc::hpc_monitor>(std::size_t)> make_monitor;
+  /// Checkpoint/ledger directory (the shipped-state store).
+  std::string dir;
+  /// Labelled benign canary inputs; must outlive the sim.
+  const std::vector<std::pair<std::size_t, tensor>>* canary_pool = nullptr;
+};
+
+/// One scheduled client request.
+struct arrival {
+  std::uint64_t tick = 0;
+  std::uint64_t client = 0;
+  tensor input;
+};
+
+class fleet_sim {
+ public:
+  /// Validates `cfg` (including the split-brain safety condition) and
+  /// boots the fleet at tick 0 with the genesis view installed.
+  fleet_sim(const fleet_config& cfg, fleet_deps deps, fault_plan plan);
+
+  /// Runs `horizon` ticks, injecting `arrivals` at their scheduled ticks
+  /// (equal-tick arrivals submit in the given order). May be called
+  /// repeatedly; ticks continue from where the previous run stopped.
+  void run(std::vector<arrival> arrivals, std::uint64_t horizon);
+
+  const event_log& log() const noexcept { return log_; }
+  /// Counters with the network stats folded in.
+  fleet_stats stats() const;
+  /// The controller's view — the authority the split-brain probe uses.
+  const membership_view& authoritative_view() const noexcept {
+    return controller_.view();
+  }
+  const router& route() const noexcept { return *router_; }
+  replica& worker(std::size_t i) { return *replicas_[i]; }
+  std::uint64_t now() const noexcept { return tick_; }
+
+ private:
+  void deliver(std::uint64_t tick);
+  void broadcast_view(std::uint64_t tick, bool reliable);
+
+  fleet_config cfg_;
+  fleet_deps deps_;
+  fault_plan plan_;
+  event_log log_;
+  sim_net net_;
+  controller controller_;
+  std::unique_ptr<router> router_;
+  std::vector<std::unique_ptr<replica>> replicas_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t dropped_dst_down_ = 0;
+};
+
+}  // namespace advh::fleet

@@ -26,6 +26,7 @@ circuit_breaker::circuit_breaker(const clock_face& clock, breaker_config cfg)
 
 void circuit_breaker::trip_open(clock_duration now) {
   state_ = breaker_state::open;
+  ++epoch_;
   opened_at_ = now;
   consecutive_failures_ = 0;
   half_open_inflight_ = 0;
@@ -33,12 +34,13 @@ void circuit_breaker::trip_open(clock_duration now) {
   ++trips_;
 }
 
-bool circuit_breaker::allow() {
+bool circuit_breaker::allow(breaker_epoch* admitted) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto now = clock_.now();
   if (state_ == breaker_state::open) {
     if (now - opened_at_ < cfg_.cooldown) return false;
     state_ = breaker_state::half_open;
+    ++epoch_;
     half_open_inflight_ = 0;
     half_open_successes_ = 0;
   }
@@ -46,11 +48,16 @@ bool circuit_breaker::allow() {
     if (half_open_inflight_ >= cfg_.half_open_probes) return false;
     ++half_open_inflight_;
   }
+  if (admitted != nullptr) *admitted = epoch_;
   return true;
 }
 
-void circuit_breaker::record_success() {
+void circuit_breaker::record_success(breaker_epoch admitted) {
   std::lock_guard<std::mutex> lock(mutex_);
+  // A stale stamp means the window this request was admitted into has
+  // already transitioned; counting it against the current window could
+  // close the breaker on another window's evidence.
+  if (admitted != epoch_) return;
   switch (state_) {
     case breaker_state::closed:
       consecutive_failures_ = 0;
@@ -59,18 +66,20 @@ void circuit_breaker::record_success() {
       if (half_open_inflight_ > 0) --half_open_inflight_;
       if (++half_open_successes_ >= cfg_.half_open_probes) {
         state_ = breaker_state::closed;
+        ++epoch_;
         consecutive_failures_ = 0;
         half_open_inflight_ = 0;
         half_open_successes_ = 0;
       }
       break;
     case breaker_state::open:
-      break;  // stale report from before the trip: ignore
+      break;  // unreachable with a current stamp: trips bump the epoch
   }
 }
 
-void circuit_breaker::record_failure() {
+void circuit_breaker::record_failure(breaker_epoch admitted) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (admitted != epoch_) return;
   const auto now = clock_.now();
   switch (state_) {
     case breaker_state::closed:
@@ -84,8 +93,9 @@ void circuit_breaker::record_failure() {
   }
 }
 
-void circuit_breaker::release() {
+void circuit_breaker::release(breaker_epoch admitted) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (admitted != epoch_) return;
   if (state_ == breaker_state::half_open && half_open_inflight_ > 0) {
     --half_open_inflight_;
   }
@@ -99,6 +109,11 @@ breaker_state circuit_breaker::state() const {
 std::uint64_t circuit_breaker::trips() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return trips_;
+}
+
+breaker_epoch circuit_breaker::epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_;
 }
 
 }  // namespace advh::serve

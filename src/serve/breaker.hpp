@@ -16,6 +16,13 @@
 //                probes; that many consecutive successes close the
 //                breaker, any failure re-opens it and restarts cooldown.
 //
+// Every admission is stamped with the breaker generation at admit time and
+// outcome reports carry that stamp back. A report whose generation is not
+// current is dropped: a probe admitted in one half-open window must not be
+// able to decrement the next window's in-flight count or push its success
+// tally over the threshold, which would double-transition the breaker
+// (close it on evidence from a window that already failed).
+//
 // Time comes from the injected clock_face, so every transition is
 // deterministic under a virtual clock.
 #pragma once
@@ -30,6 +37,11 @@ namespace advh::serve {
 enum class breaker_state : std::uint8_t { closed = 0, open = 1, half_open = 2 };
 
 const char* to_string(breaker_state s) noexcept;
+
+/// Monotone generation counter, bumped on every state transition. An
+/// admission's generation identifies the window (closed span or half-open
+/// probe window) it belongs to.
+using breaker_epoch = std::uint64_t;
 
 struct breaker_config {
   /// Consecutive failures (in closed state) that trip the breaker.
@@ -48,19 +60,27 @@ class circuit_breaker {
 
   /// True when a request may proceed to measurement. Transitions
   /// open -> half-open once the cooldown has elapsed; in half-open,
-  /// admits at most `half_open_probes` outstanding probes.
-  bool allow();
+  /// admits at most `half_open_probes` outstanding probes. On admission,
+  /// `*admitted` (when non-null) receives the generation stamp the caller
+  /// must pass back to record_success/record_failure/release.
+  bool allow(breaker_epoch* admitted = nullptr);
 
   /// Reports the outcome of a request previously admitted by allow().
-  void record_success();
-  void record_failure();
+  /// Reports stamped with a non-current generation are ignored — they
+  /// describe a window that has already transitioned away.
+  void record_success(breaker_epoch admitted);
+  void record_failure(breaker_epoch admitted);
 
   /// Releases a half-open probe slot for a request that was admitted but
-  /// never reached measurement (shed on deadline before service).
-  void release();
+  /// never reached measurement (shed on deadline before service). Same
+  /// staleness rule as the outcome reports.
+  void release(breaker_epoch admitted);
 
   breaker_state state() const;
   std::uint64_t trips() const;
+
+  /// Current generation (for tests and introspection).
+  breaker_epoch epoch() const;
 
  private:
   void trip_open(clock_duration now);
@@ -69,6 +89,7 @@ class circuit_breaker {
   breaker_config cfg_;
   mutable std::mutex mutex_;
   breaker_state state_ = breaker_state::closed;
+  breaker_epoch epoch_ = 0;
   std::size_t consecutive_failures_ = 0;
   std::size_t half_open_inflight_ = 0;
   std::size_t half_open_successes_ = 0;

@@ -63,6 +63,9 @@ struct request {
   clock_duration submitted{0};
   /// Absolute deadline; no_deadline = none. Canary probes default to none.
   clock_duration deadline = no_deadline;
+  /// Circuit-breaker generation stamped at admission; outcome reports carry
+  /// it back so a stale probe cannot double-transition the breaker.
+  std::uint64_t breaker_epoch = 0;
 };
 
 /// Typed outcome of a push; the decision and its counter update happen

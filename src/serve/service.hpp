@@ -188,6 +188,12 @@ const char* to_string(admit_status s) noexcept;
 struct submit_result {
   std::uint64_t id = 0;
   admit_status status = admit_status::admitted;
+  /// True when this submission is the one that crossed the attached
+  /// tracker's ban threshold (the request itself is rejected_banned).
+  /// Surfaced so a replicated deployment can externalise the ban decision
+  /// — persist it and announce it fleet-wide — before any later query
+  /// observes its effect.
+  bool newly_banned = false;
   bool admitted() const noexcept { return status == admit_status::admitted; }
 };
 
@@ -310,11 +316,20 @@ class detection_service {
   /// clean shutdown; requests past their deadline shed rather than serve).
   std::vector<response> flush();
 
+  /// Atomically replaces the detector the service scores with (fleet
+  /// checkpoint apply / recalibration rollout). The new detector is run
+  /// through the same policy-consistency gate as construction and must
+  /// outlive the service; the degradation ladder is re-derived from its
+  /// repeat count. Blocks until the in-flight service round (if any)
+  /// completes, so no round ever scores with a mix of old and new models.
+  void swap_detector(const core::detector& det);
+
   serve_stats stats() const;
   std::size_t rung() const;
   std::size_t queue_depth() const { return queue_.depth(); }
   breaker_state breaker() const { return breaker_.state(); }
   const serve_config& config() const noexcept { return cfg_; }
+  const core::detector& detector_ref() const noexcept { return *det_; }
   const std::vector<ladder_rung>& ladder() const noexcept { return ladder_; }
 
  private:
@@ -337,7 +352,7 @@ class detection_service {
   response serve_one(const planned& p, const hpc::measurement* m,
                      bool backend_failed);
 
-  const core::detector& det_;
+  const core::detector* det_;  ///< swappable via swap_detector, never null
   hpc::hpc_monitor& monitor_;
   const clock_face& clock_;
   virtual_clock* vclock_;  ///< non-null in simulation mode

@@ -190,6 +190,15 @@ bool query_tracker::record_trace(std::uint64_t client,
   return corroborated;
 }
 
+void query_tracker::force_ban(std::uint64_t client) {
+  table_.with(client, [&](client_entry& e) {
+    e.level = escalation::banned;
+    e.history.clear();
+    e.history.shrink_to_fit();
+    e.last_sketch = hpc::trace_sketch{};
+  });
+}
+
 track_stats query_tracker::stats() const {
   track_stats out;
   {

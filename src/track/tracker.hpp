@@ -117,6 +117,27 @@ class query_tracker {
   /// Returns true when the sketch corroborated a campaign.
   bool record_trace(std::uint64_t client, const hpc::trace_sketch& s);
 
+  /// Fingerprint-range handoff (fleet rebalance): extracts up to
+  /// `max_clients` tracked clients matching `pred` — snapshot plus
+  /// removal, so in-flight handoff state lives in exactly one place: the
+  /// batch. Deterministic order; see fingerprint_table::extract_if.
+  std::vector<client_record> export_clients(
+      std::size_t max_clients, const std::function<bool(std::uint64_t)>& pred) {
+    return table_.extract_if(max_clients, pred);
+  }
+
+  /// Merges handed-off records into this tracker's table (monotone
+  /// escalation, max credit, add counters — see fingerprint_table::restore).
+  void import_clients(const std::vector<client_record>& recs) {
+    for (const client_record& r : recs) table_.restore(r);
+  }
+
+  /// Restores a durably recorded ban (fleet ban-ledger replay after a
+  /// crash or ownership change). Idempotent and monotone: an existing
+  /// entry is raised to banned, its history dropped; the ban counter does
+  /// not move — the decision was counted where it was first made.
+  void force_ban(std::uint64_t client);
+
   escalation level(std::uint64_t client) const { return table_.level(client); }
   std::size_t bytes_used() const { return table_.bytes_used(); }
   track_stats stats() const;

@@ -1,0 +1,956 @@
+// Fleet-layer tests: strict env knobs and the split-brain safety
+// validation, ownership math and the controller's failure detector, the
+// deterministic simulated network (at-send delivery fate, reliable
+// retransmission schedules), checkpoint fencing (epoch regression,
+// foreign shards, truncation — satellite: cross-version load is a typed
+// error, never a partial apply), durable ban ledgers, fingerprint-range
+// handoff, and whole-fleet discrete-event scenarios: quiet serving,
+// crash failover with ban survival, stall fencing, recalibration
+// rollout/rollback, and bitwise thread invariance under chaos.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <numeric>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/fs.hpp"
+#include "core/detector_io.hpp"
+#include "fleet/checkpoint.hpp"
+#include "fleet/config.hpp"
+#include "fleet/events.hpp"
+#include "fleet/fault_plan.hpp"
+#include "fleet/membership.hpp"
+#include "fleet/net.hpp"
+#include "fleet/sim.hpp"
+#include "hpc/sim_backend.hpp"
+#include "nn/models/models.hpp"
+#include "serve/clock.hpp"
+#include "track/tracker.hpp"
+
+namespace advh::fleet {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ------------------------------------------------------------- fixtures --
+
+/// Sets an environment variable for one scope, always restoring on exit.
+struct env_guard {
+  const char* name;
+  env_guard(const char* n, const char* v) : name(n) { ::setenv(n, v, 1); }
+  ~env_guard() { ::unsetenv(name); }
+};
+
+/// Fresh per-test scratch directory under the gtest temp root.
+std::string test_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "advh_fleet_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::unique_ptr<nn::model> make_test_model() {
+  return nn::make_model(nn::architecture::case_study_cnn, shape{1, 16, 16}, 4,
+                        1);
+}
+
+/// Deterministic benign input at the given intensity scale.
+tensor test_input(double scale = 1.0) {
+  tensor x(shape{1, 1, 16, 16});
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    x.data()[i] =
+        static_cast<float>(scale * (0.1 + 0.01 * static_cast<double>(i % 7)));
+  }
+  return x;
+}
+
+/// Attack-probe content: values at quantization-bin centres so `perturb`
+/// below step/2 quantizes away and every probe fingerprint-collides
+/// (mirrors the track test fixture).
+tensor probe_input(std::uint64_t variant, double perturb = 0.0) {
+  tensor x(shape{1, 1, 16, 16});
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    std::uint64_t h = (i + 1) * 0x9e3779b97f4a7c15ULL +
+                      (variant + 1) * 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 31;
+    h *= 0x94d049bb133111ebULL;
+    h ^= h >> 29;
+    const auto bin = static_cast<double>(h % 23);
+    x.data()[i] = static_cast<float>(0.05 + 0.1 * bin +
+                                     perturb * ((i % 2 == 0) ? 1.0 : -1.0));
+  }
+  return x;
+}
+
+core::detector_config test_detector_config() {
+  core::detector_config cfg;
+  const auto events = hpc::core_events();
+  cfg.events = {events[0], events[1]};
+  cfg.repeats = 4;
+  return cfg;
+}
+
+/// Small, fast fleet geometry satisfying lease + max_delay <
+/// failure_timeout, with track thresholds low enough to ban within a
+/// handful of colliding probes.
+fleet_config small_cfg() {
+  fleet_config cfg;
+  cfg.replicas = 3;
+  cfg.class_shards = 2;
+  cfg.ring_ranges = 8;
+  cfg.hb_interval = 1;
+  cfg.failure_timeout = 8;
+  cfg.lease = 5;
+  cfg.request_timeout = 6;
+  cfg.checkpoint_interval = 10;
+  cfg.canary_interval = 4;
+  cfg.handoff_batch = 4;
+  cfg.min_delay = 0;
+  cfg.max_delay = 1;
+  cfg.retransmit = 2;
+  cfg.track.fp.window = 8;
+  cfg.track.fp.top_k = 32;
+  cfg.track.elevate_hits = 2.0;
+  cfg.track.ban_hits = 4.0;
+  return cfg;
+}
+
+/// Deterministic baseline step drift keyed on the measurement-call count:
+/// readings multiply by `magnitude` from the `onset_calls`-th call on.
+/// Call order is the replicas' sequential canary loop, so the step is
+/// reproducible without depending on backend stream-unit accounting.
+class step_drift_monitor final : public hpc::hpc_monitor {
+ public:
+  step_drift_monitor(std::unique_ptr<hpc::hpc_monitor> inner,
+                     std::size_t onset_calls, double magnitude)
+      : inner_(std::move(inner)), onset_(onset_calls), magnitude_(magnitude) {}
+
+  std::string backend_name() const override { return "test-step-drift"; }
+
+ protected:
+  hpc::measurement do_measure(const tensor& x,
+                              std::span<const hpc::hpc_event> events,
+                              std::size_t repeats) override {
+    hpc::measurement m = inner_->measure(x, events, repeats);
+    if (calls_++ >= onset_) {
+      for (double& c : m.mean_counts) c *= magnitude_;
+    }
+    return m;
+  }
+
+ private:
+  std::unique_ptr<hpc::hpc_monitor> inner_;
+  std::size_t onset_;
+  double magnitude_;
+  std::size_t calls_ = 0;
+};
+
+/// Everything one fleet scenario needs: a genesis detector fitted through
+/// the same simulated backend the replicas will measure through, plus a
+/// labelled canary pool drawn from the fit distribution.
+struct fleet_rig {
+  std::unique_ptr<nn::model> model;
+  std::vector<std::pair<std::size_t, tensor>> canaries;
+  core::detector det;
+  std::string dir;
+  fleet_config cfg;
+
+  explicit fleet_rig(const std::string& name, fleet_config c = small_cfg())
+      : model(make_test_model()),
+        det(fit_genesis(*model, canaries)),
+        dir(test_dir(name)),
+        cfg(c) {}
+
+  static core::detector fit_genesis(
+      nn::model& model, std::vector<std::pair<std::size_t, tensor>>& canaries) {
+    const auto dcfg = test_detector_config();
+    hpc::sim_backend fit_monitor(model);
+    core::benign_template tpl(4, dcfg.events.size());
+    for (std::size_t i = 0; i < 32; ++i) {
+      const tensor x = test_input(0.4 + 0.05 * static_cast<double>(i % 12));
+      const auto m = fit_monitor.measure(x, dcfg.events, dcfg.repeats);
+      tpl.add_row(m.predicted, m.mean_counts);
+      if (i < 12) canaries.emplace_back(m.predicted, x);
+    }
+    return core::detector::fit(tpl, dcfg, 1);
+  }
+
+  /// Fleet deps over fresh per-boot sim backends; `drift_magnitude` > 0
+  /// wraps each in a step drift that engages after `drift_onset_calls`
+  /// measurements. The onset must land AFTER the drift cells' burn-in:
+  /// a shift present from the very first probe is absorbed by burn-in as
+  /// stationary canary-set bias (by design) and never alarms.
+  fleet_deps deps(double drift_magnitude = 0.0,
+                  std::size_t drift_onset_calls = 0) {
+    fleet_deps d;
+    d.base = &det;
+    d.dir = dir;
+    d.canary_pool = &canaries;
+    nn::model* m = model.get();
+    d.make_monitor = [m, drift_magnitude, drift_onset_calls](
+                         std::size_t) -> std::unique_ptr<hpc::hpc_monitor> {
+      auto inner = std::make_unique<hpc::sim_backend>(*m);
+      if (drift_magnitude <= 0.0) return inner;
+      return std::make_unique<step_drift_monitor>(
+          std::move(inner), drift_onset_calls, drift_magnitude);
+    };
+    return d;
+  }
+
+  /// Distinct predicted classes in the canary pool — one measure call per
+  /// class per canary step, which converts steps to monitor calls.
+  std::size_t canary_classes() const {
+    std::vector<std::size_t> cls;
+    for (const auto& [c, x] : canaries) cls.push_back(c);
+    std::sort(cls.begin(), cls.end());
+    cls.erase(std::unique(cls.begin(), cls.end()), cls.end());
+    return cls.size();
+  }
+};
+
+membership_view genesis_view() { return membership_view{1, {2, 3, 4}}; }
+
+/// Smallest client id whose fingerprint range is owned by `node` under
+/// the genesis view.
+std::uint64_t client_owned_by(std::uint32_t node, const fleet_config& cfg) {
+  const membership_view v = genesis_view();
+  for (std::uint64_t c = 1;; ++c) {
+    if (range_owner(v, range_of_client(c, cfg)) == node) return c;
+  }
+}
+
+std::vector<arrival> benign_arrivals(std::size_t n, std::uint64_t start_tick,
+                                     std::uint64_t base_client) {
+  std::vector<arrival> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back({start_tick + i, base_client + i,
+                   test_input(0.4 + 0.05 * static_cast<double>(i % 12))});
+  }
+  return out;
+}
+
+/// One colliding probe per tick from a single client — a near-duplicate
+/// query campaign.
+std::vector<arrival> probe_campaign(std::uint64_t client,
+                                    std::uint64_t start_tick, std::size_t n) {
+  std::vector<arrival> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(
+        {start_tick + i, client, probe_input(7, 0.01 * double(i % 2))});
+  }
+  return out;
+}
+
+std::uint64_t resolved_total(const fleet_stats& s) {
+  return std::accumulate(s.by_outcome.begin(), s.by_outcome.end(),
+                         std::uint64_t{0});
+}
+
+std::uint64_t served_total(const fleet_stats& s) {
+  return s.outcome(req_outcome::served_clean) +
+         s.outcome(req_outcome::served_flagged);
+}
+
+// --------------------------------------------------------------- config --
+
+TEST(FleetConfig, EnvOverridesApply) {
+  {
+    env_guard r("ADVH_FLEET_REPLICAS", "5");
+    env_guard l("ADVH_FLEET_LOSS_RATE", "0.25");
+    const fleet_config cfg = fleet_config_from_env();
+    EXPECT_EQ(cfg.replicas, 5u);
+    EXPECT_DOUBLE_EQ(cfg.loss_rate, 0.25);
+  }
+  // Unset knobs leave the base untouched.
+  fleet_config base = small_cfg();
+  base.replicas = 7;
+  const fleet_config cfg = fleet_config_from_env(base);
+  EXPECT_EQ(cfg.replicas, 7u);
+  EXPECT_DOUBLE_EQ(cfg.loss_rate, 0.0);
+}
+
+TEST(FleetConfig, MalformedReplicasKnobThrows) {
+  for (const char* bad : {"0", "65", "-3", "abc", "3.5", "", "4x", "1e300"}) {
+    env_guard g("ADVH_FLEET_REPLICAS", bad);
+    EXPECT_THROW(fleet_config_from_env(), std::invalid_argument)
+        << "ADVH_FLEET_REPLICAS=\"" << bad << "\" must fail loudly";
+  }
+}
+
+TEST(FleetConfig, MalformedLossRateKnobThrows) {
+  for (const char* bad : {"0.96", "1.5", "-0.1", "nan", "lossy", ""}) {
+    env_guard g("ADVH_FLEET_LOSS_RATE", bad);
+    EXPECT_THROW(fleet_config_from_env(), std::invalid_argument)
+        << "ADVH_FLEET_LOSS_RATE=\"" << bad << "\" must fail loudly";
+  }
+  env_guard g("ADVH_FLEET_LOSS_RATE", "0");
+  EXPECT_DOUBLE_EQ(fleet_config_from_env().loss_rate, 0.0);
+}
+
+TEST(FleetConfig, ValidateRejectsSplitBrainHazard) {
+  fleet_config cfg = small_cfg();
+  EXPECT_NO_THROW(validate(cfg));
+  // lease + max_delay == failure_timeout is already unsafe: the beacon in
+  // flight when the lease expires could land exactly as ranges move.
+  cfg.lease = cfg.failure_timeout - cfg.max_delay;
+  EXPECT_THROW(validate(cfg), std::invalid_argument);
+}
+
+TEST(FleetConfig, ValidateRejectsInconsistentGeometry) {
+  {
+    fleet_config cfg = small_cfg();
+    cfg.request_timeout = cfg.max_delay;  // router abstains before arrival
+    EXPECT_THROW(validate(cfg), std::invalid_argument);
+  }
+  {
+    fleet_config cfg = small_cfg();
+    cfg.replicas = 0;
+    EXPECT_THROW(validate(cfg), std::invalid_argument);
+  }
+  {
+    fleet_config cfg = small_cfg();
+    cfg.min_delay = 3;  // > max_delay
+    EXPECT_THROW(validate(cfg), std::invalid_argument);
+  }
+  {
+    fleet_config cfg = small_cfg();
+    cfg.loss_rate = 0.99;
+    EXPECT_THROW(validate(cfg), std::invalid_argument);
+  }
+}
+
+// ----------------------------------------------------------- membership --
+
+TEST(Membership, OwnershipIsTotalAndDeterministic) {
+  const fleet_config cfg = small_cfg();
+  const membership_view v = genesis_view();
+  for (std::uint32_t r = 0; r < cfg.ring_ranges; ++r) {
+    const auto owner = range_owner(v, r);
+    ASSERT_TRUE(owner.has_value());
+    EXPECT_TRUE(std::find(v.live.begin(), v.live.end(), *owner) !=
+                v.live.end());
+    EXPECT_EQ(range_owner(v, r), owner);  // pure function of the view
+  }
+  for (std::uint64_t s = 0; s < cfg.class_shards; ++s) {
+    const auto owner = shard_owner(v, s);
+    ASSERT_TRUE(owner.has_value());
+    EXPECT_TRUE(std::find(v.live.begin(), v.live.end(), *owner) !=
+                v.live.end());
+  }
+  // Clients map into the configured range space.
+  for (std::uint64_t c = 1; c <= 200; ++c) {
+    EXPECT_LT(range_of_client(c, cfg), cfg.ring_ranges);
+  }
+}
+
+TEST(Membership, EmptyViewOwnsNothing) {
+  const membership_view dead{3, {}};
+  EXPECT_FALSE(range_owner(dead, 0).has_value());
+  EXPECT_FALSE(shard_owner(dead, 0).has_value());
+}
+
+TEST(Membership, RangesOwnedPartitionTheRing) {
+  const fleet_config cfg = small_cfg();
+  const membership_view v = genesis_view();
+  std::vector<std::uint32_t> all;
+  for (const std::uint32_t node : v.live) {
+    const auto owned = ranges_owned(v, node, cfg.ring_ranges);
+    for (const std::uint32_t r : owned) {
+      EXPECT_EQ(range_owner(v, r), node);
+      all.push_back(r);
+    }
+  }
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), cfg.ring_ranges);
+  for (std::uint32_t r = 0; r < cfg.ring_ranges; ++r) EXPECT_EQ(all[r], r);
+}
+
+TEST(Membership, ControllerDeclaresDeadThenReadmits) {
+  const fleet_config cfg = small_cfg();
+  controller ctl(cfg);
+  EXPECT_EQ(ctl.view().epoch, 1u);
+  EXPECT_EQ(ctl.view().live, genesis_view().live);
+
+  // Nodes 2 and 3 heartbeat every tick; node 4 goes silent from tick 0.
+  std::optional<membership_view> changed;
+  std::uint64_t death_tick = 0;
+  for (std::uint64_t t = 1; t <= 2 * cfg.failure_timeout; ++t) {
+    ctl.on_heartbeat(2, t);
+    ctl.on_heartbeat(3, t);
+    if (const auto v = ctl.step(t); v && !changed) {
+      changed = v;
+      death_tick = t;
+    }
+  }
+  ASSERT_TRUE(changed.has_value());
+  EXPECT_EQ(changed->epoch, 2u);
+  EXPECT_EQ(changed->live, (std::vector<std::uint32_t>{2, 3}));
+  EXPECT_GE(death_tick, cfg.failure_timeout);
+
+  // A fresh heartbeat readmits the node under a new epoch.
+  const std::uint64_t t = 2 * cfg.failure_timeout + 1;
+  ctl.on_heartbeat(4, t);
+  const auto back = ctl.step(t);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->epoch, 3u);
+  EXPECT_EQ(back->live, genesis_view().live);
+}
+
+// ------------------------------------------------------------------ net --
+
+std::vector<message> drain_scripted(sim_net& net, const fleet_config& cfg) {
+  for (std::uint64_t t = 0; t < 40; ++t) {
+    message req;
+    req.kind = msg_kind::request;
+    req.src = kRouterNode;
+    req.dst = replica_node(t % cfg.replicas);
+    req.req_id = t + 1;
+    net.send(req, t);
+    if (t % 3 == 0) {
+      message beacon;
+      beacon.kind = msg_kind::view_beacon;
+      beacon.src = kControllerNode;
+      beacon.dst = replica_node(t % cfg.replicas);
+      beacon.req_id = 1000 + t;
+      net.send_reliable(beacon, t);
+    }
+  }
+  return net.deliver_until(1000);
+}
+
+TEST(SimNet, DeliveryFateIsDeterministic) {
+  fleet_config cfg = small_cfg();
+  cfg.loss_rate = 0.3;
+  cfg.max_delay = 2;
+  sim_net a(cfg), b(cfg);
+  const auto da = drain_scripted(a, cfg);
+  const auto db = drain_scripted(b, cfg);
+  ASSERT_EQ(da.size(), db.size());
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    EXPECT_EQ(da[i].kind, db[i].kind);
+    EXPECT_EQ(da[i].dst, db[i].dst);
+    EXPECT_EQ(da[i].req_id, db[i].req_id);
+  }
+  EXPECT_EQ(a.stats().sent, b.stats().sent);
+  EXPECT_EQ(a.stats().lost, b.stats().lost);
+  EXPECT_EQ(a.stats().retransmissions, b.stats().retransmissions);
+  EXPECT_GT(a.stats().lost, 0u);  // 30% loss over 40 best-effort sends
+}
+
+TEST(SimNet, ReliableMessagesSurviveHeavyLoss) {
+  fleet_config cfg = small_cfg();
+  cfg.loss_rate = 0.9;
+  sim_net net(cfg);
+  constexpr std::size_t kMsgs = 50;
+  for (std::size_t i = 0; i < kMsgs; ++i) {
+    message m;
+    m.kind = msg_kind::ban_announce;
+    m.src = replica_node(0);
+    m.dst = replica_node(1);
+    m.req_id = i;
+    net.send_reliable(m, 0);
+  }
+  // 64 attempts * retransmit period + max delay bounds the schedule.
+  const auto delivered = net.deliver_until(64 * cfg.retransmit + cfg.max_delay);
+  EXPECT_EQ(delivered.size(), kMsgs);
+  EXPECT_GT(net.stats().retransmissions, 0u);
+  EXPECT_EQ(net.stats().lost, 0u);  // loss only counts abandoned messages
+}
+
+TEST(SimNet, DeliveryOrderIsTotal) {
+  fleet_config cfg = small_cfg();
+  cfg.min_delay = 0;
+  cfg.max_delay = 2;
+  sim_net net(cfg);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    message m;
+    m.kind = msg_kind::response;
+    m.req_id = i;
+    net.send(m, 0);
+  }
+  const auto out = net.deliver_until(100);
+  // Same deliver tick resolves by send sequence: req_ids with equal delay
+  // stay in send order, and delivery ticks never decrease.
+  ASSERT_EQ(out.size() + net.stats().lost, 20u);
+}
+
+// ----------------------------------------------------------- checkpoint --
+// Satellite: cross-version / cross-shard checkpoint loads are typed
+// errors, never a partial apply.
+
+struct checkpoint_rig {
+  fleet_rig rig;
+  core::checkpoint_meta meta;
+
+  explicit checkpoint_rig(const std::string& name) : rig(name) {
+    meta.epoch = 3;
+    meta.shard_index = 0;
+    meta.shard_count = rig.cfg.class_shards;
+    meta.content_version = 2;
+  }
+};
+
+TEST(Checkpoint, ShardRoundtripPreservesShardModelsOnly) {
+  checkpoint_rig r("ckpt_roundtrip");
+  const std::string path =
+      save_shard_checkpoint(r.rig.det, r.rig.cfg, r.rig.dir, 0, r.meta);
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_TRUE(fs::exists(shard_latest_path(r.rig.dir, 0)));
+
+  const core::checkpoint cp =
+      load_shard_checkpoint(path, 0, r.rig.cfg, 3, 1);
+  ASSERT_TRUE(cp.meta.has_value());
+  EXPECT_EQ(cp.meta->epoch, 3u);
+  EXPECT_EQ(cp.meta->content_version, 2u);
+  ASSERT_EQ(cp.det.num_classes(), r.rig.det.num_classes());
+  for (std::size_t c = 0; c < cp.det.num_classes(); ++c) {
+    for (std::size_t e = 0; e < 2; ++e) {
+      const auto& orig = r.rig.det.model_for(c, e);
+      const auto& got = cp.det.model_for(c, e);
+      if (shard_of_class(c, r.rig.cfg) != 0) {
+        EXPECT_FALSE(got.has_value());  // foreign classes restricted away
+      } else {
+        ASSERT_EQ(got.has_value(), orig.has_value());
+        if (got) {
+          EXPECT_DOUBLE_EQ(got->threshold, orig->threshold);
+          EXPECT_DOUBLE_EQ(got->nll_mean, orig->nll_mean);
+        }
+      }
+    }
+  }
+}
+
+TEST(Checkpoint, StageDoesNotFlipLatestAlias) {
+  checkpoint_rig r("ckpt_stage");
+  save_shard_checkpoint(r.rig.det, r.rig.cfg, r.rig.dir, 0, r.meta);
+  core::checkpoint_meta staged = r.meta;
+  staged.content_version = 3;
+  stage_shard_checkpoint(r.rig.det, r.rig.cfg, r.rig.dir, 0, staged);
+  // The alias still names the promoted v2 — a staged (possibly poisoned)
+  // recalibration can never become what a recovering replica loads.
+  const auto cp =
+      load_shard_checkpoint(shard_latest_path(r.rig.dir, 0), 0, r.rig.cfg, 0, 0);
+  ASSERT_TRUE(cp.meta.has_value());
+  EXPECT_EQ(cp.meta->content_version, 2u);
+}
+
+TEST(Checkpoint, LoadFencesEpochRegression) {
+  checkpoint_rig r("ckpt_epoch");
+  const auto path =
+      save_shard_checkpoint(r.rig.det, r.rig.cfg, r.rig.dir, 0, r.meta);
+  try {
+    load_shard_checkpoint(path, 0, r.rig.cfg, /*min_epoch=*/4, 0);
+    FAIL() << "epoch-regressed checkpoint must fence";
+  } catch (const io_error& e) {
+    EXPECT_NE(std::string(e.what()).find("epoch regression"),
+              std::string::npos);
+  }
+}
+
+TEST(Checkpoint, LoadFencesNonAdvancingVersion) {
+  checkpoint_rig r("ckpt_version");
+  const auto path =
+      save_shard_checkpoint(r.rig.det, r.rig.cfg, r.rig.dir, 0, r.meta);
+  try {
+    load_shard_checkpoint(path, 0, r.rig.cfg, 0, /*min_version_exclusive=*/2);
+    FAIL() << "stale content version must fence";
+  } catch (const io_error& e) {
+    EXPECT_NE(std::string(e.what()).find("did not advance"),
+              std::string::npos);
+  }
+}
+
+TEST(Checkpoint, LoadFencesForeignShard) {
+  checkpoint_rig r("ckpt_shard");
+  const auto path =
+      save_shard_checkpoint(r.rig.det, r.rig.cfg, r.rig.dir, 0, r.meta);
+  EXPECT_THROW(load_shard_checkpoint(path, 1, r.rig.cfg, 0, 0), io_error);
+}
+
+TEST(Checkpoint, LoadFencesForeignShardGeometry) {
+  checkpoint_rig r("ckpt_geometry");
+  const auto path =
+      save_shard_checkpoint(r.rig.det, r.rig.cfg, r.rig.dir, 0, r.meta);
+  fleet_config other = r.rig.cfg;
+  other.class_shards = 3;
+  try {
+    load_shard_checkpoint(path, 0, other, 0, 0);
+    FAIL() << "foreign shard geometry must fence";
+  } catch (const io_error& e) {
+    EXPECT_NE(std::string(e.what()).find("foreign shard geometry"),
+              std::string::npos);
+  }
+}
+
+TEST(Checkpoint, LoadFencesLegacyFileWithoutFleetSection) {
+  checkpoint_rig r("ckpt_legacy");
+  // A plain detector save (ADET v4, byte-identical to earlier revisions)
+  // carries no fleet section — a fleet must never trust it as a shard.
+  const std::string path = r.rig.dir + "/legacy.adet";
+  core::save_detector(r.rig.det, path);
+  try {
+    load_shard_checkpoint(path, 0, r.rig.cfg, 0, 0);
+    FAIL() << "legacy checkpoint must fence";
+  } catch (const io_error& e) {
+    EXPECT_NE(std::string(e.what()).find("no fleet section"),
+              std::string::npos);
+  }
+}
+
+TEST(Checkpoint, TruncatedFileIsTypedErrorNeverPartial) {
+  checkpoint_rig r("ckpt_trunc");
+  const auto path =
+      save_shard_checkpoint(r.rig.det, r.rig.cfg, r.rig.dir, 0, r.meta);
+  std::string bytes;
+  {
+    std::ifstream is(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(is),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 32u);
+  // Cut the file at several depths, including inside the trailing fleet
+  // section; every cut must surface as a typed io_error, never a
+  // checkpoint with silently missing pieces.
+  for (const std::size_t keep :
+       {bytes.size() / 4, bytes.size() / 2, bytes.size() - 5}) {
+    const std::string cut = r.rig.dir + "/cut.adet";
+    atomic_write_file(cut, std::string_view(bytes).substr(0, keep));
+    EXPECT_THROW(load_shard_checkpoint(cut, 0, r.rig.cfg, 0, 0), io_error)
+        << "truncation at " << keep << " of " << bytes.size();
+  }
+}
+
+TEST(Checkpoint, BanLedgerRoundtrip) {
+  const std::string dir = test_dir("ban_ledger");
+  const std::string path = ban_ledger_path(dir, replica_node(0));
+  EXPECT_TRUE(read_ban_ledger(path).empty());  // missing = no bans recorded
+
+  const std::vector<std::uint64_t> bans{5, 7, 900000001};
+  write_ban_ledger(path, bans);
+  EXPECT_EQ(read_ban_ledger(path), bans);
+
+  // Rewrites are atomic whole-file replacements.
+  write_ban_ledger(path, {42});
+  EXPECT_EQ(read_ban_ledger(path), std::vector<std::uint64_t>{42});
+}
+
+TEST(Checkpoint, CorruptBanLedgerIsTypedError) {
+  const std::string dir = test_dir("ban_corrupt");
+  const std::string path = ban_ledger_path(dir, replica_node(0));
+  atomic_write_file(path, "not a ledger at all");
+  EXPECT_THROW(read_ban_ledger(path), io_error);
+
+  write_ban_ledger(path, {1, 2, 3});
+  std::string bytes;
+  {
+    std::ifstream is(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(is),
+                 std::istreambuf_iterator<char>());
+  }
+  atomic_write_file(path, std::string_view(bytes).substr(0, bytes.size() - 4));
+  EXPECT_THROW(read_ban_ledger(path), io_error);  // truncated id list
+}
+
+// Satellite: atomic_write_file creates and makes durable any missing
+// ancestor directories, and surfaces failures as typed errors.
+TEST(Checkpoint, AtomicWriteCreatesAncestorsAndSurfacesErrors) {
+  const std::string dir = test_dir("fs_durability");
+  const std::string nested = dir + "/a/b/c/ledger.bin";
+  atomic_write_file(nested, "payload");
+  std::ifstream is(nested, std::ios::binary);
+  const std::string got{std::istreambuf_iterator<char>(is),
+                        std::istreambuf_iterator<char>()};
+  EXPECT_EQ(got, "payload");
+
+  // A file in the ancestor chain cannot become a directory.
+  EXPECT_THROW(atomic_write_file(nested + "/impossible.bin", "x"), io_error);
+}
+
+// -------------------------------------------------------------- handoff --
+
+TEST(TrackHandoff, ExportImportPreservesEscalation) {
+  serve::virtual_clock clock;
+  fleet_config cfg = small_cfg();
+  track::query_tracker a(clock, cfg.track);
+  track::query_tracker b(clock, cfg.track);
+
+  // Elevate (not ban) a client on A with colliding probes.
+  const std::uint64_t client = 77;
+  for (int i = 0; i < 3; ++i) {
+    a.observe(client, probe_input(3, 0.01 * (i % 2)));
+  }
+  ASSERT_EQ(a.level(client), track::escalation::elevated);
+
+  const std::uint32_t r = range_of_client(client, cfg);
+  auto batch = a.export_clients(
+      16, [&](std::uint64_t c) { return range_of_client(c, cfg) == r; });
+  ASSERT_FALSE(batch.empty());
+  // Snapshot-plus-removal: the state now lives only in the batch.
+  EXPECT_EQ(a.level(client), track::escalation::none);
+
+  b.import_clients(batch);
+  EXPECT_EQ(b.level(client), track::escalation::elevated);
+  // History travelled too: the next colliding probe keeps escalating
+  // where the old owner left off, and eventually bans.
+  for (int i = 0; i < 4; ++i) {
+    b.observe(client, probe_input(3, 0.01 * (i % 2)));
+  }
+  EXPECT_EQ(b.level(client), track::escalation::banned);
+}
+
+// ------------------------------------------------------------ fleet sim --
+
+TEST(FleetSim, QuietFleetServesEverything) {
+  fleet_rig rig("quiet");
+  fleet_sim sim(rig.cfg, rig.deps(), fault_plan{});
+  sim.run(benign_arrivals(30, 1, 100), 60);
+
+  const fleet_stats s = sim.stats();
+  EXPECT_EQ(s.submitted, 30u);
+  EXPECT_EQ(resolved_total(s), 30u);  // every request resolves exactly once
+  EXPECT_EQ(served_total(s), 30u);
+  EXPECT_EQ(s.split_brain_serves, 0u);
+  EXPECT_EQ(s.view_changes, 0u);
+  EXPECT_EQ(s.crashes, 0u);
+  EXPECT_EQ(sim.route().pending(), 0u);
+  // Periodic checkpoint publication ran and shard files exist on disk.
+  EXPECT_GT(s.checkpoints_published, 0u);
+  for (std::uint64_t sh = 0; sh < rig.cfg.class_shards; ++sh) {
+    EXPECT_TRUE(fs::exists(shard_latest_path(rig.dir, sh)));
+  }
+}
+
+TEST(FleetSim, CrashFailoverKeepsServingWithZeroSplitBrain) {
+  fleet_rig rig("failover");
+  fault_plan plan({{10, fault_kind::crash, 1}, {50, fault_kind::recover, 1}});
+  fleet_sim sim(rig.cfg, rig.deps(), plan);
+  sim.run(benign_arrivals(80, 1, 500), 120);
+
+  const fleet_stats s = sim.stats();
+  EXPECT_EQ(s.submitted, 80u);
+  EXPECT_EQ(resolved_total(s), 80u);
+  EXPECT_EQ(s.crashes, 1u);
+  EXPECT_EQ(s.recoveries, 1u);
+  // Down at tick 10 (epoch 2 once detected), readmitted after tick 50.
+  EXPECT_GE(s.view_changes, 2u);
+  EXPECT_EQ(s.split_brain_serves, 0u);
+  // Only requests routed into the detection window can abstain; the
+  // fleet keeps serving through the failure.
+  EXPECT_GE(served_total(s), 55u);
+  EXPECT_EQ(sim.route().pending(), 0u);
+  EXPECT_TRUE(sim.worker(1).up());
+  // The recovered replica rejoined the authoritative view.
+  const auto& live = sim.authoritative_view().live;
+  EXPECT_TRUE(std::find(live.begin(), live.end(), replica_node(1)) !=
+              live.end());
+}
+
+TEST(FleetSim, BanSurvivesOwnerCrashAndRecovery) {
+  fleet_rig rig("ban_survival");
+  // An attacker whose fingerprint range is owned by replica 1 — the
+  // replica we will crash after the ban lands.
+  const std::uint64_t attacker = client_owned_by(replica_node(1), rig.cfg);
+  fault_plan plan({{30, fault_kind::crash, 1}, {50, fault_kind::recover, 1}});
+  fleet_sim sim(rig.cfg, rig.deps(), plan);
+  sim.run(probe_campaign(attacker, 1, 90), 130);
+
+  const fleet_stats s = sim.stats();
+  EXPECT_EQ(s.submitted, 90u);
+  EXPECT_EQ(resolved_total(s), 90u);
+  EXPECT_EQ(s.split_brain_serves, 0u);
+  EXPECT_EQ(s.bans_decided, 1u);
+  EXPECT_TRUE(sim.route().banned(attacker));
+  // The colliding campaign banned quickly; the long tail was rejected.
+  EXPECT_GE(s.outcome(req_outcome::rejected_banned), 50u);
+
+  // Zero lost ban decisions: once the ban is journalled, the attacker is
+  // never served again — through the owner's crash and recovery.
+  const std::string& journal = sim.log().text();
+  const std::string ban_line = "ban client=" + std::to_string(attacker);
+  const auto ban_at = journal.find(ban_line);
+  ASSERT_NE(ban_at, std::string::npos);
+  EXPECT_EQ(journal.find(ban_line, ban_at + 1), std::string::npos);
+  const std::string served_attacker =
+      "client=" + std::to_string(attacker) + " outcome=served";
+  EXPECT_EQ(journal.find(served_attacker, ban_at), std::string::npos);
+
+  // The recovered owner replayed the durable ledger: it knows the ban
+  // even though its tracker state died with the crash.
+  ASSERT_TRUE(sim.worker(1).up());
+  EXPECT_EQ(sim.worker(1).tracker()->level(attacker),
+            track::escalation::banned);
+  EXPECT_FALSE(
+      read_ban_ledger(ban_ledger_path(rig.dir, replica_node(1))).empty());
+}
+
+TEST(FleetSim, StalledReplicaIsFencedNotSplitBrained) {
+  fleet_rig rig("stall");
+  fault_plan plan({{10, fault_kind::stall, 1}, {40, fault_kind::unstall, 1}});
+  fleet_sim sim(rig.cfg, rig.deps(), plan);
+  sim.run(benign_arrivals(60, 1, 900), 100);
+
+  const fleet_stats s = sim.stats();
+  EXPECT_EQ(s.submitted, 60u);
+  EXPECT_EQ(resolved_total(s), 60u);
+  EXPECT_EQ(s.stalls, 1u);
+  // The stalled replica was declared dead and later readmitted.
+  EXPECT_GE(s.view_changes, 2u);
+  // The acceptance property: a stalled replica resuming with a stale
+  // view and expired lease abstains; it never serves a stale verdict.
+  EXPECT_EQ(s.split_brain_serves, 0u);
+  EXPECT_GT(served_total(s), 0u);
+  EXPECT_EQ(sim.route().pending(), 0u);
+}
+
+TEST(FleetSim, MembershipChangeHandsOffTrackedClients) {
+  fleet_rig rig("handoff");
+  // Track a client on its genesis owner, then crash a *different*
+  // replica: the ring reshuffles and the tracked client's range can move
+  // between the two survivors, carrying its history along.
+  std::vector<arrival> arrivals;
+  // Elevate several clients spread across the ring so at least one lives
+  // in a range that changes owner between survivors.
+  for (std::uint64_t c = 1; c <= 24; ++c) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      arrivals.push_back({1 + 3 * (c - 1) + i, c, probe_input(c, 0.0)});
+    }
+  }
+  fault_plan plan({{80, fault_kind::crash, 2}});
+  fleet_sim sim(rig.cfg, rig.deps(), plan);
+  sim.run(std::move(arrivals), 140);
+
+  const fleet_stats s = sim.stats();
+  EXPECT_EQ(s.crashes, 1u);
+  EXPECT_GE(s.view_changes, 1u);
+  EXPECT_EQ(s.split_brain_serves, 0u);
+  EXPECT_GT(s.handoff_clients, 0u);
+}
+
+TEST(FleetSim, ChaosRunIsBitwiseThreadInvariant) {
+  // The acceptance gate in miniature: the same chaotic campaign — crash
+  // + stall faults, 5% message loss, colliding attack probes — replayed
+  // at 1 and 4 measurement threads must produce byte-identical journals.
+  fleet_config cfg = small_cfg();
+  cfg.loss_rate = 0.05;
+  const fault_plan plan = fault_plan::chaos(cfg, 120, 0.02, 42);
+
+  auto arrivals = [] {
+    auto a = benign_arrivals(70, 1, 2000);
+    const auto probes = probe_campaign(31, 5, 30);
+    a.insert(a.end(), probes.begin(), probes.end());
+    return a;
+  };
+
+  fleet_rig rig1("chaos_t1", cfg);
+  rig1.cfg.serve.threads = 1;
+  fleet_sim sim1(rig1.cfg, rig1.deps(), plan);
+  sim1.run(arrivals(), 120);
+
+  fleet_rig rig4("chaos_t4", cfg);
+  rig4.cfg.serve.threads = 4;
+  fleet_sim sim4(rig4.cfg, rig4.deps(), plan);
+  sim4.run(arrivals(), 120);
+
+  EXPECT_EQ(sim1.log().text(), sim4.log().text());
+  const fleet_stats s1 = sim1.stats();
+  const fleet_stats s4 = sim4.stats();
+  EXPECT_EQ(s1.submitted, s4.submitted);
+  EXPECT_EQ(s1.by_outcome, s4.by_outcome);
+  EXPECT_EQ(s1.split_brain_serves, 0u);
+  EXPECT_EQ(s4.split_brain_serves, 0u);
+  EXPECT_EQ(s1.bans_decided, s4.bans_decided);
+  EXPECT_EQ(resolved_total(s1), s1.submitted);
+}
+
+TEST(FleetSim, DriftTriggersQuorumGatedRecalibration) {
+  fleet_rig rig("recal");
+  // Every replica's baseline steps to 1.5x after 12 canary rounds — past
+  // the cells' burn-in, so the shift reads as genuine drift, not
+  // canary-set bias. Canary NLLs run hot against the genesis fit and the
+  // cells alarm.
+  const std::size_t onset = 12 * rig.canary_classes();
+  fleet_sim sim(rig.cfg, rig.deps(/*drift_magnitude=*/1.5, onset),
+                fault_plan{});
+  sim.run({}, 200);
+
+  const fleet_stats s = sim.stats();
+  EXPECT_GT(s.canary_probes, 0u);
+  EXPECT_GE(s.drift_alarms, 1u);
+  // The rollout went through ballot -> quorum -> staged validation ->
+  // fleet-wide promotion; peers applied the shipped checkpoint.
+  EXPECT_GE(s.rollouts, 1u);
+  EXPECT_EQ(s.rollbacks, 0u);
+  EXPECT_GT(s.checkpoints_applied, 0u);
+  bool advanced = false;
+  for (std::size_t i = 0; i < rig.cfg.replicas; ++i) {
+    for (std::uint64_t sh = 0; sh < rig.cfg.class_shards; ++sh) {
+      advanced = advanced || sim.worker(i).applied_version(sh) >= 2;
+    }
+  }
+  EXPECT_TRUE(advanced);
+}
+
+TEST(FleetSim, PoisonedRecalibrationRollsBack) {
+  fleet_rig rig("rollback");
+  fault_plan plan;
+  // The first staged recalibration of each shard is v2 (genesis is v1).
+  // Poison both: canary validation must fail and the rollout must roll
+  // back to the old parameters (republished under a higher version).
+  plan.poison(0, 2);
+  plan.poison(1, 2);
+  const std::size_t onset = 12 * rig.canary_classes();
+  fleet_sim sim(rig.cfg, rig.deps(/*drift_magnitude=*/1.5, onset), plan);
+  sim.run({}, 200);
+
+  const fleet_stats s = sim.stats();
+  EXPECT_GE(s.drift_alarms, 1u);
+  EXPECT_GE(s.rollbacks, 1u);
+  const std::string& journal = sim.log().text();
+  EXPECT_NE(journal.find("rollback=1"), std::string::npos);
+  // Version monotonicity: the rollback republish advanced the content
+  // version past the poisoned stage.
+  bool rolled = false;
+  for (std::size_t i = 0; i < rig.cfg.replicas; ++i) {
+    for (std::uint64_t sh = 0; sh < rig.cfg.class_shards; ++sh) {
+      rolled = rolled || sim.worker(i).applied_version(sh) >= 3;
+    }
+  }
+  EXPECT_TRUE(rolled);
+}
+
+TEST(FleetSim, RepeatedRunsAreByteIdentical) {
+  fleet_config cfg = small_cfg();
+  cfg.loss_rate = 0.1;
+  const fault_plan plan({{12, fault_kind::crash, 1},
+                         {40, fault_kind::recover, 1},
+                         {60, fault_kind::stall, 2},
+                         {75, fault_kind::unstall, 2}});
+  std::string first;
+  for (int run = 0; run < 2; ++run) {
+    fleet_rig rig("repeat_" + std::to_string(run), cfg);
+    fleet_sim sim(rig.cfg, rig.deps(), plan);
+    sim.run(benign_arrivals(50, 1, 300), 110);
+    if (run == 0) {
+      first = sim.log().text();
+    } else {
+      EXPECT_EQ(sim.log().text(), first);
+    }
+  }
+  EXPECT_FALSE(first.empty());
+}
+
+}  // namespace
+}  // namespace advh::fleet

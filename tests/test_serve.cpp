@@ -303,8 +303,9 @@ TEST(CircuitBreaker, FullTransitionCycle) {
 
   EXPECT_EQ(b.state(), breaker_state::closed);
   for (int i = 0; i < 3; ++i) {
-    EXPECT_TRUE(b.allow());
-    b.record_failure();
+    breaker_epoch e = 0;
+    EXPECT_TRUE(b.allow(&e));
+    b.record_failure(e);
   }
   EXPECT_EQ(b.state(), breaker_state::open);
   EXPECT_EQ(b.trips(), 1u);
@@ -313,22 +314,27 @@ TEST(CircuitBreaker, FullTransitionCycle) {
   clock.advance(milliseconds(99));
   EXPECT_FALSE(b.allow());  // cooldown not yet elapsed
   clock.advance(milliseconds(1));
-  EXPECT_TRUE(b.allow());  // -> half-open, probe 1
+  breaker_epoch p1 = 0;
+  breaker_epoch p2 = 0;
+  EXPECT_TRUE(b.allow(&p1));  // -> half-open, probe 1
   EXPECT_EQ(b.state(), breaker_state::half_open);
-  EXPECT_TRUE(b.allow());   // probe 2
-  EXPECT_FALSE(b.allow());  // probe budget exhausted
-  b.record_success();
-  b.record_success();  // enough consecutive successes close the breaker
+  EXPECT_TRUE(b.allow(&p2));  // probe 2
+  EXPECT_EQ(p1, p2);          // same half-open window
+  EXPECT_FALSE(b.allow());    // probe budget exhausted
+  b.record_success(p1);
+  b.record_success(p2);  // enough consecutive successes close the breaker
   EXPECT_EQ(b.state(), breaker_state::closed);
 
   // A failure during half-open re-opens immediately and restarts cooldown.
   for (int i = 0; i < 3; ++i) {
-    ASSERT_TRUE(b.allow());
-    b.record_failure();
+    breaker_epoch e = 0;
+    ASSERT_TRUE(b.allow(&e));
+    b.record_failure(e);
   }
   clock.advance(milliseconds(100));
-  EXPECT_TRUE(b.allow());
-  b.record_failure();
+  breaker_epoch e = 0;
+  EXPECT_TRUE(b.allow(&e));
+  b.record_failure(e);
   EXPECT_EQ(b.state(), breaker_state::open);
   EXPECT_EQ(b.trips(), 3u);
 }
@@ -340,13 +346,55 @@ TEST(CircuitBreaker, ReleaseReturnsProbeSlot) {
   cfg.cooldown = milliseconds(10);
   cfg.half_open_probes = 1;
   circuit_breaker b(clock, cfg);
-  EXPECT_TRUE(b.allow());
-  b.record_failure();
+  breaker_epoch e = 0;
+  EXPECT_TRUE(b.allow(&e));
+  b.record_failure(e);
   clock.advance(milliseconds(10));
-  EXPECT_TRUE(b.allow());   // the single half-open probe
-  EXPECT_FALSE(b.allow());  // no slot left
-  b.release();              // the probe was shed before it ran
-  EXPECT_TRUE(b.allow());   // the slot is usable again
+  EXPECT_TRUE(b.allow(&e));  // the single half-open probe
+  EXPECT_FALSE(b.allow());   // no slot left
+  b.release(e);              // the probe was shed before it ran
+  EXPECT_TRUE(b.allow(&e));  // the slot is usable again
+}
+
+TEST(CircuitBreaker, StaleReportFromEarlierWindowIsDropped) {
+  // Regression: a probe admitted in one half-open window reports after
+  // that window already failed. Without generation stamps its stale
+  // success/release would leak into the NEXT window — closing the breaker
+  // on evidence from a window that already transitioned away (a
+  // double-transition).
+  virtual_clock clock;
+  breaker_config cfg;
+  cfg.failure_threshold = 1;
+  cfg.cooldown = milliseconds(10);
+  cfg.half_open_probes = 1;
+  circuit_breaker b(clock, cfg);
+
+  breaker_epoch first = 0;
+  ASSERT_TRUE(b.allow(&first));
+  b.record_failure(first);  // trip open
+  clock.advance(milliseconds(10));
+
+  breaker_epoch probe1 = 0;
+  ASSERT_TRUE(b.allow(&probe1));  // half-open window 1
+  breaker_epoch probe1b = 0;
+  EXPECT_FALSE(b.allow(&probe1b));  // budget exhausted
+  b.record_failure(probe1);         // window 1 fails -> open again
+  EXPECT_EQ(b.state(), breaker_state::open);
+  clock.advance(milliseconds(10));
+
+  breaker_epoch probe2 = 0;
+  ASSERT_TRUE(b.allow(&probe2));  // half-open window 2
+  EXPECT_NE(probe1, probe2);
+
+  // The stale window-1 stamps must be inert in window 2.
+  b.record_success(probe1);  // would close the breaker if counted
+  EXPECT_EQ(b.state(), breaker_state::half_open);
+  b.release(probe1);  // would free window 2's only probe slot if counted
+  EXPECT_FALSE(b.allow());
+
+  // The current window still works normally.
+  b.record_success(probe2);
+  EXPECT_EQ(b.state(), breaker_state::closed);
 }
 
 // ---------------------------------------------------- cancellable retry --
