@@ -19,14 +19,29 @@
 // canary burn-in must produce a promoted rollout with no rollback, and a
 // poisoned staged checkpoint must produce a rollback.
 //
+// Phase D is the kill-the-leader sweep: with the replicated controller
+// group (3 controllers) and shard replication factor 2, each run kills a
+// single node — the acting LEADER, a STANDBY controller, or a WORKER
+// primary — mid-campaign and checks that the fleet has no single point
+// of failure. Killing the leader must produce a quorum election whose
+// win lands within a bounded number of ticks; killing a standby must
+// need no election at all; killing a worker must see its in-flight and
+// subsequent requests served by the secondary owner under the
+// degraded-confidence tag. Every run in the sweep is replayed at 1 and
+// 4 measurement threads and the journals diffed byte for byte, and the
+// split-brain probe and the durable-ban check apply throughout.
+//
 // Chaos knobs (the CI fleet-chaos job sets all three):
 //   ADVH_FAULT_RATE   per-tick crash/stall episode rate of the seeded
 //                     fault plan in phase B (default 0.02; strict parse)
 //   ADVH_DRIFT_RATE   baseline step magnitude 1 + rate, engaged after the
 //                     canary burn-in, in phase B (default 0; strict parse)
 //   ADVH_THREADS      measurement threads for phase A / C runs
-//   ADVH_FLEET_REPLICAS / ADVH_FLEET_LOSS_RATE  fleet geometry overrides
-//                     (fleet_config_from_env; strict parse)
+//   ADVH_FLEET_REPLICAS / ADVH_FLEET_LOSS_RATE /
+//   ADVH_FLEET_CONTROLLERS / ADVH_FLEET_REPLICATION
+//                     fleet geometry overrides (fleet_config_from_env;
+//                     strict parse; the CI fleet-chaos matrix pins
+//                     controllers=3 replication=2 for phase D's gates)
 //
 // Writes bench_results/BENCH_fleet_failover.{csv,json}.
 #include <cerrno>
@@ -142,7 +157,10 @@ fleet_config bench_cfg() {
   cfg.hb_interval = 1;
   cfg.failure_timeout = 8;
   cfg.lease = 5;
+  cfg.ctl_failure_timeout = 8;
+  cfg.ctl_lease = 4;
   cfg.request_timeout = 6;
+  cfg.speculate_after = 3;
   cfg.checkpoint_interval = 10;
   cfg.canary_interval = 4;
   cfg.handoff_batch = 4;
@@ -416,6 +434,127 @@ recal_result run_recalibration(const fleet_config& cfg, std::size_t threads) {
   return out;
 }
 
+// --------------------------------- phase D: kill-the-leader sweep --
+
+/// Which single node a phase-D run kills.
+enum class kill_victim { leader, standby, worker };
+
+const char* to_string(kill_victim v) {
+  switch (v) {
+    case kill_victim::leader: return "leader";
+    case kill_victim::standby: return "standby";
+    case kill_victim::worker: return "worker";
+  }
+  return "?";
+}
+
+struct node_kill_result {
+  kill_victim victim = kill_victim::leader;
+  fleet_stats stats1, stats4;
+  bool identical = false;      ///< 1-vs-4-thread journals byte-equal
+  bool all_resolved = false;
+  bool ban_durable = false;
+  bool failover_bounded = false;  ///< leader kill: election win in bound
+  bool secondary_served = false;  ///< worker kill: degraded serves happen
+  std::uint64_t failover_ticks = 0;
+};
+
+node_kill_result run_node_kill(const fleet_config& cfg, kill_victim victim) {
+  constexpr std::uint64_t kKill = 25, kHorizon = 170;
+  constexpr std::size_t kWorkerVictim = 1;
+
+  fault_event ev{kKill, fault_kind::crash, 0, fault_target::controller};
+  switch (victim) {
+    case kill_victim::leader: ev.replica = 0; break;  // genesis leader
+    case kill_victim::standby: ev.replica = 1; break;
+    case kill_victim::worker:
+      ev.replica = kWorkerVictim;
+      ev.target = fault_target::worker;
+      break;
+  }
+  const fault_plan plan({ev});
+
+  // The attack campaign always targets a client owned by the worker
+  // victim's node, so the worker kill exercises the ban through the
+  // owner's crash and the controller kills exercise it through the
+  // authority's crash.
+  const std::uint64_t attacker =
+      client_owned_by(replica_node(kWorkerVictim), cfg);
+  const auto arrivals = [&] {
+    auto a = benign_arrivals(100, 1, 50'000);
+    const auto probes = probe_campaign(attacker, 1, 40);
+    a.insert(a.end(), probes.begin(), probes.end());
+    return a;
+  };
+
+  const auto run = [&](std::size_t threads) {
+    fleet_config run_cfg = cfg;
+    run_cfg.serve.threads = threads;
+    fleet_rig rig("kill_" + std::string(to_string(victim)) + "_t" +
+                      std::to_string(threads),
+                  run_cfg);
+    fleet_sim sim(rig.cfg, rig.deps(), plan);
+    sim.run(arrivals(), kHorizon);
+    return std::pair<std::string, fleet_stats>(sim.log().text(), sim.stats());
+  };
+
+  const auto [j1, s1] = run(1);
+  const auto [j4, s4] = run(4);
+
+  node_kill_result out;
+  out.victim = victim;
+  out.stats1 = s1;
+  out.stats4 = s4;
+  out.identical = j1 == j4;
+  out.all_resolved = resolved_total(s1) == s1.submitted &&
+                     resolved_total(s4) == s4.submitted;
+
+  // Zero lost durable bans, whichever node died: decided once, the
+  // attacker never served after the decision, enforced at the router,
+  // persisted in the owner's ledger.
+  const std::string ban_line = "ban client=" + std::to_string(attacker);
+  const auto ban_at = j1.find(ban_line);
+  out.ban_durable =
+      s1.bans_decided == 1 && ban_at != std::string::npos &&
+      j1.find(ban_line, ban_at + 1) == std::string::npos &&
+      j1.find("client=" + std::to_string(attacker) + " outcome=served",
+              ban_at) == std::string::npos;
+
+  switch (victim) {
+    case kill_victim::leader: {
+      // Bounded leader failover: a standby must win a quorum election
+      // within detection + stagger + ballot + lease handover time (the
+      // bound allows one full candidacy-collision retry round).
+      const std::uint64_t bound =
+          3 * (cfg.ctl_failure_timeout + cfg.ctl_lease) + 10;
+      const auto won = first_line_after(j1, kKill, "ctl-leader");
+      if (won.has_value()) {
+        out.failover_ticks = *won - kKill;
+        out.failover_bounded = s1.elections >= 1 && out.failover_ticks <= bound;
+      }
+      out.secondary_served = true;  // not this victim's gate
+      break;
+    }
+    case kill_victim::standby: {
+      // A dead standby must cost nothing: the leader's quorum holds
+      // (2 of 3), so no election and no leadership gap at all.
+      out.failover_bounded = s1.elections == 0;
+      out.secondary_served = true;  // not this victim's gate
+      break;
+    }
+    case kill_victim::worker: {
+      // Crashed-shard requests are served via the secondary under the
+      // degraded-confidence tag until the view change re-primaries them.
+      out.failover_bounded = true;  // leader never died
+      out.secondary_served =
+          s1.speculative_routes >= 1 && s1.served_secondary >= 1 &&
+          j1.find(" conf=degraded") != std::string::npos;
+      break;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -424,7 +563,8 @@ int main(int argc, char** argv) {
       "sharded detection fleet under scripted kills and seeded chaos: "
       "crash-failover with durable bans, bounded recovery, zero split-brain "
       "verdicts, bitwise 1-vs-4-thread journals, quorum-gated recalibration "
-      "with poisoned-rollout rollback");
+      "with poisoned-rollout rollback, and the kill-the-leader sweep over "
+      "the replicated controller group");
   if (!threads_opt) return 0;
   const std::size_t threads = *threads_opt;
 
@@ -446,6 +586,20 @@ int main(int argc, char** argv) {
   // Phase C: recalibration rollout + poisoned rollback.
   const recal_result recal = run_recalibration(cfg, threads);
 
+  // Phase D: kill one node — leader, standby, worker — per run. The
+  // controller kills need a standby to fail over to and the worker kill
+  // needs a secondary to speculate to, so degenerate geometries
+  // (controllers=1 / replication=1, pinned by the CI matrix) skip the
+  // victims that cannot exist under them.
+  std::vector<kill_victim> victims;
+  if (cfg.controllers >= 2) {
+    victims.push_back(kill_victim::leader);
+    victims.push_back(kill_victim::standby);
+  }
+  if (cfg.replication >= 2) victims.push_back(kill_victim::worker);
+  std::vector<node_kill_result> kills;
+  for (const auto v : victims) kills.push_back(run_node_kill(cfg, v));
+
   // Gates.
   bool failover_ok = true, bans_ok = true, recovery_ok = true;
   std::uint64_t split_brain = chaos.stats1.split_brain_serves +
@@ -461,6 +615,14 @@ int main(int argc, char** argv) {
   }
   split_brain += recal.drift_stats.split_brain_serves +
                  recal.poison_stats.split_brain_serves;
+  bool kill_ok = true;
+  std::uint64_t leader_failover_ticks = 0;
+  for (const auto& k : kills) {
+    kill_ok = kill_ok && k.all_resolved && k.identical && k.ban_durable &&
+              k.failover_bounded && k.secondary_served;
+    if (k.victim == kill_victim::leader) leader_failover_ticks = k.failover_ticks;
+    split_brain += k.stats1.split_brain_serves + k.stats4.split_brain_serves;
+  }
   const bool split_brain_zero = split_brain == 0;
   const bool deterministic = chaos.identical && chaos.all_resolved;
   const bool recal_ok = recal.rollout_ok && recal.rollback_ok;
@@ -493,6 +655,19 @@ int main(int argc, char** argv) {
       {"recal: rollouts", std::to_string(recal.drift_stats.rollouts)});
   table.add_row({"recal: poisoned rollbacks",
                  std::to_string(recal.poison_stats.rollbacks)});
+  for (const auto& k : kills) {
+    const std::string v = "kill " + std::string(to_string(k.victim));
+    table.add_row({v + ": submitted/resolved",
+                   std::to_string(k.stats1.submitted) + "/" +
+                       std::to_string(resolved_total(k.stats1))});
+    table.add_row({v + ": elections", std::to_string(k.stats1.elections)});
+    table.add_row({v + ": served via secondary",
+                   std::to_string(k.stats1.served_secondary)});
+    if (k.victim == kill_victim::leader) {
+      table.add_row({v + ": failover ticks",
+                     std::to_string(k.failover_ticks)});
+    }
+  }
   table.add_row({"split-brain serves (all phases)",
                  std::to_string(split_brain)});
 
@@ -503,7 +678,10 @@ int main(int argc, char** argv) {
        << "  \"fault_rate\": " << fault_rate << ",\n"
        << "  \"drift_rate\": " << drift_rate << ",\n"
        << "  \"loss_rate\": " << chaos_cfg.loss_rate << ",\n"
+       << "  \"controllers\": " << cfg.controllers << ",\n"
+       << "  \"replication\": " << cfg.replication << ",\n"
        << "  \"worst_recovery_ticks\": " << worst_recovery << ",\n"
+       << "  \"leader_failover_ticks\": " << leader_failover_ticks << ",\n"
        << "  \"split_brain_serves\": " << split_brain << ",\n"
        << "  \"chaos_view_changes\": " << chaos.stats1.view_changes << ",\n"
        << "  \"drift_alarms\": " << recal.drift_stats.drift_alarms << ",\n"
@@ -518,6 +696,7 @@ int main(int argc, char** argv) {
        << ",\n    \"deterministic_1_vs_4_threads\": "
        << (deterministic ? "true" : "false")
        << ",\n    \"recalibration_ok\": " << (recal_ok ? "true" : "false")
+       << ",\n    \"node_kill_ok\": " << (kill_ok ? "true" : "false")
        << "\n  }\n}\n";
   write_file("bench_results/BENCH_fleet_failover.json", json.str());
 
@@ -528,9 +707,11 @@ int main(int argc, char** argv) {
             << " (worst " << worst_recovery << " ticks), split-brain "
             << (split_brain_zero ? "ok" : "FAIL") << " (" << split_brain
             << "), determinism " << (deterministic ? "ok" : "FAIL")
-            << ", recalibration " << (recal_ok ? "ok" : "FAIL") << "\n";
+            << ", recalibration " << (recal_ok ? "ok" : "FAIL")
+            << ", node kills " << (kill_ok ? "ok" : "FAIL") << " (leader "
+            << leader_failover_ticks << " ticks)\n";
 
   const bool all_ok = failover_ok && bans_ok && recovery_ok &&
-                      split_brain_zero && deterministic && recal_ok;
+                      split_brain_zero && deterministic && recal_ok && kill_ok;
   return all_ok ? 0 : 1;
 }

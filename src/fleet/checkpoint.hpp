@@ -16,6 +16,11 @@
 // non-advancing content version, or a legacy file with no fleet section
 // at all. A fenced or corrupt checkpoint is rejected whole; there is no
 // partial apply by construction (merge happens only after a load returned).
+// Because view epochs compose the controller's leadership term with a
+// per-term sequence (`epoch = term << 32 | seq`), the same plain
+// epoch-regression comparison also fences across controller failovers: a
+// checkpoint published under a deposed leader's term can never displace
+// one published under the successor's, with no extra ledger state.
 //
 // Ban ledgers are the other durable artifact: every replica appends its
 // locally-decided bans to <dir>/bans_r<node>.advhbans *before* the

@@ -46,6 +46,13 @@ fleet_config fleet_config_from_env(fleet_config base) {
   if (const char* env = std::getenv("ADVH_FLEET_REPLICAS")) {
     base.replicas = env_int("ADVH_FLEET_REPLICAS", env, 1.0, 64.0);
   }
+  if (const char* env = std::getenv("ADVH_FLEET_CONTROLLERS")) {
+    base.controllers = env_int("ADVH_FLEET_CONTROLLERS", env, 1.0, 7.0);
+  }
+  if (const char* env = std::getenv("ADVH_FLEET_REPLICATION")) {
+    base.replication = static_cast<std::uint32_t>(
+        env_int("ADVH_FLEET_REPLICATION", env, 1.0, 4.0));
+  }
   if (const char* env = std::getenv("ADVH_FLEET_LOSS_RATE")) {
     base.loss_rate = env_number("ADVH_FLEET_LOSS_RATE", env, 0.0, 0.95);
   }
@@ -58,6 +65,12 @@ void validate(const fleet_config& cfg) {
   };
   if (cfg.replicas < 1 || cfg.replicas > 64) {
     fail("replicas must lie in [1, 64]");
+  }
+  if (cfg.controllers < 1 || cfg.controllers > 7) {
+    fail("controllers must lie in [1, 7]");
+  }
+  if (cfg.replication < 1 || cfg.replication > 4) {
+    fail("replication must lie in [1, 4]");
   }
   if (cfg.class_shards < 1) fail("class_shards must be positive");
   if (cfg.ring_ranges < 1) fail("ring_ranges must be positive");
@@ -77,6 +90,10 @@ void validate(const fleet_config& cfg) {
     fail("request_timeout must exceed max_delay (a request needs time to "
          "arrive before the router abstains)");
   }
+  if (cfg.speculate_after < 1 || cfg.speculate_after >= cfg.request_timeout) {
+    fail("speculate_after must lie in [1, request_timeout): the secondary "
+         "needs time to respond before the router abstains");
+  }
   // The split-brain safety condition. See the header comment: a stale
   // owner must be self-fenced strictly before the controller can have
   // reassigned its ranges.
@@ -84,6 +101,14 @@ void validate(const fleet_config& cfg) {
     fail("split-brain hazard: lease + max_delay must be < failure_timeout "
          "(a stale replica must fence itself before its shards can be "
          "reassigned)");
+  }
+  // The controller-side mirror of the same condition: a deposed leader's
+  // lease (plus any beacon still in flight) must have run out before a
+  // successor could have been elected and started publishing views.
+  if (cfg.ctl_lease + cfg.max_delay >= cfg.ctl_failure_timeout) {
+    fail("split-brain hazard: ctl_lease + max_delay must be < "
+         "ctl_failure_timeout (a deposed leader must lose its lease "
+         "before a successor can start acting)");
   }
 }
 

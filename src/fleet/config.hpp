@@ -37,9 +37,19 @@
 namespace advh::fleet {
 
 struct fleet_config {
-  /// Worker replicas (node ids 2 .. replicas+1; 0 = controller, 1 =
-  /// router).
+  /// Worker replicas (node ids 2 .. replicas+1; 1 = router; the
+  /// controller group lives at node ids 100..).
   std::size_t replicas = 3;
+  /// Replicated controller group size. One of them holds the leadership
+  /// lease and is the view authority; the others are warm standbys that
+  /// elect a successor when the leader goes silent. 1 degenerates to the
+  /// single-controller fleet (self-quorum, no failover).
+  std::size_t controllers = 3;
+  /// Ownership replication factor: each ring range / template shard has
+  /// this many owners (slot 0 = primary, serves normally; higher slots
+  /// serve speculative re-routes under a degraded-confidence tag).
+  /// Capped by the live replica count at evaluation time.
+  std::uint32_t replication = 2;
   /// (model, class) template shards: class c belongs to shard
   /// c % class_shards.
   std::uint64_t class_shards = 2;
@@ -58,10 +68,25 @@ struct fleet_config {
   /// older than this abstains instead of serving.
   std::uint64_t lease = 8;
 
+  // --- controller leadership (ticks) ---
+  /// Leader silence after which a standby starts a candidacy (plus an
+  /// index-proportional stagger that deterministically avoids split
+  /// votes).
+  std::uint64_t ctl_failure_timeout = 16;
+  /// Leadership lease: a leader publishes views only while a quorum of
+  /// controllers acked its term beacon within this many ticks. The
+  /// split-brain condition ctl_lease + max_delay < ctl_failure_timeout
+  /// mirrors the worker-side one.
+  std::uint64_t ctl_lease = 8;
+
   // --- routing ---
   /// Router-side deadline: a routed request with no response within this
   /// many ticks resolves fail-closed as an abstain.
   std::uint64_t request_timeout = 12;
+  /// Ticks of primary silence before the router speculatively re-routes
+  /// a pending request to the secondary owner. Must leave the secondary
+  /// room to respond inside request_timeout.
+  std::uint64_t speculate_after = 4;
 
   // --- checkpoint shipping / recalibration (ticks) ---
   /// Period of a shard owner's checkpoint republish (plus one at boot and
@@ -90,6 +115,8 @@ struct fleet_config {
 
 /// Applies the strict environment overrides to `base` and returns it:
 /// ADVH_FLEET_REPLICAS (integer in [1, 64]) overrides `replicas`,
+/// ADVH_FLEET_CONTROLLERS (integer in [1, 7]) overrides `controllers`,
+/// ADVH_FLEET_REPLICATION (integer in [1, 4]) overrides `replication`,
 /// ADVH_FLEET_LOSS_RATE (number in [0, 0.95]) overrides `loss_rate`. A
 /// set-but-malformed knob throws std::invalid_argument — the strict
 /// validation contract every ADVH_* knob follows: a typo in a deployment

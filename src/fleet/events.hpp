@@ -30,6 +30,14 @@ struct fleet_stats {
   std::uint64_t recoveries = 0;
   std::uint64_t stalls = 0;
   std::uint64_t view_changes = 0;
+  /// Controller leadership elections won (a standby became leader after a
+  /// quorum ballot). The genesis leader does not count.
+  std::uint64_t elections = 0;
+  /// Requests speculatively re-routed to a secondary owner after primary
+  /// silence, and the subset of served verdicts actually produced by a
+  /// secondary (tagged degraded-confidence).
+  std::uint64_t speculative_routes = 0;
+  std::uint64_t served_secondary = 0;
   /// Clients moved between replicas by range handoff.
   std::uint64_t handoff_clients = 0;
   std::uint64_t checkpoints_published = 0;

@@ -10,11 +10,34 @@ namespace {
 
 bool event_order(const fault_event& a, const fault_event& b) noexcept {
   if (a.tick != b.tick) return a.tick < b.tick;
+  if (a.target != b.target)
+    return static_cast<int>(a.target) < static_cast<int>(b.target);
   if (a.replica != b.replica) return a.replica < b.replica;
   return static_cast<int>(a.kind) < static_cast<int>(b.kind);
 }
 
+/// Group index of `node` in `spec`; nodes listed nowhere share the
+/// implicit rest group.
+std::size_t group_of(const partition_spec& spec, std::uint32_t node) {
+  for (std::size_t g = 0; g < spec.groups.size(); ++g) {
+    for (const std::uint32_t n : spec.groups[g]) {
+      if (n == node) return g;
+    }
+  }
+  return spec.groups.size();
+}
+
 }  // namespace
+
+const char* to_string(fault_target t) noexcept {
+  switch (t) {
+    case fault_target::worker:
+      return "worker";
+    case fault_target::controller:
+      return "controller";
+  }
+  return "?";
+}
 
 const char* to_string(fault_kind k) noexcept {
   switch (k) {
@@ -76,6 +99,20 @@ std::vector<fault_event> fault_plan::at(std::uint64_t tick) const {
       [](const fault_event& e, std::uint64_t t) { return e.tick < t; });
   for (; it != events_.end() && it->tick == tick; ++it) out.push_back(*it);
   return out;
+}
+
+void fault_plan::partition(std::uint64_t from, std::uint64_t until,
+                           std::vector<std::vector<std::uint32_t>> groups) {
+  partitions_.push_back(partition_spec{from, until, std::move(groups)});
+}
+
+bool fault_plan::severed(std::uint32_t a, std::uint32_t b,
+                         std::uint64_t tick) const {
+  for (const partition_spec& p : partitions_) {
+    if (tick < p.from || tick >= p.until) continue;
+    if (group_of(p, a) != group_of(p, b)) return true;
+  }
+  return false;
 }
 
 void fault_plan::poison(std::uint64_t shard, std::uint64_t content_version) {

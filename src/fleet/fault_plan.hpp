@@ -1,12 +1,19 @@
 // Seeded fault plan: the chaos schedule of a fleet simulation.
 //
 // Faults are *data*, not code paths: a fault_plan is a sorted list of
-// (tick, kind, replica) events — crashes, recoveries, stalls, unstalls —
-// either scripted explicitly (failover scenarios with known kill times)
-// or generated from a seed and a rate (chaos sweeps). Because the plan is
-// fixed before the run starts, fault injection cannot observe simulation
-// state, which is what keeps a chaotic run bitwise identical at any
-// thread count.
+// (tick, kind, target, index) events — crashes, recoveries, stalls,
+// unstalls, against workers or controllers — either scripted explicitly
+// (failover scenarios with known kill times) or generated from a seed and
+// a rate (chaos sweeps). Because the plan is fixed before the run starts,
+// fault injection cannot observe simulation state, which is what keeps a
+// chaotic run bitwise identical at any thread count.
+//
+// Network partitions are part of the plan too: a partition is a symmetric
+// split of node ids into groups over a tick interval — two nodes in
+// different groups (a node listed in no group forms the implicit "rest"
+// group) cannot exchange messages while the partition is active. The sim
+// net consults `severed()` at send time, so partitions compose with the
+// at-send delivery model without any new runtime machinery.
 //
 // The plan also owns the recalibration *poison* seam: `poisoned(shard,
 // version)` deterministically marks a staged checkpoint as failing canary
@@ -22,18 +29,35 @@
 namespace advh::fleet {
 
 enum class fault_kind : std::uint8_t {
-  crash = 0,    ///< replica loses volatile state; disk survives
-  recover = 1,  ///< replica reboots from its checkpoints + ban ledgers
-  stall = 2,    ///< replica freezes: inbox buffers, nothing processes
-  unstall = 3,  ///< replica resumes, processing its buffered inbox
+  crash = 0,    ///< node loses volatile state; disk survives
+  recover = 1,  ///< node reboots from its durable artifacts
+  stall = 2,    ///< node freezes: inbox buffers, nothing processes
+  unstall = 3,  ///< node resumes, processing its buffered inbox
 };
 
 const char* to_string(fault_kind k) noexcept;
 
+/// What a fault event targets: a worker replica or a controller.
+enum class fault_target : std::uint8_t {
+  worker = 0,
+  controller = 1,
+};
+
+const char* to_string(fault_target t) noexcept;
+
 struct fault_event {
   std::uint64_t tick = 0;
   fault_kind kind = fault_kind::crash;
-  std::size_t replica = 0;  ///< replica index (not node id)
+  std::size_t replica = 0;  ///< replica or controller INDEX (not node id)
+  fault_target target = fault_target::worker;
+};
+
+/// Symmetric network partition over [from, until): nodes in different
+/// groups cannot exchange messages while it is active.
+struct partition_spec {
+  std::uint64_t from = 0;
+  std::uint64_t until = 0;
+  std::vector<std::vector<std::uint32_t>> groups;
 };
 
 class fault_plan {
@@ -41,8 +65,8 @@ class fault_plan {
   fault_plan() = default;
 
   /// Scripted plan: `events` need not be sorted; they are ordered by
-  /// (tick, replica, kind) so two scripts listing the same events replay
-  /// identically.
+  /// (tick, target, index, kind) so two scripts listing the same events
+  /// replay identically.
   explicit fault_plan(std::vector<fault_event> events);
 
   /// Seeded chaos plan over `horizon` ticks: each replica independently
@@ -57,6 +81,19 @@ class fault_plan {
 
   const std::vector<fault_event>& events() const noexcept { return events_; }
 
+  /// Schedules a symmetric partition of `groups` over [from, until). A
+  /// node id appearing in no group belongs to the implicit rest group.
+  void partition(std::uint64_t from, std::uint64_t until,
+                 std::vector<std::vector<std::uint32_t>> groups);
+
+  /// True when an active partition puts `a` and `b` in different groups
+  /// at `tick` — the edge is severed in both directions.
+  bool severed(std::uint32_t a, std::uint32_t b, std::uint64_t tick) const;
+
+  const std::vector<partition_spec>& partitions() const noexcept {
+    return partitions_;
+  }
+
   /// Marks staged recalibration checkpoint (shard, content_version) as
   /// poisoned: canary validation must fail it and the rollout must roll
   /// back. Deterministic in (seed, shard, version).
@@ -64,7 +101,8 @@ class fault_plan {
   bool poisoned(std::uint64_t shard, std::uint64_t content_version) const;
 
  private:
-  std::vector<fault_event> events_;  ///< sorted by (tick, replica, kind)
+  std::vector<fault_event> events_;  ///< sorted by (tick, target, idx, kind)
+  std::vector<partition_spec> partitions_;
   std::vector<std::pair<std::uint64_t, std::uint64_t>> poisoned_;
 };
 

@@ -1,19 +1,79 @@
 #include "fleet/membership.hpp"
 
 #include <algorithm>
+#include <fstream>
+
+#include "common/fs.hpp"
+#include "fleet/events.hpp"
+#include "fleet/net.hpp"
 
 namespace advh::fleet {
 
+namespace {
+
+std::string live_list(const membership_view& v) {
+  std::string out;
+  for (std::size_t i = 0; i < v.live.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(v.live[i]);
+  }
+  return out.empty() ? "-" : out;
+}
+
+std::string term_path(const std::string& dir, std::size_t index) {
+  return dir + "/ctl" + std::to_string(index) + ".term";
+}
+
+}  // namespace
+
+const char* to_string(ctl_role r) noexcept {
+  switch (r) {
+    case ctl_role::standby:
+      return "standby";
+    case ctl_role::candidate:
+      return "candidate";
+    case ctl_role::leader:
+      return "leader";
+  }
+  return "?";
+}
+
+std::optional<std::uint32_t> range_owner_k(const membership_view& view,
+                                           std::uint32_t range,
+                                           std::uint32_t k) {
+  if (k >= view.live.size()) return std::nullopt;
+  const std::size_t n = view.live.size();
+  return view.live[(range % n + k) % n];
+}
+
+std::optional<std::uint32_t> shard_owner_k(const membership_view& view,
+                                           std::uint64_t shard,
+                                           std::uint32_t k) {
+  if (k >= view.live.size()) return std::nullopt;
+  const std::size_t n = view.live.size();
+  return view.live[(shard % n + k) % n];
+}
+
 std::optional<std::uint32_t> shard_owner(const membership_view& view,
                                          std::uint64_t shard) {
-  if (view.live.empty()) return std::nullopt;
-  return view.live[shard % view.live.size()];
+  return shard_owner_k(view, shard, 0);
 }
 
 std::optional<std::uint32_t> range_owner(const membership_view& view,
                                          std::uint32_t range) {
-  if (view.live.empty()) return std::nullopt;
-  return view.live[range % view.live.size()];
+  return range_owner_k(view, range, 0);
+}
+
+std::optional<std::uint32_t> owner_slot(const membership_view& view,
+                                        std::uint32_t range,
+                                        std::uint32_t node,
+                                        std::uint32_t replication) {
+  for (std::uint32_t k = 0; k < replication; ++k) {
+    const auto owner = range_owner_k(view, range, k);
+    if (!owner.has_value()) break;
+    if (*owner == node) return k;
+  }
+  return std::nullopt;
 }
 
 std::vector<std::uint32_t> ranges_owned(const membership_view& view,
@@ -36,40 +96,262 @@ std::vector<std::uint64_t> shards_owned(const membership_view& view,
   return out;
 }
 
-controller::controller(const fleet_config& cfg)
-    : cfg_(cfg), last_heartbeat_(cfg.replicas) {
-  // Initial view: every replica is presumed live at epoch 1 — the fleet
-  // starts whole and failure detection prunes from there. Heartbeat
-  // bookkeeping starts at tick 0 so a replica crashed at boot is still
-  // detected after failure_timeout.
-  view_.epoch = 1;
-  for (std::size_t i = 0; i < cfg_.replicas; ++i) {
-    view_.live.push_back(replica_node(i));
-    last_heartbeat_[i] = 0;
-  }
+controller::controller(std::size_t index, const fleet_config& cfg,
+                       std::string dir, sim_net& net, event_log& log)
+    : index_(index), cfg_(cfg), dir_(std::move(dir)), net_(net), log_(log) {
+  boot(0, /*genesis=*/true);
 }
 
-void controller::on_heartbeat(std::uint32_t node, std::uint64_t tick) {
-  const std::size_t idx = node - 2;
+void controller::bump_voted_term(std::uint64_t term) {
+  if (term <= voted_term_) return;
+  // Write-before-effect: the durable term record moves first, so a
+  // crash-recovered controller can never re-grant (or re-mint epochs
+  // for) a term the group already burned.
+  atomic_write_file(term_path(dir_, index_), std::to_string(term));
+  voted_term_ = term;
+}
+
+void controller::boot(std::uint64_t tick, bool genesis) {
+  inbox_.clear();
+  role_ = ctl_role::standby;
+  term_ = 0;
+  voted_term_ = 0;
+  if (genesis) {
+    // A genesis boot is a NEW fleet: reset the durable term record so a
+    // reused store directory cannot leak a previous run's terms in.
+    atomic_write_file(term_path(dir_, index_), "1");
+    voted_term_ = 1;  // everyone is committed to controller 0's term 1
+  } else if (std::ifstream in{term_path(dir_, index_)}) {
+    std::uint64_t t = 0;
+    if (in >> t) voted_term_ = t;
+  }
+  // A freshly booted controller waits a full failure timeout before it
+  // will candidate or grant ballots: long enough to hear any live leader.
+  last_leader_signal_ = tick;
+  ack_tick_.assign(cfg_.controllers, std::nullopt);
+  grants_ = 0;
+  candidacy_started_ = 0;
+  act_from_ = tick;
+  view_ = membership_view{};
+  pending_.clear();
+  view_seq_ = 0;
+  // Every replica is presumed live at boot; failure detection prunes from
+  // there (a replica silent since before this boot is declared dead after
+  // one full failure_timeout).
+  last_heartbeat_.assign(cfg_.replicas, tick);
+
+  if (genesis && index_ == 0) {
+    // The deterministic genesis convention every node shares: controller
+    // 0 leads term 1 from tick 0 with the whole fleet live, and the rest
+    // of the group has implicitly acked it.
+    role_ = ctl_role::leader;
+    term_ = 1;
+    view_seq_ = 1;
+    view_.epoch = view_epoch(1, 1);
+    for (std::size_t i = 0; i < cfg_.replicas; ++i) {
+      view_.live.push_back(replica_node(i));
+    }
+    ack_tick_.assign(cfg_.controllers, tick);
+  }
+
+  up_ = true;
+  stalled_ = false;
+}
+
+void controller::crash(std::uint64_t tick) {
+  if (!up_) return;
+  up_ = false;
+  stalled_ = false;
+  inbox_.clear();
+  ++log_.stats().crashes;
+  log_.line(tick, "ctl-crash node=" + std::to_string(node()));
+}
+
+void controller::recover(std::uint64_t tick) {
+  if (up_) return;
+  boot(tick, /*genesis=*/false);
+  ++log_.stats().recoveries;
+  log_.line(tick, "ctl-recover node=" + std::to_string(node()));
+}
+
+void controller::stall(std::uint64_t tick) {
+  if (!up_ || stalled_) return;
+  stalled_ = true;
+  ++log_.stats().stalls;
+  log_.line(tick, "ctl-stall node=" + std::to_string(node()));
+}
+
+void controller::unstall(std::uint64_t tick) {
+  if (!up_ || !stalled_) return;
+  stalled_ = false;
+  log_.line(tick, "ctl-unstall node=" + std::to_string(node()));
+}
+
+void controller::enqueue(message m) {
+  if (up_) inbox_.push_back(std::move(m));
+}
+
+void controller::on_heartbeat(std::uint32_t from, std::uint64_t tick) {
+  if (from < 2) return;
+  const std::size_t idx = from - 2;
   if (idx >= last_heartbeat_.size()) return;
-  if (!last_heartbeat_[idx].has_value() ||
-      *last_heartbeat_[idx] < tick) {
+  if (!last_heartbeat_[idx].has_value() || *last_heartbeat_[idx] < tick) {
     last_heartbeat_[idx] = tick;
   }
 }
 
-std::uint64_t controller::acked_heartbeat(std::uint32_t node) const {
-  const std::size_t idx = node - 2;
+std::uint64_t controller::acked_heartbeat(std::uint32_t from) const {
+  if (from < 2) return 0;
+  const std::size_t idx = from - 2;
   if (idx >= last_heartbeat_.size()) return 0;
   return last_heartbeat_[idx].value_or(0);
 }
 
-std::optional<membership_view> controller::step(std::uint64_t tick) {
+bool controller::leading(std::uint64_t tick) const {
+  if (!up_ || role_ != ctl_role::leader) return false;
+  std::size_t fresh = 0;
+  for (const auto& ack : ack_tick_) {
+    if (ack.has_value() && lease_held(tick, *ack, cfg_.ctl_lease)) ++fresh;
+  }
+  return fresh * 2 > cfg_.controllers;
+}
+
+bool controller::acting(std::uint64_t tick) const {
+  return leading(tick) && tick >= act_from_;
+}
+
+void controller::step_down(std::uint64_t term, std::uint64_t tick) {
+  role_ = ctl_role::standby;
+  bump_voted_term(term);
+  last_leader_signal_ = tick;
+  // Announced-but-unactivated views die with the regime: only an
+  // acting leader may move the authoritative view, and this controller
+  // will never act for its old term again.
+  pending_.clear();
+  log_.line(tick, "ctl-stepdown node=" + std::to_string(node()) +
+                      " term=" + std::to_string(term));
+}
+
+void controller::start_candidacy(std::uint64_t tick) {
+  role_ = ctl_role::candidate;
+  term_ = voted_term_ + 1;
+  bump_voted_term(term_);  // vote for self, durably, before asking anyone
+  grants_ = 1;
+  candidacy_started_ = tick;
+  log_.line(tick, "ctl-candidate node=" + std::to_string(node()) +
+                      " term=" + std::to_string(term_));
+  if (grants_ * 2 > cfg_.controllers) {
+    become_leader(tick);
+    return;
+  }
+  for (std::size_t j = 0; j < cfg_.controllers; ++j) {
+    if (j == index_) continue;
+    message m;
+    m.kind = msg_kind::ballot_request;
+    m.src = node();
+    m.dst = controller_node(j);
+    m.ballot = term_;
+    net_.send_reliable(std::move(m), tick);
+  }
+}
+
+void controller::become_leader(std::uint64_t tick) {
+  role_ = ctl_role::leader;
+  // Takeover fence: every ballot in our quorum came from a voter that
+  // stopped acking the old term no later than now, so the old leader's
+  // lease is starved within ctl_lease ticks and its last in-flight view
+  // beacon lands within max_delay more. Acting strictly after both means
+  // the group's first new word cannot overlap the old regime's last.
+  act_from_ = tick + cfg_.ctl_lease + cfg_.max_delay + 1;
+  ack_tick_.assign(cfg_.controllers, std::nullopt);
+  ack_tick_[index_] = tick;
+  view_ = membership_view{};
+  pending_.clear();
+  view_seq_ = 0;
+  ++log_.stats().elections;
+  log_.line(tick, "ctl-leader node=" + std::to_string(node()) +
+                      " term=" + std::to_string(term_));
+}
+
+void controller::handle(const message& m, std::uint64_t tick) {
+  switch (m.kind) {
+    case msg_kind::heartbeat:
+      on_heartbeat(m.src, m.send_tick);
+      return;
+    case msg_kind::leader_beacon: {
+      const std::uint64_t t = m.ballot;
+      // A stale leader's beacon is ignored entirely: withholding the ack
+      // is what starves a deposed leader's lease.
+      if (t < voted_term_) return;
+      bump_voted_term(t);
+      if (role_ == ctl_role::leader && t > term_) {
+        step_down(t, tick);
+      } else if (role_ == ctl_role::candidate && t >= term_) {
+        role_ = ctl_role::standby;
+      }
+      last_leader_signal_ = tick;
+      message a;
+      a.kind = msg_kind::leader_ack;
+      a.src = node();
+      a.dst = m.src;
+      a.ballot = t;
+      net_.send(std::move(a), tick);
+      return;
+    }
+    case msg_kind::leader_ack: {
+      if (role_ != ctl_role::leader || m.ballot != term_) return;
+      if (!is_controller_node(m.src)) return;
+      const std::size_t j = m.src - kControllerBase;
+      if (j >= ack_tick_.size()) return;
+      if (!ack_tick_[j].has_value() || *ack_tick_[j] < tick) {
+        ack_tick_[j] = tick;
+      }
+      return;
+    }
+    case msg_kind::ballot_request: {
+      const std::uint64_t t = m.ballot;
+      // Grant at most once per term, and only while we have heard no
+      // live leader for a full failure timeout ourselves — an impatient
+      // standby can never depose a leader its peers still hear. A leader
+      // holding its lease likewise refuses (it IS the signal).
+      const bool silent =
+          role_ != ctl_role::leader &&
+          tick - last_leader_signal_ > cfg_.ctl_failure_timeout;
+      const bool grant = t > voted_term_ && silent;
+      if (grant) {
+        bump_voted_term(t);
+        if (role_ == ctl_role::candidate) role_ = ctl_role::standby;
+        // Somebody is being elected: restart our own stagger so we do
+        // not pile a competing candidacy on top of theirs.
+        last_leader_signal_ = tick;
+      }
+      message g;
+      g.kind = msg_kind::ballot_grant;
+      g.src = node();
+      g.dst = m.src;
+      g.ballot = t;
+      g.ok = grant;
+      net_.send_reliable(std::move(g), tick);
+      return;
+    }
+    case msg_kind::ballot_grant: {
+      if (role_ != ctl_role::candidate || m.ballot != term_ || !m.ok) return;
+      ++grants_;
+      if (grants_ * 2 > cfg_.controllers) become_leader(tick);
+      return;
+    }
+    default:
+      return;  // not addressed to controllers
+  }
+}
+
+void controller::membership_step(std::uint64_t tick) {
   // Two-phase view change (lease transfer). A membership change is
   // ANNOUNCED immediately — replicas fence out of lost ranges and start
-  // acquisition graces off the announced view — but the controller's
-  // AUTHORITATIVE view (what the split-brain probe audits, i.e. who is
-  // allowed to produce verdicts) flips only `lease + 1` ticks later.
+  // acquisition graces off the announced view — but the AUTHORITATIVE
+  // view (what the split-brain probe audits, i.e. who is allowed to
+  // produce verdicts) flips only after the announcement has outlived one
+  // full ownership lease (lease_held false from announce + lease + 1).
   // Rationale: a perfectly healthy replica that loses a range to a
   // membership *addition* keeps serving it under its stale view until it
   // learns of the change. It cannot be forced to learn in bounded time,
@@ -79,9 +361,19 @@ std::optional<membership_view> controller::step(std::uint64_t tick) {
   // heartbeat predates the announcement (its lease expires within
   // `lease` ticks). Waiting out one full lease before the flip therefore
   // makes old-owner serving and new-owner serving disjoint in time.
-  if (pending_.has_value() && tick >= activate_at_) {
-    view_ = *pending_;
-    pending_.reset();
+  //
+  // Each announced view activates on ITS OWN announce-anchored lease,
+  // in announce order: churn inside the window announces a newer view
+  // but never delays an earlier one. That safety argument is per view —
+  // whoever view V de-owns is fenced by V's announce + lease no matter
+  // what is announced afterwards — and the replicas' per-range
+  // acquisition/promotion graces anchor on the same tick, so a
+  // successor's first full-confidence verdict can never precede the
+  // activation of the view that granted it the range.
+  while (!pending_.empty() &&
+         !lease_held(tick, pending_.front().announced_at, cfg_.lease)) {
+    view_ = std::move(pending_.front().view);
+    pending_.erase(pending_.begin());
   }
 
   std::vector<std::uint32_t> live;
@@ -96,21 +388,96 @@ std::optional<membership_view> controller::step(std::uint64_t tick) {
   }
   std::sort(live.begin(), live.end());
 
-  const membership_view& target = pending_.has_value() ? *pending_ : view_;
-  if (live == target.live) return std::nullopt;
-  membership_view next;
-  next.epoch = target.epoch + 1;
-  next.live = std::move(live);
-  pending_ = std::move(next);
-  // Further churn inside the window restarts the clock: the authoritative
-  // view only moves once the announced membership has been stable for a
-  // full lease.
-  activate_at_ = tick + cfg_.lease + 1;
-  return *pending_;
+  const membership_view& target =
+      pending_.empty() ? view_ : pending_.back().view;
+  if (live != target.live) {
+    membership_view next;
+    next.epoch = view_epoch(term_, ++view_seq_);
+    next.live = std::move(live);
+    log_.line(tick, "view epoch=" + std::to_string(next.epoch) +
+                        " live=" + live_list(next) +
+                        " leader=" + std::to_string(node()));
+    pending_.push_back({std::move(next), tick});
+    ++log_.stats().view_changes;
+    broadcast_view(tick, /*reliable=*/true);
+  } else if (tick % cfg_.hb_interval == 0) {
+    // The lease is fed continuously: replicas fence themselves when
+    // these stop arriving, which is exactly the point.
+    broadcast_view(tick, /*reliable=*/false);
+  }
+}
+
+void controller::broadcast_view(std::uint64_t tick, bool reliable) {
+  const auto send = [&](std::uint32_t dst) {
+    message m;
+    m.kind = msg_kind::view_beacon;
+    m.src = node();
+    m.dst = dst;
+    // Beacons carry the ANNOUNCED view: during a lease-transfer window
+    // replicas already fence/acquire off the pending membership while the
+    // authoritative view (the split-brain audit) flips only after the old
+    // owner's lease has provably run out.
+    m.view = announced();
+    // Each replica's lease runs on the leader's acknowledgment of its OWN
+    // heartbeats, so a replica the leader is about to declare dead can
+    // never read a fresh lease out of a beacon that merely happened to
+    // arrive.
+    m.acked_hb = acked_heartbeat(dst);
+    if (reliable) {
+      net_.send_reliable(std::move(m), tick);
+    } else {
+      net_.send(std::move(m), tick);
+    }
+  };
+  send(kRouterNode);
+  for (std::size_t i = 0; i < cfg_.replicas; ++i) send(replica_node(i));
+}
+
+void controller::on_tick(std::uint64_t tick) {
+  if (!up_ || stalled_) return;
+
+  std::vector<message> msgs;
+  msgs.swap(inbox_);
+  for (const message& m : msgs) handle(m, tick);
+
+  switch (role_) {
+    case ctl_role::standby:
+      // Staggered candidacy: index j waits j extra heartbeat intervals of
+      // silence, so exactly one standby moves first and split votes are
+      // avoided deterministically rather than by randomized timeouts.
+      if (tick - last_leader_signal_ >
+          cfg_.ctl_failure_timeout + index_ * cfg_.hb_interval) {
+        start_candidacy(tick);
+      }
+      break;
+    case ctl_role::candidate:
+      if (tick - candidacy_started_ > cfg_.ctl_failure_timeout) {
+        // Failed round (dead voters, partition): back off to standby and
+        // let the stagger retry with a fresh term.
+        role_ = ctl_role::standby;
+        last_leader_signal_ = tick;
+      }
+      break;
+    case ctl_role::leader:
+      if (tick % cfg_.hb_interval == 0) {
+        ack_tick_[index_] = tick;  // self-ack rides the beacon cadence
+        for (std::size_t j = 0; j < cfg_.controllers; ++j) {
+          if (j == index_) continue;
+          message m;
+          m.kind = msg_kind::leader_beacon;
+          m.src = node();
+          m.dst = controller_node(j);
+          m.ballot = term_;
+          net_.send(std::move(m), tick);
+        }
+      }
+      if (acting(tick)) membership_step(tick);
+      break;
+  }
 }
 
 const membership_view& controller::announced() const noexcept {
-  return pending_.has_value() ? *pending_ : view_;
+  return pending_.empty() ? view_ : pending_.back().view;
 }
 
 }  // namespace advh::fleet

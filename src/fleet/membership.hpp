@@ -8,29 +8,106 @@
 // *different* views are distinguished by the epoch, which every routed
 // request and checkpoint carries.
 //
-// The controller (node 0) is the single view authority. It watches
-// replica heartbeats, declares a replica dead after `failure_timeout`
-// ticks of silence, readmits it on a fresh heartbeat, and bumps the epoch
-// on every membership change. The controller itself never fails in the
-// simulation — fleet availability under a *failing* coordinator is a
-// consensus problem out of scope for this reproduction; the interesting
-// failure surface here is the replicas that hold detection state.
+// The view authority is a REPLICATED controller group (default 3 nodes,
+// ids kControllerBase..): at any instant at most one controller holds the
+// leadership lease and may publish views. Leadership runs a lease-based
+// quorum election over the same deterministic network seam as everything
+// else:
+//
+//   * the leader beacons its term to its peers every hb_interval ticks
+//     and holds the lease while a majority of controllers (itself
+//     included) has acked the beacon within the last `ctl_lease` ticks;
+//   * a standby that has heard nothing from any leader for
+//     `ctl_failure_timeout + index * hb_interval` ticks (the per-index
+//     stagger deterministically avoids split votes) becomes a candidate
+//     for a fresh term and requests ballots; a voter grants at most one
+//     ballot per term, and only while it too has heard no leader — a
+//     live leader can never be deposed by an impatient standby;
+//   * a candidate with a majority of grants is leader-elect, but may not
+//     act (publish views, declare replicas dead) until
+//     `ctl_lease + max_delay` ticks have passed: every grant in its
+//     quorum came from a voter that stopped acking the old term, so the
+//     old leader's lease — and with it any view beacon it could still
+//     emit — has provably run out before the new leader's first word.
+//
+// View epochs compose the election term with a per-term sequence number
+// (`view_epoch`), so a new leader's views lexicographically dominate
+// every view any prior leader ever published with no epoch negotiation —
+// the replicas' and checkpoints' plain `<` epoch fences keep working
+// across leader changes unmodified.
+//
+// Ownership is replicated: `range_owner_k`/`shard_owner_k` give the k-th
+// owner of a range (k = 0 is the primary, the `range_owner` of old). The
+// router speculatively re-routes a silent primary's request to the
+// secondary, which serves it under a degraded-confidence tag — a crashed
+// shard degrades instead of abstaining.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "fleet/config.hpp"
 
 namespace advh::fleet {
 
-/// Fixed node ids: the controller and router are infrastructure, replicas
-/// start at id 2.
-inline constexpr std::uint32_t kControllerNode = 0;
+// net.hpp includes this header (messages carry views); the controller
+// only holds references, so forward declarations break the cycle.
+struct message;
+class sim_net;
+class event_log;
+
+struct membership_view {
+  /// Strictly increasing with every membership change; epoch 0 means "no
+  /// view installed yet" and fences everything. Composed from (election
+  /// term, per-term sequence) — see view_epoch.
+  std::uint64_t epoch = 0;
+  /// Live replica node ids, sorted ascending.
+  std::vector<std::uint32_t> live;
+
+  friend bool operator==(const membership_view& a, const membership_view& b) {
+    return a.epoch == b.epoch && a.live == b.live;
+  }
+};
+
+/// Fixed node ids: the router is node 1, replicas start at id 2, and the
+/// controller group lives at kControllerBase.. (above any replica id —
+/// replicas are capped at 64).
 inline constexpr std::uint32_t kRouterNode = 1;
+inline constexpr std::uint32_t kControllerBase = 100;
 inline constexpr std::uint32_t replica_node(std::size_t replica_index) {
   return static_cast<std::uint32_t>(replica_index + 2);
+}
+inline constexpr std::uint32_t controller_node(std::size_t ctl_index) {
+  return kControllerBase + static_cast<std::uint32_t>(ctl_index);
+}
+inline constexpr bool is_controller_node(std::uint32_t node) {
+  return node >= kControllerBase;
+}
+
+/// View epochs compose (election term, per-term sequence): a leader of a
+/// higher term dominates every epoch any earlier leader could mint, so
+/// plain uint64 `<` comparisons fence across leader changes.
+inline constexpr std::uint64_t view_epoch(std::uint64_t term,
+                                          std::uint64_t seq) noexcept {
+  return (term << 32) | (seq & 0xffffffffULL);
+}
+inline constexpr std::uint64_t epoch_term(std::uint64_t epoch) noexcept {
+  return epoch >> 32;
+}
+inline constexpr std::uint64_t epoch_seq(std::uint64_t epoch) noexcept {
+  return epoch & 0xffffffffULL;
+}
+
+/// THE lease boundary, used by every lease in the fleet: a lease anchored
+/// at `anchor` is held through tick `anchor + lease` INCLUSIVE and
+/// expired — acquirable by a successor — from `anchor + lease + 1`. One
+/// shared predicate instead of scattered >=/> comparisons, so the holder
+/// side and the acquirer side can never both claim the boundary tick.
+inline constexpr bool lease_held(std::uint64_t now, std::uint64_t anchor,
+                                 std::uint64_t lease) noexcept {
+  return now <= anchor + lease;
 }
 
 /// splitmix64 finalizer — the same client-id mixer the track table uses,
@@ -41,18 +118,6 @@ inline std::uint64_t mix64(std::uint64_t z) noexcept {
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
 }
-
-struct membership_view {
-  /// Strictly increasing with every membership change; epoch 0 means "no
-  /// view installed yet" and fences everything.
-  std::uint64_t epoch = 0;
-  /// Live replica node ids, sorted ascending.
-  std::vector<std::uint32_t> live;
-
-  friend bool operator==(const membership_view& a, const membership_view& b) {
-    return a.epoch == b.epoch && a.live == b.live;
-  }
-};
 
 /// Template shard of a predicted class.
 inline std::uint64_t shard_of_class(std::size_t cls,
@@ -70,69 +135,189 @@ inline std::uint32_t range_of_client(std::uint64_t client,
   return static_cast<std::uint32_t>(wide >> 64);
 }
 
-/// Owner of template shard `shard` under `view`; nullopt when no replica
-/// is live (the fleet abstains rather than guessing).
+/// k-th owner of fingerprint-ring range `range` under `view` (k = 0 is
+/// the primary); nullopt when fewer than k+1 replicas are live.
+std::optional<std::uint32_t> range_owner_k(const membership_view& view,
+                                           std::uint32_t range,
+                                           std::uint32_t k);
+
+/// k-th owner of template shard `shard` under `view`.
+std::optional<std::uint32_t> shard_owner_k(const membership_view& view,
+                                           std::uint64_t shard,
+                                           std::uint32_t k);
+
+/// Primary owner of template shard `shard` under `view`; nullopt when no
+/// replica is live (the fleet abstains rather than guessing).
 std::optional<std::uint32_t> shard_owner(const membership_view& view,
                                          std::uint64_t shard);
 
-/// Owner of fingerprint-ring range `range` under `view`.
+/// Primary owner of fingerprint-ring range `range` under `view`.
 std::optional<std::uint32_t> range_owner(const membership_view& view,
                                          std::uint32_t range);
 
-/// Ring ranges owned by `node` under `view`.
+/// Replication slot `node` holds for `range` under `view` (0 = primary,
+/// 1 = secondary, ...); nullopt when the node is not among the first
+/// `replication` owners.
+std::optional<std::uint32_t> owner_slot(const membership_view& view,
+                                        std::uint32_t range,
+                                        std::uint32_t node,
+                                        std::uint32_t replication);
+
+/// Ring ranges whose PRIMARY is `node` under `view`.
 std::vector<std::uint32_t> ranges_owned(const membership_view& view,
                                         std::uint32_t node,
                                         std::uint32_t ring_ranges);
 
-/// Template shards owned by `node` under `view`.
+/// Template shards whose PRIMARY is `node` under `view`.
 std::vector<std::uint64_t> shards_owned(const membership_view& view,
                                         std::uint32_t node,
                                         std::uint64_t class_shards);
 
-/// The controller: heartbeat bookkeeping and view generation. Driven once
-/// per simulation tick; deterministic by construction (no wall clock, no
-/// randomness).
+/// Election role of one controller node.
+enum class ctl_role : std::uint8_t {
+  standby = 0,    ///< follows a leader (or waits out the stagger)
+  candidate = 1,  ///< requesting ballots for a fresh term
+  leader = 2,     ///< holds (or recently held) the leadership lease
+};
+
+const char* to_string(ctl_role r) noexcept;
+
+/// One member of the replicated controller group: heartbeat bookkeeping,
+/// view generation and leader election, driven once per simulation tick.
+/// Deterministic by construction (no wall clock, no randomness).
+///
+/// Controller 0 boots as the genesis leader of term 1 with the initial
+/// view installed — the deterministic convention every node shares —
+/// while the others boot as standbys already committed to term 1. All
+/// controllers record replica heartbeats all along (replicas heartbeat
+/// the whole group), so a freshly elected leader starts failure
+/// detection from a warm table instead of a blank one.
 class controller {
  public:
-  controller(const fleet_config& cfg);
+  /// `dir` is the durable store: the controller persists the highest term
+  /// it has voted for or led (`ctl<index>.term`, write-before-effect), so
+  /// a crash-recovered controller can never grant a ballot — or mint view
+  /// epochs — for a term the group already burned.
+  controller(std::size_t index, const fleet_config& cfg, std::string dir,
+             sim_net& net, event_log& log);
 
-  /// Records a heartbeat from `node` observed at `tick`.
-  void on_heartbeat(std::uint32_t node, std::uint64_t tick);
+  std::uint32_t node() const noexcept { return controller_node(index_); }
+  bool up() const noexcept { return up_; }
+  bool is_stalled() const noexcept { return stalled_; }
 
-  /// The last heartbeat tick the controller has RECEIVED from `node` (0
-  /// if none, or while the node is declared dead). Every view beacon to a
-  /// replica carries this value, and the replica's serving lease runs on
-  /// it — NOT on beacon send times. That closes the asymmetric-loss hole:
-  /// heartbeat silence (what failure detection watches) and beacon
-  /// reception (what a send-time lease would watch) are independent
-  /// channels under message loss, so a replica whose heartbeats are lost
-  /// could otherwise stay unfenced while its ranges are reassigned. With
-  /// the acked clock, death after `failure_timeout` of silence implies
-  /// every beacon the replica can ever receive carries an ack at least
-  /// `failure_timeout` old — provably past its `lease`, hence fenced.
-  std::uint64_t acked_heartbeat(std::uint32_t node) const;
+  // Fault injection (sim tick loop). crash() drops all volatile election
+  // and membership state; recover() reboots as a term-0 standby;
+  // stall()/unstall() freeze and resume processing (the inbox keeps
+  // buffering while stalled).
+  void crash(std::uint64_t tick);
+  void recover(std::uint64_t tick);
+  void stall(std::uint64_t tick);
+  void unstall(std::uint64_t tick);
 
-  /// Advances failure detection to `tick`. Returns the newly ANNOUNCED
-  /// view when membership changed (epoch bumped), nullopt otherwise. The
-  /// authoritative view() flips to an announced view only after it has
-  /// been stable for `lease + 1` ticks — the lease-transfer barrier that
-  /// keeps a stale-but-healthy previous owner's serving window disjoint
-  /// from its successor's.
-  std::optional<membership_view> step(std::uint64_t tick);
+  /// Delivers one network message (dropped when the controller is down).
+  void enqueue(message m);
 
-  /// The authoritative view: who may produce verdicts right now.
+  /// One simulation tick: inbox (heartbeats, leader beacons/acks,
+  /// ballots), election timers, and — while holding the leadership lease
+  /// past the takeover fence — membership failure detection, two-phase
+  /// view activation and view beacons.
+  void on_tick(std::uint64_t tick);
+
+  ctl_role role() const noexcept { return role_; }
+  std::uint64_t term() const noexcept { return term_; }
+
+  /// True while this controller holds the leadership lease at `tick`: it
+  /// is the leader and a majority of the group (itself included) acked
+  /// its term beacon within the last `ctl_lease` ticks.
+  bool leading(std::uint64_t tick) const;
+
+  /// True once `leading` AND the takeover fence has passed — the old
+  /// leader's lease (plus in-flight beacons) has provably run out, so
+  /// this leader may publish views and declare replicas dead.
+  bool acting(std::uint64_t tick) const;
+
+  /// The authoritative view this controller has ACTIVATED: who may
+  /// produce verdicts, per this controller. The sim's split-brain audit
+  /// takes the max-epoch activated view across the group — the elected
+  /// leader's, by construction.
   const membership_view& view() const noexcept { return view_; }
 
-  /// The announced view (the pending one during a lease-transfer window,
-  /// the authoritative one otherwise) — what beacons carry.
+  /// The announced view (the NEWEST pending one during a lease-transfer
+  /// window, the authoritative one otherwise) — what beacons carry.
   const membership_view& announced() const noexcept;
 
+  /// The last heartbeat tick this controller has RECEIVED from `node` (0
+  /// if none, or while the node is declared dead). Every view beacon to a
+  /// replica carries the leader's value, and the replica's serving lease
+  /// runs on it — NOT on beacon send times. That closes the
+  /// asymmetric-loss hole: heartbeat silence (what failure detection
+  /// watches) and beacon reception (what a send-time lease would watch)
+  /// are independent channels under message loss, so a replica whose
+  /// heartbeats are lost could otherwise stay unfenced while its ranges
+  /// are reassigned. With the acked clock, death after `failure_timeout`
+  /// of silence implies every beacon the replica can ever receive carries
+  /// an ack at least `failure_timeout` old — provably past its `lease`,
+  /// hence fenced.
+  std::uint64_t acked_heartbeat(std::uint32_t node) const;
+
  private:
+  void boot(std::uint64_t tick, bool genesis);
+  void handle(const message& m, std::uint64_t tick);
+  void on_heartbeat(std::uint32_t node, std::uint64_t tick);
+  void bump_voted_term(std::uint64_t term);
+  void step_down(std::uint64_t term, std::uint64_t tick);
+  void start_candidacy(std::uint64_t tick);
+  void become_leader(std::uint64_t tick);
+  void membership_step(std::uint64_t tick);
+  void broadcast_view(std::uint64_t tick, bool reliable);
+
+  std::size_t index_;
   const fleet_config& cfg_;
+  std::string dir_;
+  sim_net& net_;
+  event_log& log_;
+
+  bool up_ = false;
+  bool stalled_ = false;
+  std::vector<message> inbox_;
+
+  // --- election state ---
+  ctl_role role_ = ctl_role::standby;
+  /// Term this controller leads (or last led). Meaningful for leaders and
+  /// candidates; standbys track terms through voted_term_.
+  std::uint64_t term_ = 0;
+  /// Highest term this controller has voted for or acknowledged — the
+  /// vote-once-per-term fence, and the ack fence that starves a deposed
+  /// leader's lease.
+  std::uint64_t voted_term_ = 0;
+  /// Last tick a live leader was heard (its beacon acked). The candidacy
+  /// stagger and the own-silence ballot precondition both run on it.
+  std::uint64_t last_leader_signal_ = 0;
+  /// Leader: last tick each peer acked our current term (self-ack is
+  /// refreshed every beacon; nullopt = no ack this term yet). The
+  /// leadership lease is a quorum of these within ctl_lease.
+  std::vector<std::optional<std::uint64_t>> ack_tick_;
+  /// Candidate: ballots granted for term_ (own vote included).
+  std::uint64_t grants_ = 0;
+  std::uint64_t candidacy_started_ = 0;
+  /// Leader-elect takeover fence: acting() is false until this tick.
+  std::uint64_t act_from_ = 0;
+
+  // --- membership state (leader-only mutation) ---
   membership_view view_;
-  /// Announced but not yet authoritative (lease-transfer barrier).
-  std::optional<membership_view> pending_;
-  std::uint64_t activate_at_ = 0;
+  struct announced_view {
+    membership_view view;
+    std::uint64_t announced_at = 0;
+  };
+  /// Announced but not yet authoritative views (lease-transfer barrier),
+  /// oldest first. Each activates once the ownership lease anchored at
+  /// ITS OWN announce tick has expired — further churn announces a new
+  /// view but never delays an earlier one, mirroring the per-range
+  /// acquisition/promotion graces on the replicas (both sides anchor on
+  /// the same announce/send tick, so a successor's first verdict and the
+  /// granting view's activation land on the same tick).
+  std::vector<announced_view> pending_;
+  std::uint64_t view_seq_ = 0;
   /// Last heartbeat tick per replica node id; nullopt = currently dead.
   std::vector<std::optional<std::uint64_t>> last_heartbeat_;
 };

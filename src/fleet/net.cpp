@@ -1,6 +1,7 @@
 #include "fleet/net.hpp"
 
 #include "common/rng.hpp"
+#include "fleet/fault_plan.hpp"
 
 namespace advh::fleet {
 
@@ -41,6 +42,14 @@ const char* to_string(msg_kind k) noexcept {
       return "stage_request";
     case msg_kind::stage_result:
       return "stage_result";
+    case msg_kind::leader_beacon:
+      return "leader_beacon";
+    case msg_kind::leader_ack:
+      return "leader_ack";
+    case msg_kind::ballot_request:
+      return "ballot_request";
+    case msg_kind::ballot_grant:
+      return "ballot_grant";
   }
   return "?";
 }
@@ -69,7 +78,13 @@ const char* to_string(req_outcome o) noexcept {
   return "?";
 }
 
-sim_net::sim_net(const fleet_config& cfg) : cfg_(cfg) {}
+sim_net::sim_net(const fleet_config& cfg, const fault_plan* plan)
+    : cfg_(cfg), plan_(plan) {}
+
+bool sim_net::severed(std::uint32_t a, std::uint32_t b,
+                      std::uint64_t tick) const {
+  return plan_ != nullptr && plan_->severed(a, b, tick);
+}
 
 std::uint64_t sim_net::delay_for(std::uint64_t seq,
                                  std::uint64_t attempt) const {
@@ -83,6 +98,11 @@ void sim_net::send(message m, std::uint64_t now) {
   const std::uint64_t seq = seq_++;
   ++stats_.sent;
   m.send_tick = now;
+  if (severed(m.src, m.dst, now)) {
+    ++stats_.severed;
+    ++stats_.lost;
+    return;
+  }
   rng loss = rng::stream(cfg_.seed ^ kLossSalt, seq * 97);
   if (cfg_.loss_rate > 0.0 && loss.bernoulli(cfg_.loss_rate)) {
     ++stats_.lost;
@@ -95,16 +115,35 @@ void sim_net::send_reliable(message m, std::uint64_t now) {
   const std::uint64_t seq = seq_++;
   ++stats_.sent;
   m.send_tick = now;
-  // The whole retransmission future is decided here: attempt k is lost
-  // with an independent draw; the first survivor sets the delivery tick.
-  // The final attempt is exempt from loss so reliable traffic always
-  // lands.
+  // The whole retransmission future is decided here: attempt k (at tick
+  // now + k * retransmit) is lost with an independent draw, or severed
+  // outright when an active partition cuts the edge at that tick; the
+  // first survivor sets the delivery tick. The final attempt is exempt
+  // from the loss draw — but NOT from partitions — so reliable traffic
+  // always lands unless the partition outlives the whole attempt budget,
+  // and resumes deterministically right after a heal.
   std::uint64_t attempt = 0;
-  for (; attempt + 1 < kMaxAttempts; ++attempt) {
+  bool survived = false;
+  for (; attempt < kMaxAttempts; ++attempt) {
+    if (severed(m.src, m.dst, now + attempt * cfg_.retransmit)) {
+      ++stats_.severed;
+      continue;
+    }
+    if (attempt + 1 == kMaxAttempts) {
+      survived = true;
+      break;
+    }
     rng loss = rng::stream(cfg_.seed ^ kLossSalt, seq * 97 + attempt);
-    if (!(cfg_.loss_rate > 0.0 && loss.bernoulli(cfg_.loss_rate))) break;
+    if (!(cfg_.loss_rate > 0.0 && loss.bernoulli(cfg_.loss_rate))) {
+      survived = true;
+      break;
+    }
   }
   stats_.retransmissions += attempt;
+  if (!survived) {
+    ++stats_.lost;
+    return;
+  }
   heap_.push(pending{now + attempt * cfg_.retransmit + delay_for(seq, attempt),
                      seq, std::move(m)});
 }

@@ -16,6 +16,14 @@
 // Pending messages sit in a min-heap ordered by (deliver_tick, sequence
 // number), so delivery order is a total order independent of anything
 // the rest of the simulation does.
+//
+// Network partitions come from the fault plan (symmetric group splits
+// scheduled before the run) and stay an at-send property too: a
+// best-effort attempt across a severed edge is lost; a reliable message
+// walks its retransmission schedule and lands on the first attempt that
+// is neither lost nor severed — so reliable control traffic resumes
+// deterministically after the partition heals (or dies with the attempt
+// budget if it never does).
 #pragma once
 
 #include <cstdint>
@@ -41,6 +49,10 @@ enum class msg_kind : std::uint8_t {
   canary_vote = 8,         ///< peer -> alarmed owner (reliable)
   stage_request = 9,       ///< owner -> validator peer (reliable)
   stage_result = 10,       ///< validator peer -> owner (reliable)
+  leader_beacon = 11,      ///< leader -> controller peers (best-effort)
+  leader_ack = 12,         ///< controller peer -> leader (best-effort)
+  ballot_request = 13,     ///< candidate -> controller peers (reliable)
+  ballot_grant = 14,       ///< voter -> candidate (reliable)
 };
 
 const char* to_string(msg_kind k) noexcept;
@@ -77,6 +89,11 @@ struct message {
   tensor input;
   req_outcome outcome = req_outcome::abstain_timeout;
   bool flagged = false;
+  /// Request: routed to a non-primary owner after the primary went
+  /// silent. Response: the verdict was produced by a non-primary owner
+  /// and carries degraded confidence.
+  bool speculative = false;
+  bool degraded = false;
 
   // fencing / ownership context (request, response, checkpoint, votes)
   std::uint64_t epoch = 0;
@@ -92,8 +109,9 @@ struct message {
   // checkpoint_announce / stage_* — which detector content generation
   std::uint64_t content_version = 0;
   std::string path;
-  bool ok = false;          ///< stage_result verdict
-  std::uint64_t ballot = 0; ///< canary vote round
+  bool ok = false;          ///< stage_result / ballot_grant verdict
+  std::uint64_t ballot = 0; ///< canary vote round; election term for
+                            ///< leader_beacon/leader_ack/ballot_*
 
   // handoff_batch
   std::vector<track::client_record> records;
@@ -108,11 +126,19 @@ struct net_stats {
   std::uint64_t dropped_dst_down = 0;
   /// Extra attempts reliable messages needed beyond the first.
   std::uint64_t retransmissions = 0;
+  /// Send attempts severed by an active network partition.
+  std::uint64_t severed = 0;
 };
+
+class fault_plan;
 
 class sim_net {
  public:
-  sim_net(const fleet_config& cfg);
+  /// `plan` (optional) supplies the partition schedule: a send attempt
+  /// between nodes the plan severs at that tick is lost. The plan must
+  /// outlive the net.
+  explicit sim_net(const fleet_config& cfg,
+                   const fault_plan* plan = nullptr);
 
   /// Queues `m` at tick `now`, best-effort: one delivery attempt, lost
   /// with probability loss_rate.
@@ -144,8 +170,10 @@ class sim_net {
   };
 
   std::uint64_t delay_for(std::uint64_t seq, std::uint64_t attempt) const;
+  bool severed(std::uint32_t a, std::uint32_t b, std::uint64_t tick) const;
 
   const fleet_config& cfg_;
+  const fault_plan* plan_ = nullptr;
   std::priority_queue<pending, std::vector<pending>, later> heap_;
   std::uint64_t seq_ = 0;
   net_stats stats_;

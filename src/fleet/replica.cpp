@@ -53,7 +53,7 @@ void replica::boot(std::uint64_t tick, bool genesis) {
   applied_epoch_.clear();
   for (std::uint64_t s = 0; s < cfg_.class_shards; ++s) {
     applied_[s] = 1;  // genesis content is version 1 by definition
-    applied_epoch_[s] = 1;
+    applied_epoch_[s] = view_epoch(1, 1);
     const std::string latest = shard_latest_path(deps_.dir, s);
     if (!std::filesystem::exists(latest)) continue;
     try {
@@ -94,12 +94,14 @@ void replica::boot(std::uint64_t tick, bool genesis) {
   staged_det_.reset();
 
   acquired_at_.clear();
+  promoted_at_.clear();
   if (genesis) {
     // The fleet starts whole: every replica installs the initial view and
     // is immediately serveable (no prior owner existed, so no acquisition
     // grace applies). After a crash the view stays empty (epoch 0 fences
-    // everything) until a controller beacon arrives.
-    view_.epoch = 1;
+    // everything) until a controller beacon arrives. Genesis is the first
+    // view of election term 1 — the same epoch the genesis leader mints.
+    view_.epoch = view_epoch(1, 1);
     view_.live.clear();
     for (std::size_t i = 0; i < cfg_.replicas; ++i) {
       view_.live.push_back(replica_node(i));
@@ -173,30 +175,54 @@ void replica::unstall(std::uint64_t tick) {
   log_.line(tick, "unstall node=" + std::to_string(node()));
 }
 
-bool replica::fence_ok(std::uint32_t range, std::uint64_t tick) const {
-  if (view_.epoch == 0) return false;
-  if (tick - freshest_beacon_ > cfg_.lease) return false;
-  if (range_owner(view_, range) != node()) return false;
-  // Acquisition grace: a range gained through a view change stays fenced
-  // until the PREVIOUS owner's lease has provably expired. The previous
-  // owner may be perfectly healthy (a membership *addition* moves ranges
-  // away from live replicas) and can keep serving under its stale view
-  // until the change beacon reaches it — but never past its lease, whose
-  // clock can only have reached the change tick (acked heartbeats are
-  // controller-side ticks, recorded no later than the view change that
-  // reassigned the range). Serving strictly after change + lease is
-  // therefore disjoint from anything the predecessor can do.
+std::optional<std::uint32_t> replica::fence_slot(std::uint32_t range,
+                                                 std::uint64_t tick) const {
+  if (view_.epoch == 0) return std::nullopt;
+  // The serving lease and the acquisition grace below share the ONE lease
+  // boundary predicate (membership.hpp::lease_held): the holder serves
+  // through anchor + lease inclusive, a successor may serve from
+  // anchor + lease + 1. Before the predicate existed the two sides used
+  // hand-written >=/> comparisons and disagreed about the boundary tick —
+  // a one-tick overlap window the boundary regression test now pins shut.
+  if (!lease_held(tick, freshest_beacon_, cfg_.lease)) return std::nullopt;
+  const auto slot = owner_slot(view_, range, node(), cfg_.replication);
+  if (!slot.has_value()) return std::nullopt;
+  // Acquisition grace: a range newly covered through a view change stays
+  // fenced until the PREVIOUS owner's lease has provably expired. The
+  // previous owner may be perfectly healthy (a membership *addition*
+  // moves ranges away from live replicas) and can keep serving under its
+  // stale view until the change beacon reaches it — but never past its
+  // lease, whose clock can only have reached the change tick (acked
+  // heartbeats are controller-side ticks, recorded no later than the view
+  // change that reassigned the range). Serving strictly after
+  // change + lease is therefore disjoint from anything the predecessor
+  // can do.
   const auto acquired = acquired_at_.find(range);
   if (acquired != acquired_at_.end() &&
-      tick <= acquired->second + cfg_.lease) {
-    return false;
+      lease_held(tick, acquired->second, cfg_.lease)) {
+    return std::nullopt;
   }
-  return true;
+  // Promotion grace: a secondary promoted to primary by a view change
+  // keeps serving DEGRADED-only (as if still slot 1) until the deposed
+  // primary's lease has run out — it may be healthy and still serving the
+  // range full-confidence under its stale view, and two full-confidence
+  // servers for one range is exactly the split-brain the audit flags. The
+  // grace ends the same tick the audit view flips (both run lease_held
+  // off the change tick), so full-confidence serving and the new
+  // authoritative view begin together.
+  if (*slot == 0) {
+    const auto promoted = promoted_at_.find(range);
+    if (promoted != promoted_at_.end() &&
+        lease_held(tick, promoted->second, cfg_.lease)) {
+      return 1;
+    }
+  }
+  return slot;
 }
 
 void replica::respond(std::uint64_t tick, std::uint64_t req_id,
                       std::uint64_t client, std::uint32_t range,
-                      req_outcome outcome, bool flagged) {
+                      req_outcome outcome, bool flagged, bool degraded) {
   message r;
   r.kind = msg_kind::response;
   r.src = node();
@@ -207,6 +233,7 @@ void replica::respond(std::uint64_t tick, std::uint64_t req_id,
   r.epoch = view_.epoch;
   r.outcome = outcome;
   r.flagged = flagged;
+  r.degraded = degraded;
   net_.send(std::move(r), tick);
 }
 
@@ -237,16 +264,25 @@ void replica::persist_ban(std::uint64_t client, std::uint64_t tick) {
 }
 
 void replica::handle_request(message& m, std::uint64_t tick) {
-  if (m.epoch != view_.epoch || !fence_ok(m.range, tick)) {
+  // A normally routed request needs the PRIMARY slot; a speculative
+  // re-route accepts any held slot (it exists precisely because the
+  // primary is silent) and is tagged degraded when a non-primary slot
+  // serves it.
+  const auto slot = fence_slot(m.range, tick);
+  const bool admissible =
+      m.epoch == view_.epoch && slot.has_value() &&
+      (m.speculative || *slot == 0);
+  if (!admissible) {
     respond(tick, m.req_id, m.client, m.range, req_outcome::abstain_fenced,
             false);
     return;
   }
   serve::submit_result res = service_->submit(
       std::move(m.input), serve::priority::interactive, std::nullopt,
-      m.client);
+      m.client, /*degraded_confidence=*/m.speculative && *slot != 0);
   if (res.admitted()) {
-    pending_[res.id] = pending_req{m.req_id, m.client, m.range};
+    pending_[res.id] =
+        pending_req{m.req_id, m.client, m.range, m.speculative};
     return;
   }
   if (res.status == serve::admit_status::rejected_banned) {
@@ -288,14 +324,26 @@ void replica::apply_beacon(const message& m,
     }
   }
 
-  // Record newly-acquired ranges for the fence_ok serving grace. On a
-  // recovery boot `old` is the empty epoch-0 view and every owned range
-  // counts as newly acquired — the interim owner that served it while we
-  // were down is exactly the healthy predecessor the grace waits out.
+  // Record newly-covered ranges (ANY ownership slot — a fresh secondary
+  // serves speculative traffic and needs the same grace as a fresh
+  // primary) for the fence_slot serving grace. On a recovery boot `old`
+  // is the empty epoch-0 view and every covered range counts as newly
+  // acquired — the interim owner that served it while we were down is
+  // exactly the healthy predecessor the grace waits out.
   for (std::uint32_t r = 0; r < cfg_.ring_ranges; ++r) {
-    const bool mine_now = range_owner(view_, r) == node();
-    const bool mine_before = old.epoch != 0 && range_owner(old, r) == node();
-    if (mine_now && !mine_before) acquired_at_[r] = m.send_tick;
+    const auto now_slot = owner_slot(view_, r, node(), cfg_.replication);
+    const auto old_slot = old.epoch != 0
+                              ? owner_slot(old, r, node(), cfg_.replication)
+                              : std::optional<std::uint32_t>{};
+    if (now_slot.has_value() && !old_slot.has_value()) {
+      acquired_at_[r] = m.send_tick;
+    } else if (now_slot.has_value() && *now_slot == 0 &&
+               old_slot.has_value() && *old_slot != 0) {
+      // Already covered, newly primary: no full fence needed (degraded
+      // serving of this range was already legitimate), but full-confidence
+      // serving must wait out the deposed primary's lease.
+      promoted_at_[r] = m.send_tick;
+    }
   }
 
   // Bounded handoff of every range we owned but lost: one batch per range
@@ -412,6 +460,10 @@ void replica::handle(message& m, std::uint64_t tick) {
     }
     case msg_kind::heartbeat:
     case msg_kind::response:
+    case msg_kind::leader_beacon:
+    case msg_kind::leader_ack:
+    case msg_kind::ballot_request:
+    case msg_kind::ballot_grant:
       return;  // not addressed to replicas
   }
 }
@@ -479,18 +531,26 @@ void replica::service_step(std::uint64_t tick) {
       flagged = false;
     }
     // Re-fence at response time: a view change while the request queued
-    // means this node may no longer own the range — abstain instead of
-    // leaking a stale verdict.
+    // means this node may no longer hold a serving slot for the range —
+    // abstain instead of leaking a stale verdict. The slot held NOW, not
+    // at admission, decides the degraded tag: a speculative request whose
+    // server has since been promoted to primary leaves at full
+    // confidence.
+    bool degraded = false;
     if ((outcome == req_outcome::served_clean ||
          outcome == req_outcome::served_flagged)) {
-      if (!fence_ok(ctx.range, tick)) {
+      const auto slot = fence_slot(ctx.range, tick);
+      if (!slot.has_value() || (!ctx.speculative && *slot != 0)) {
         outcome = req_outcome::abstain_fenced;
         flagged = false;
-      } else if (probe_) {
-        probe_(node(), ctx.client);
+      } else {
+        degraded = *slot != 0;
+        if (degraded) ++log_.stats().served_secondary;
+        if (probe_) probe_(node(), ctx.client, degraded);
       }
     }
-    respond(tick, ctx.req_id, ctx.client, ctx.range, outcome, flagged);
+    respond(tick, ctx.req_id, ctx.client, ctx.range, outcome, flagged,
+            degraded);
   }
 }
 
@@ -734,11 +794,18 @@ void replica::on_tick(std::uint64_t tick) {
   for (message& m : msgs) handle(m, tick);
 
   if (tick % cfg_.hb_interval == 0) {
-    message hb;
-    hb.kind = msg_kind::heartbeat;
-    hb.src = node();
-    hb.dst = kControllerNode;
-    net_.send(std::move(hb), tick);
+    // Heartbeat the WHOLE controller group, not just the leader: every
+    // standby keeps a warm failure-detection table, so a freshly elected
+    // leader declares deaths from real observations instead of a blank
+    // slate (which would read as "everyone just heartbeat" and stall
+    // failover by a full failure_timeout).
+    for (std::size_t j = 0; j < cfg_.controllers; ++j) {
+      message hb;
+      hb.kind = msg_kind::heartbeat;
+      hb.src = node();
+      hb.dst = controller_node(j);
+      net_.send(std::move(hb), tick);
+    }
   }
   if (tick > 0 && tick % cfg_.canary_interval == 0) canary_step(tick);
   service_step(tick);

@@ -16,8 +16,11 @@
 //   1. the controller's acknowledgment of this replica's heartbeats
 //      (carried on every beacon) is at most `lease` ticks old,
 //   2. the request's epoch equals its installed view epoch,
-//   3. it is the owner of the request's ring range under that view,
-//   4. any range gained through a view change has outlived its
+//   3. it holds an ownership slot for the request's ring range under
+//      that view — the PRIMARY slot for a normally routed request, any
+//      slot below the replication factor for a speculative re-route
+//      (which it serves under a degraded-confidence tag),
+//   4. any range it newly covers through a view change has outlived its
 //      acquisition grace (the previous — possibly perfectly healthy —
 //      owner's lease must have provably expired first),
 // hold — both at admission and again when the response leaves (a view
@@ -89,10 +92,12 @@ class replica {
   /// service rounds, handoff and rollout progress, periodic checkpoints.
   void on_tick(std::uint64_t tick);
 
-  /// Split-brain instrumentation: invoked with (node, client) immediately
-  /// before a served verdict leaves this replica. The sim points this at
-  /// the controller's authoritative view.
-  void set_serve_probe(std::function<void(std::uint32_t, std::uint64_t)> p) {
+  /// Split-brain instrumentation: invoked with (node, client, degraded)
+  /// immediately before a served verdict leaves this replica. The sim
+  /// points this at the ELECTED leader's authoritative view; `degraded`
+  /// tells the audit whether a secondary slot legitimizes the serve.
+  void set_serve_probe(
+      std::function<void(std::uint32_t, std::uint64_t, bool)> p) {
     probe_ = std::move(p);
   }
 
@@ -108,9 +113,15 @@ class replica {
  private:
   void boot(std::uint64_t tick, bool genesis);
   void rebuild_detector();
-  bool fence_ok(std::uint32_t range, std::uint64_t tick) const;
+  /// The ownership slot this node may serve `range` under right now, or
+  /// nullopt when fenced (no view, stale lease, no slot, or inside the
+  /// acquisition grace). Slot 0 = primary; callers decide whether a
+  /// non-primary slot is acceptable (speculative re-routes only).
+  std::optional<std::uint32_t> fence_slot(std::uint32_t range,
+                                          std::uint64_t tick) const;
   void respond(std::uint64_t tick, std::uint64_t req_id, std::uint64_t client,
-               std::uint32_t range, req_outcome outcome, bool flagged);
+               std::uint32_t range, req_outcome outcome, bool flagged,
+               bool degraded = false);
 
   void handle(message& m, std::uint64_t tick);
   void handle_request(message& m, std::uint64_t tick);
@@ -160,6 +171,8 @@ class replica {
     std::uint64_t req_id = 0;
     std::uint64_t client = 0;
     std::uint32_t range = 0;
+    /// Speculative re-route: any ownership slot may serve it (degraded).
+    bool speculative = false;
   };
   /// service submission id -> routed-request context.
   std::map<std::uint64_t, pending_req> pending_;
@@ -193,13 +206,22 @@ class replica {
 
   /// Active range handoffs: range -> destination node.
   std::map<std::uint32_t, std::uint32_t> handoffs_;
-  /// Ranges gained through a view change -> the change beacon's send
-  /// tick. fence_ok refuses to serve such a range until the previous
-  /// owner's lease has provably expired (send tick + lease), closing the
-  /// healthy-predecessor window a membership addition opens.
+  /// Ranges newly covered (any ownership slot) through a view change ->
+  /// the change beacon's send tick. fence_slot refuses to serve such a
+  /// range until the previous owner's lease has provably expired (send
+  /// tick + lease), closing the healthy-predecessor window a membership
+  /// addition opens.
   std::map<std::uint32_t, std::uint64_t> acquired_at_;
+  /// Ranges whose PRIMARY slot was newly acquired while we already held a
+  /// lower slot (a secondary promoted by a view change) -> the change
+  /// beacon's send tick. Until the deposed primary's lease has run out,
+  /// fence_slot demotes such a range to degraded-only serving: the old
+  /// primary may still be serving it full-confidence under its stale view
+  /// and lease, and only one full-confidence server per range may exist
+  /// at any instant.
+  std::map<std::uint32_t, std::uint64_t> promoted_at_;
 
-  std::function<void(std::uint32_t, std::uint64_t)> probe_;
+  std::function<void(std::uint32_t, std::uint64_t, bool)> probe_;
 };
 
 }  // namespace advh::fleet

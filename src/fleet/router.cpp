@@ -8,8 +8,8 @@ router::router(const fleet_config& cfg, const std::string& dir, sim_net& net,
                event_log& log)
     : cfg_(cfg), dir_(dir), net_(net), log_(log) {
   // The router starts with the genesis view, like the replicas: the fleet
-  // is whole until the controller says otherwise.
-  view_.epoch = 1;
+  // is whole until the controller group says otherwise.
+  view_.epoch = view_epoch(1, 1);
   for (std::size_t i = 0; i < cfg_.replicas; ++i) {
     view_.live.push_back(replica_node(i));
   }
@@ -26,13 +26,14 @@ void router::reload_ledgers() {
 
 void router::resolve(std::uint64_t tick, std::uint64_t req_id,
                      std::uint64_t client, req_outcome outcome, bool flagged,
-                     std::uint32_t served_by) {
+                     std::uint32_t served_by, bool degraded) {
   log_.count(outcome);
   log_.line(tick, "req=" + std::to_string(req_id) +
                       " client=" + std::to_string(client) +
                       " outcome=" + to_string(outcome) +
                       " flagged=" + (flagged ? "1" : "0") +
-                      " node=" + std::to_string(served_by));
+                      " node=" + std::to_string(served_by) +
+                      (degraded ? " conf=degraded" : ""));
 }
 
 std::uint64_t router::submit(std::uint64_t client, tensor input,
@@ -55,11 +56,18 @@ std::uint64_t router::submit(std::uint64_t client, tensor input,
   m.dst = *owner;
   m.req_id = req_id;
   m.client = client;
-  m.input = std::move(input);
+  m.input = input;  // the pending entry keeps a copy for speculation
   m.epoch = view_.epoch;
   m.range = range;
   net_.send(std::move(m), tick);
-  pending_[req_id] = pending_req{client, tick + cfg_.request_timeout};
+  pending_req p;
+  p.client = client;
+  p.deadline_tick = tick + cfg_.request_timeout;
+  p.input = std::move(input);
+  p.range = range;
+  p.primary_dst = *owner;
+  p.submitted = tick;
+  pending_[req_id] = std::move(p);
   return req_id;
 }
 
@@ -83,11 +91,15 @@ void router::drain_inbox(std::uint64_t tick) {
         banned_.insert(m.client);
         break;
       case msg_kind::response: {
+        // First response in network-delivery order wins — with a dual
+        // route in flight the loser finds no pending entry and is
+        // dropped, so a request still resolves exactly once.
         const auto it = pending_.find(m.req_id);
-        if (it == pending_.end()) break;  // already timed out: drop
+        if (it == pending_.end()) break;  // resolved or timed out: drop
         const std::uint64_t client = it->second.client;
         pending_.erase(it);
-        resolve(tick, m.req_id, client, m.outcome, m.flagged, m.src);
+        resolve(tick, m.req_id, client, m.outcome, m.flagged, m.src,
+                m.degraded);
         break;
       }
       default:
@@ -96,7 +108,42 @@ void router::drain_inbox(std::uint64_t tick) {
   }
 }
 
+void router::speculate(std::uint64_t tick) {
+  // One speculative re-send per request, after `speculate_after` ticks of
+  // primary silence, to the first ownership slot of the range (under the
+  // router's CURRENT view — the primary may already have been declared
+  // dead) that is not the node originally tried. Stamped with the current
+  // epoch and the speculative flag, so a non-primary slot will serve it
+  // (tagged degraded) instead of abstaining. std::map iteration gives
+  // request-id order — deterministic at any thread count.
+  for (auto& [req_id, p] : pending_) {
+    if (p.speculated || tick < p.submitted + cfg_.speculate_after) continue;
+    p.speculated = true;  // one shot, even when no alternate slot exists
+    for (std::uint32_t k = 0; k < cfg_.replication; ++k) {
+      const auto owner = range_owner_k(view_, p.range, k);
+      if (!owner.has_value()) break;  // fewer live replicas than slots
+      if (*owner == p.primary_dst) continue;
+      message m;
+      m.kind = msg_kind::request;
+      m.src = kRouterNode;
+      m.dst = *owner;
+      m.req_id = req_id;
+      m.client = p.client;
+      m.input = p.input;
+      m.epoch = view_.epoch;
+      m.range = p.range;
+      m.speculative = true;
+      net_.send(std::move(m), tick);
+      ++log_.stats().speculative_routes;
+      log_.line(tick, "speculate req=" + std::to_string(req_id) +
+                          " node=" + std::to_string(*owner));
+      break;
+    }
+  }
+}
+
 void router::on_tick(std::uint64_t tick) {
+  speculate(tick);
   std::vector<std::uint64_t> expired;
   for (const auto& [req_id, p] : pending_) {
     if (p.deadline_tick <= tick) expired.push_back(req_id);

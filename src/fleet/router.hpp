@@ -11,6 +11,13 @@
 //     learns bans from reliable ban announcements and re-reads the
 //     durable ledgers on every view change);
 //   * no live owner -> abstain_no_owner, immediately;
+//   * a request whose primary has been silent for `speculate_after`
+//     ticks is speculatively re-sent ONCE to another ownership slot of
+//     its range under the router's current view — a crashed primary's
+//     requests degrade to a secondary's tagged verdict instead of
+//     burning the full timeout into an abstain. The first response in
+//     network-delivery order wins; the loser finds no pending entry and
+//     is dropped;
 //   * no response within request_timeout ticks -> abstain_timeout. A
 //     late response (crashed owner, re-routed range) finds no pending
 //     entry and is dropped — a request resolves exactly once.
@@ -47,8 +54,9 @@ class router {
   /// Processes the inbox; called by the sim before arrivals each tick.
   void drain_inbox(std::uint64_t tick);
 
-  /// Expires pending requests past request_timeout (fail-closed
-  /// abstain_timeout), in request-id order.
+  /// Speculatively re-routes silent primaries' requests, then expires
+  /// pending requests past request_timeout (fail-closed abstain_timeout),
+  /// both in request-id order.
   void on_tick(std::uint64_t tick);
 
   const membership_view& view() const noexcept { return view_; }
@@ -59,7 +67,9 @@ class router {
 
  private:
   void resolve(std::uint64_t tick, std::uint64_t req_id, std::uint64_t client,
-               req_outcome outcome, bool flagged, std::uint32_t served_by);
+               req_outcome outcome, bool flagged, std::uint32_t served_by,
+               bool degraded = false);
+  void speculate(std::uint64_t tick);
   void reload_ledgers();
 
   const fleet_config& cfg_;
@@ -74,6 +84,12 @@ class router {
   struct pending_req {
     std::uint64_t client = 0;
     std::uint64_t deadline_tick = 0;
+    /// Kept for the (at most one) speculative re-send.
+    tensor input;
+    std::uint32_t range = 0;
+    std::uint32_t primary_dst = 0;
+    std::uint64_t submitted = 0;
+    bool speculated = false;
   };
   std::map<std::uint64_t, pending_req> pending_;
   std::uint64_t next_req_id_ = 1;

@@ -4,27 +4,20 @@
 
 namespace advh::fleet {
 
-namespace {
-
-std::string live_list(const membership_view& v) {
-  std::string out;
-  for (std::size_t i = 0; i < v.live.size(); ++i) {
-    if (i > 0) out += ",";
-    out += std::to_string(v.live[i]);
-  }
-  return out.empty() ? "-" : out;
-}
-
-}  // namespace
-
 fleet_sim::fleet_sim(const fleet_config& cfg, fleet_deps deps,
                      fault_plan plan)
     : cfg_(cfg),
       deps_(std::move(deps)),
       plan_(std::move(plan)),
-      net_(cfg_),
-      controller_(cfg_) {
+      net_(cfg_, &plan_) {
   validate(cfg_);
+  for (std::size_t j = 0; j < cfg_.controllers; ++j) {
+    controllers_.push_back(
+        std::make_unique<controller>(j, cfg_, deps_.dir, net_, log_));
+  }
+  // Controller 0 boots as the genesis leader with the initial view
+  // already activated; the audit starts from it.
+  audit_view_ = controllers_[0]->view();
   router_ = std::make_unique<router>(cfg_, deps_.dir, net_, log_);
   for (std::size_t i = 0; i < cfg_.replicas; ++i) {
     replica_deps rd;
@@ -36,56 +29,46 @@ fleet_sim::fleet_sim(const fleet_config& cfg, fleet_deps deps,
     replicas_.push_back(std::make_unique<replica>(i, cfg_, std::move(rd),
                                                   net_, plan_, log_));
     replicas_.back()->set_serve_probe(
-        [this](std::uint32_t node, std::uint64_t client) {
-          const auto owner = range_owner(controller_.view(),
-                                         range_of_client(client, cfg_));
-          if (!owner.has_value() || *owner != node) {
+        [this](std::uint32_t node, std::uint64_t client, bool degraded) {
+          // A full-confidence verdict must come from the PRIMARY slot of
+          // the elected leader's activated view; a degraded verdict from
+          // any replicated slot. Anything else escaped the fence.
+          const std::uint32_t range = range_of_client(client, cfg_);
+          const auto slot =
+              owner_slot(audit_view_, range, node, cfg_.replication);
+          const bool legitimate =
+              slot.has_value() && (*slot == 0 || degraded);
+          if (!legitimate) {
             ++log_.stats().split_brain_serves;
             // Journalled so a failed zero-split-brain gate names the
             // exact verdict that escaped the fence.
             log_.line(tick_, "SPLIT-BRAIN node=" + std::to_string(node) +
                                  " client=" + std::to_string(client) +
-                                 " range=" +
-                                 std::to_string(range_of_client(client, cfg_)) +
+                                 " range=" + std::to_string(range) +
+                                 " degraded=" + (degraded ? "1" : "0") +
                                  " authoritative-epoch=" +
-                                 std::to_string(controller_.view().epoch));
+                                 std::to_string(audit_view_.epoch));
           }
         });
   }
 }
 
-void fleet_sim::broadcast_view(std::uint64_t tick, bool reliable) {
-  const auto send = [&](std::uint32_t dst) {
-    message m;
-    m.kind = msg_kind::view_beacon;
-    m.src = kControllerNode;
-    m.dst = dst;
-    // Beacons carry the ANNOUNCED view: during a lease-transfer window
-    // replicas already fence/acquire off the pending membership while the
-    // authoritative view (the split-brain audit) flips only after the old
-    // owner's lease has provably run out.
-    m.view = controller_.announced();
-    // Each replica's lease runs on the controller's acknowledgment of its
-    // OWN heartbeats, so a replica the controller is about to declare
-    // dead can never read a fresh lease out of a beacon that merely
-    // happened to arrive.
-    m.acked_hb = controller_.acked_heartbeat(dst);
-    if (reliable) {
-      net_.send_reliable(std::move(m), tick);
-    } else {
-      net_.send(std::move(m), tick);
-    }
-  };
-  send(kRouterNode);
-  for (std::size_t i = 0; i < cfg_.replicas; ++i) send(replica_node(i));
+const controller* fleet_sim::acting_leader() const {
+  for (const auto& c : controllers_) {
+    if (c->up() && c->acting(tick_)) return c.get();
+  }
+  return nullptr;
 }
 
 void fleet_sim::deliver(std::uint64_t tick) {
   for (message& m : net_.deliver_until(tick)) {
-    if (m.dst == kControllerNode) {
-      if (m.kind == msg_kind::heartbeat) {
-        controller_.on_heartbeat(m.src, m.send_tick);
+    if (is_controller_node(m.dst)) {
+      const std::size_t j = m.dst - kControllerBase;
+      if (j >= controllers_.size() || !controllers_[j]->up()) {
+        ++dropped_dst_down_;
+        continue;
       }
+      controllers_[j]->enqueue(std::move(m));
       continue;
     }
     if (m.dst == kRouterNode) {
@@ -113,8 +96,28 @@ void fleet_sim::run(std::vector<arrival> arrivals, std::uint64_t horizon) {
   for (; tick_ < end; ++tick_) {
     const std::uint64_t t = tick_;
 
-    // 1. fault injection
+    // 1. fault injection (workers and controllers)
     for (const fault_event& e : plan_.at(t)) {
+      if (e.target == fault_target::controller) {
+        if (e.replica >= controllers_.size()) continue;
+        controller& c = *controllers_[e.replica];
+        switch (e.kind) {
+          case fault_kind::crash:
+            c.crash(t);
+            break;
+          case fault_kind::recover:
+            c.recover(t);
+            break;
+          case fault_kind::stall:
+            c.stall(t);
+            break;
+          case fault_kind::unstall:
+            c.unstall(t);
+            break;
+        }
+        continue;
+      }
+      if (e.replica >= replicas_.size()) continue;
       replica& r = *replicas_[e.replica];
       switch (e.kind) {
         case fault_kind::crash:
@@ -132,16 +135,16 @@ void fleet_sim::run(std::vector<arrival> arrivals, std::uint64_t horizon) {
       }
     }
 
-    // 2. failure detection + beacons
-    if (const auto changed = controller_.step(t)) {
-      ++log_.stats().view_changes;
-      log_.line(t, "view epoch=" + std::to_string(changed->epoch) +
-                       " live=" + live_list(*changed));
-      broadcast_view(t, /*reliable=*/true);
-    } else if (t % cfg_.hb_interval == 0) {
-      // The lease is fed continuously: replicas fence themselves when
-      // these stop arriving, which is exactly the point.
-      broadcast_view(t, /*reliable=*/false);
+    // 2. controllers: elections, failure detection, view beacons. The
+    // audit view then advances to the max-epoch ACTIVATED view across
+    // the group — before any replica serves this tick, so a verdict is
+    // always checked against a view at least as fresh as any beacon the
+    // serving replica could have acted on.
+    for (auto& c : controllers_) c->on_tick(t);
+    for (const auto& c : controllers_) {
+      if (c->up() && c->view().epoch > audit_view_.epoch) {
+        audit_view_ = c->view();
+      }
     }
 
     // 3. network delivery
@@ -158,7 +161,7 @@ void fleet_sim::run(std::vector<arrival> arrivals, std::uint64_t horizon) {
     // 5. replicas, ascending node id
     for (auto& r : replicas_) r->on_tick(t);
 
-    // 6. fail-closed timeouts
+    // 6. speculation + fail-closed timeouts
     router_->on_tick(t);
   }
 }

@@ -1,30 +1,37 @@
 // Single-process discrete-event simulation of the whole detection fleet.
 //
-// One fleet_sim owns the controller, the router, N replicas, the
-// simulated network and the fault plan, and advances them in a fixed
-// per-tick phase order:
+// One fleet_sim owns the replicated controller group, the router, N
+// replicas, the simulated network and the fault plan, and advances them
+// in a fixed per-tick phase order:
 //
-//   1. fault injection (crashes, recoveries, stalls, unstalls)
-//   2. controller failure detection + view beacons
+//   1. fault injection (crashes, recoveries, stalls, unstalls — workers
+//      and controllers alike; partitions are data, consulted by the net
+//      at send time)
+//   2. controllers, ascending index (inbox, election timers, leader
+//      beacons; the acting leader additionally runs failure detection
+//      and view beacons); then the split-brain audit view advances to
+//      the max-epoch ACTIVATED view across the group
 //   3. network delivery (messages due this tick, total-ordered)
 //   4. router inbox (responses/beacons/bans), then this tick's arrivals
 //   5. replicas, ascending node id (clock sync, inbox, heartbeat,
 //      canaries, service rounds, handoff, rollout, checkpoints)
-//   6. router timeouts (fail-closed abstains)
+//   6. router speculation + timeouts (fail-closed abstains)
 //
 // Because every phase is sequential and every source of randomness is a
 // seeded stream keyed on stable identifiers (message sequence numbers,
 // request ids, per-sample measurement streams), an entire chaotic
-// multi-replica campaign — crashes, loss, drift, recalibration — replays
-// bitwise identically at any measurement thread count. The journal
-// (event_log) is the witness; bench_fleet_failover diffs it across
-// thread counts.
+// multi-replica campaign — crashes, loss, partitions, elections, drift,
+// recalibration — replays bitwise identically at any measurement thread
+// count. The journal (event_log) is the witness; bench_fleet_failover
+// diffs it across thread counts.
 //
 // The split-brain gate is instrumented here: each replica's serve probe
-// checks, at the instant a served verdict leaves the replica, whether the
-// CONTROLLER's authoritative view agrees that the replica owns the
-// client's range. Any disagreement increments split_brain_serves, which
-// must stay zero.
+// checks, at the instant a served verdict leaves the replica, whether
+// the ELECTED leader's activated view (the max-epoch view any controller
+// has made authoritative) grants that replica an ownership slot for the
+// client's range — the primary slot for a full-confidence verdict, any
+// slot for a degraded one. Any disagreement increments
+// split_brain_serves, which must stay zero.
 #pragma once
 
 #include <cstdint>
@@ -66,8 +73,9 @@ struct arrival {
 
 class fleet_sim {
  public:
-  /// Validates `cfg` (including the split-brain safety condition) and
-  /// boots the fleet at tick 0 with the genesis view installed.
+  /// Validates `cfg` (including both split-brain safety conditions) and
+  /// boots the fleet at tick 0 with the genesis view installed and
+  /// controller 0 leading term 1.
   fleet_sim(const fleet_config& cfg, fleet_deps deps, fault_plan plan);
 
   /// Runs `horizon` ticks, injecting `arrivals` at their scheduled ticks
@@ -78,26 +86,34 @@ class fleet_sim {
   const event_log& log() const noexcept { return log_; }
   /// Counters with the network stats folded in.
   fleet_stats stats() const;
-  /// The controller's view — the authority the split-brain probe uses.
+  /// The max-epoch view any controller has ACTIVATED — the elected
+  /// leader's, by construction — and the authority the split-brain probe
+  /// audits against. It survives the leader's crash: the last activated
+  /// view stays authoritative until a successor activates a higher one.
   const membership_view& authoritative_view() const noexcept {
-    return controller_.view();
+    return audit_view_;
   }
   const router& route() const noexcept { return *router_; }
   replica& worker(std::size_t i) { return *replicas_[i]; }
+  controller& ctl(std::size_t j) { return *controllers_[j]; }
+  const controller& ctl(std::size_t j) const { return *controllers_[j]; }
+  /// The controller currently acting as leader, if any.
+  const controller* acting_leader() const;
   std::uint64_t now() const noexcept { return tick_; }
 
  private:
   void deliver(std::uint64_t tick);
-  void broadcast_view(std::uint64_t tick, bool reliable);
 
   fleet_config cfg_;
   fleet_deps deps_;
   fault_plan plan_;
   event_log log_;
   sim_net net_;
-  controller controller_;
+  std::vector<std::unique_ptr<controller>> controllers_;
   std::unique_ptr<router> router_;
   std::vector<std::unique_ptr<replica>> replicas_;
+  /// Monotone max-epoch activated view across the controller group.
+  membership_view audit_view_;
   std::uint64_t tick_ = 0;
   std::uint64_t dropped_dst_down_ = 0;
 };

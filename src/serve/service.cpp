@@ -321,7 +321,7 @@ void detection_service::swap_detector(const core::detector& det) {
 
 submit_result detection_service::submit(
     tensor input, priority prio, std::optional<clock_duration> deadline,
-    std::uint64_t client) {
+    std::uint64_t client, bool degraded_confidence) {
   std::lock_guard<std::mutex> lock(state_mutex_);
   const auto now = clock_.now();
   submit_result res;
@@ -400,6 +400,7 @@ submit_result detection_service::submit(
   r.prio = prio;
   r.client = client;
   r.escalated = escalated;
+  r.degraded_confidence = degraded_confidence;
   r.submitted = now;
   if (deadline.has_value()) {
     r.deadline = *deadline == no_deadline ? no_deadline : now + *deadline;
@@ -494,6 +495,7 @@ response detection_service::serve_one(const planned& p,
   out.events_shed = p.events < det_->config().events.size();
   out.client = p.req.client;
   out.escalated = p.req.escalated;
+  out.degraded_confidence = p.req.degraded_confidence;
 
   if (p.shed) {
     out.outcome = response::kind::shed_deadline;
@@ -551,6 +553,7 @@ response detection_service::serve_one(const planned& p,
   ++stats_.served_by_rung[p.rung];
   if (p.req.prio == priority::canary) ++stats_.canary_served;
   if (p.req.escalated) ++stats_.escalated_served;
+  if (p.req.degraded_confidence) ++stats_.served_degraded_confidence;
 
   // Feed the served measurement's HPC trace sketch back to the tracker:
   // near-identical consecutive computation signatures corroborate a

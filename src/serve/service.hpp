@@ -219,6 +219,9 @@ struct response {
   std::uint64_t client = 0;
   /// Served at full fidelity because the tracker escalated the client.
   bool escalated = false;
+  /// The submitter asked for a degraded-confidence verdict (fleet
+  /// secondary serving a speculative re-route); echoed from the request.
+  bool degraded_confidence = false;
   /// Completed after its deadline — the failure mode admission control
   /// exists to prevent; the overload bench gates on zero of these.
   bool deadline_missed = false;
@@ -240,6 +243,9 @@ struct serve_stats {
   /// at full fidelity regardless of the current ladder rung).
   std::uint64_t escalated_admitted = 0;
   std::uint64_t escalated_served = 0;
+  /// Requests served under the degraded-confidence tag (fleet secondary
+  /// speculative serving).
+  std::uint64_t served_degraded_confidence = 0;
   std::uint64_t shed_deadline = 0;
   std::uint64_t failed_backend = 0;
   std::uint64_t deadline_misses = 0;
@@ -283,9 +289,14 @@ class detection_service {
   /// stream regardless of measurement thread count): banned clients are
   /// rejected up front with rejected_banned, elevated clients' requests
   /// are flagged for full-fidelity service.
+  ///
+  /// `degraded_confidence` tags the eventual verdict as degraded (fleet
+  /// secondary serving a speculative re-route of a silent primary); it
+  /// changes nothing about measurement or scoring.
   submit_result submit(tensor input, priority prio,
                        std::optional<clock_duration> deadline = std::nullopt,
-                       std::uint64_t client = 0);
+                       std::uint64_t client = 0,
+                       bool degraded_confidence = false);
 
   /// Attaches the stateful query tracker. Must be called before traffic
   /// is submitted; the tracker must outlive the service. The service

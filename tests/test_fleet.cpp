@@ -1,12 +1,16 @@
 // Fleet-layer tests: strict env knobs and the split-brain safety
-// validation, ownership math and the controller's failure detector, the
-// deterministic simulated network (at-send delivery fate, reliable
-// retransmission schedules), checkpoint fencing (epoch regression,
-// foreign shards, truncation — satellite: cross-version load is a typed
-// error, never a partial apply), durable ban ledgers, fingerprint-range
-// handoff, and whole-fleet discrete-event scenarios: quiet serving,
-// crash failover with ban survival, stall fencing, recalibration
-// rollout/rollback, and bitwise thread invariance under chaos.
+// validations (worker and controller side), ownership math (replicated
+// slots), the lease boundary, the replicated controller group (failure
+// detection, leader election, durable terms), the deterministic
+// simulated network (at-send delivery fate, reliable retransmission
+// schedules, partitions), checkpoint fencing (epoch regression across
+// controller terms, foreign shards, truncation — satellite:
+// cross-version load is a typed error, never a partial apply), durable
+// ban ledgers, fingerprint-range handoff, and whole-fleet discrete-event
+// scenarios: quiet serving, crash failover with ban survival, leader
+// kill and partition failover, speculative secondary serving, stall
+// fencing, recalibration rollout/rollback, and bitwise thread invariance
+// under chaos.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -112,7 +116,10 @@ fleet_config small_cfg() {
   cfg.hb_interval = 1;
   cfg.failure_timeout = 8;
   cfg.lease = 5;
+  cfg.ctl_failure_timeout = 8;
+  cfg.ctl_lease = 4;
   cfg.request_timeout = 6;
+  cfg.speculate_after = 3;
   cfg.checkpoint_interval = 10;
   cfg.canary_interval = 4;
   cfg.handoff_batch = 4;
@@ -219,7 +226,9 @@ struct fleet_rig {
   }
 };
 
-membership_view genesis_view() { return membership_view{1, {2, 3, 4}}; }
+membership_view genesis_view() {
+  return membership_view{view_epoch(1, 1), {2, 3, 4}};
+}
 
 /// Smallest client id whose fingerprint range is owned by `node` under
 /// the genesis view.
@@ -270,9 +279,13 @@ TEST(FleetConfig, EnvOverridesApply) {
   {
     env_guard r("ADVH_FLEET_REPLICAS", "5");
     env_guard l("ADVH_FLEET_LOSS_RATE", "0.25");
+    env_guard c("ADVH_FLEET_CONTROLLERS", "5");
+    env_guard k("ADVH_FLEET_REPLICATION", "3");
     const fleet_config cfg = fleet_config_from_env();
     EXPECT_EQ(cfg.replicas, 5u);
     EXPECT_DOUBLE_EQ(cfg.loss_rate, 0.25);
+    EXPECT_EQ(cfg.controllers, 5u);
+    EXPECT_EQ(cfg.replication, 3u);
   }
   // Unset knobs leave the base untouched.
   fleet_config base = small_cfg();
@@ -300,12 +313,39 @@ TEST(FleetConfig, MalformedLossRateKnobThrows) {
   EXPECT_DOUBLE_EQ(fleet_config_from_env().loss_rate, 0.0);
 }
 
+// Satellite: set-but-malformed controller-group knobs throw, matching
+// the strict ADVH_* contract (nothing silently mis-sizes the quorum).
+TEST(FleetConfig, MalformedControllersKnobThrows) {
+  for (const char* bad : {"0", "8", "-1", "abc", "2.5", "", "3x"}) {
+    env_guard g("ADVH_FLEET_CONTROLLERS", bad);
+    EXPECT_THROW(fleet_config_from_env(), std::invalid_argument)
+        << "ADVH_FLEET_CONTROLLERS=\"" << bad << "\" must fail loudly";
+  }
+  env_guard g("ADVH_FLEET_CONTROLLERS", "1");
+  EXPECT_EQ(fleet_config_from_env().controllers, 1u);
+}
+
+TEST(FleetConfig, MalformedReplicationKnobThrows) {
+  for (const char* bad : {"0", "5", "-2", "xyz", "1.5", "", "2e1"}) {
+    env_guard g("ADVH_FLEET_REPLICATION", bad);
+    EXPECT_THROW(fleet_config_from_env(), std::invalid_argument)
+        << "ADVH_FLEET_REPLICATION=\"" << bad << "\" must fail loudly";
+  }
+  env_guard g("ADVH_FLEET_REPLICATION", "4");
+  EXPECT_EQ(fleet_config_from_env().replication, 4u);
+}
+
 TEST(FleetConfig, ValidateRejectsSplitBrainHazard) {
   fleet_config cfg = small_cfg();
   EXPECT_NO_THROW(validate(cfg));
   // lease + max_delay == failure_timeout is already unsafe: the beacon in
   // flight when the lease expires could land exactly as ranges move.
   cfg.lease = cfg.failure_timeout - cfg.max_delay;
+  EXPECT_THROW(validate(cfg), std::invalid_argument);
+  // The controller-side mirror: a deposed leader's lease plus one
+  // in-flight beacon must run out strictly before a successor can act.
+  cfg = small_cfg();
+  cfg.ctl_lease = cfg.ctl_failure_timeout - cfg.max_delay;
   EXPECT_THROW(validate(cfg), std::invalid_argument);
 }
 
@@ -328,6 +368,21 @@ TEST(FleetConfig, ValidateRejectsInconsistentGeometry) {
   {
     fleet_config cfg = small_cfg();
     cfg.loss_rate = 0.99;
+    EXPECT_THROW(validate(cfg), std::invalid_argument);
+  }
+  {
+    fleet_config cfg = small_cfg();
+    cfg.controllers = 8;  // quorum math is capped at 7
+    EXPECT_THROW(validate(cfg), std::invalid_argument);
+  }
+  {
+    fleet_config cfg = small_cfg();
+    cfg.replication = 0;
+    EXPECT_THROW(validate(cfg), std::invalid_argument);
+  }
+  {
+    fleet_config cfg = small_cfg();
+    cfg.speculate_after = cfg.request_timeout;  // secondary can't respond
     EXPECT_THROW(validate(cfg), std::invalid_argument);
   }
 }
@@ -378,35 +433,224 @@ TEST(Membership, RangesOwnedPartitionTheRing) {
   for (std::uint32_t r = 0; r < cfg.ring_ranges; ++r) EXPECT_EQ(all[r], r);
 }
 
-TEST(Membership, ControllerDeclaresDeadThenReadmits) {
+// Satellite: THE lease boundary. Holder and acquirer both run on
+// lease_held, so the boundary tick anchor+lease belongs to the holder
+// ONLY — held through it inclusive, acquirable from the next tick. This
+// pins the off-by-one a >=/> mismatch between the serving-lease check
+// and the acquisition-grace check would reintroduce.
+TEST(Membership, LeaseBoundaryTickBelongsToHolderOnly) {
+  constexpr std::uint64_t anchor = 100;
+  constexpr std::uint64_t lease = 5;
+  EXPECT_TRUE(lease_held(anchor, anchor, lease));
+  EXPECT_TRUE(lease_held(anchor + lease, anchor, lease));  // last held tick
+  EXPECT_FALSE(lease_held(anchor + lease + 1, anchor, lease));  // first free
+  // Degenerate lease: held at the anchor itself, gone one tick later.
+  EXPECT_TRUE(lease_held(7, 7, 0));
+  EXPECT_FALSE(lease_held(8, 7, 0));
+}
+
+TEST(Membership, ViewEpochsComposeTermAndSequence) {
+  // A later term dominates ANY epoch an earlier leader could mint, so the
+  // replicas' plain `<` fences keep working across leader changes.
+  EXPECT_LT(view_epoch(1, 0xffffffffULL), view_epoch(2, 1));
+  EXPECT_LT(view_epoch(2, 1), view_epoch(2, 2));
+  EXPECT_EQ(epoch_term(view_epoch(7, 42)), 7u);
+  EXPECT_EQ(epoch_seq(view_epoch(7, 42)), 42u);
+}
+
+TEST(Membership, OwnerSlotsAreDistinctAndCapped) {
   const fleet_config cfg = small_cfg();
-  controller ctl(cfg);
-  EXPECT_EQ(ctl.view().epoch, 1u);
+  const membership_view v = genesis_view();
+  for (std::uint32_t r = 0; r < cfg.ring_ranges; ++r) {
+    const auto p = range_owner_k(v, r, 0);
+    const auto s = range_owner_k(v, r, 1);
+    ASSERT_TRUE(p.has_value());
+    ASSERT_TRUE(s.has_value());
+    EXPECT_NE(*p, *s);  // replicated slots land on distinct nodes
+    EXPECT_EQ(range_owner_k(v, r, 0), range_owner(v, r));
+    EXPECT_EQ(owner_slot(v, r, *p, 2).value(), 0u);
+    EXPECT_EQ(owner_slot(v, r, *s, 2).value(), 1u);
+    // The third live node holds no slot at replication 2...
+    for (const std::uint32_t n : v.live) {
+      if (n != *p && n != *s) {
+        EXPECT_FALSE(owner_slot(v, r, n, 2).has_value());
+      }
+    }
+    // ...and at replication 1 only the primary does.
+    EXPECT_FALSE(owner_slot(v, r, *s, 1).has_value());
+  }
+  // More slots than live nodes: the tail is nullopt, never a wrap-around
+  // duplicate of the primary.
+  const membership_view two{view_epoch(1, 2), {2, 3}};
+  EXPECT_FALSE(range_owner_k(two, 0, 2).has_value());
+}
+
+TEST(Membership, ControllerDeclaresDeadThenReadmits) {
+  // A single-controller group: the genesis leader's failure detector and
+  // two-phase view activation, driven by scripted heartbeat messages.
+  fleet_config cfg = small_cfg();
+  cfg.controllers = 1;
+  event_log log;
+  sim_net net(cfg);
+  controller ctl(0, cfg, test_dir("ctl_detect"), net, log);
+  EXPECT_EQ(ctl.view().epoch, view_epoch(1, 1));
   EXPECT_EQ(ctl.view().live, genesis_view().live);
+  EXPECT_TRUE(ctl.acting(0));
+
+  const auto hb = [&](std::uint32_t src, std::uint64_t t) {
+    message m;
+    m.kind = msg_kind::heartbeat;
+    m.src = src;
+    m.dst = ctl.node();
+    m.send_tick = t;
+    ctl.enqueue(std::move(m));
+  };
 
   // Nodes 2 and 3 heartbeat every tick; node 4 goes silent from tick 0.
-  std::optional<membership_view> changed;
-  std::uint64_t death_tick = 0;
-  for (std::uint64_t t = 1; t <= 2 * cfg.failure_timeout; ++t) {
-    ctl.on_heartbeat(2, t);
-    ctl.on_heartbeat(3, t);
-    if (const auto v = ctl.step(t); v && !changed) {
-      changed = v;
-      death_tick = t;
+  std::uint64_t death_announced = 0;
+  std::uint64_t death_activated = 0;
+  for (std::uint64_t t = 1; t <= 3 * cfg.failure_timeout; ++t) {
+    hb(2, t);
+    hb(3, t);
+    ctl.on_tick(t);
+    if (death_announced == 0 && ctl.announced().epoch == view_epoch(1, 2)) {
+      death_announced = t;
+    }
+    if (death_activated == 0 && ctl.view().epoch == view_epoch(1, 2)) {
+      death_activated = t;
     }
   }
-  ASSERT_TRUE(changed.has_value());
-  EXPECT_EQ(changed->epoch, 2u);
-  EXPECT_EQ(changed->live, (std::vector<std::uint32_t>{2, 3}));
-  EXPECT_GE(death_tick, cfg.failure_timeout);
+  ASSERT_GT(death_announced, 0u);
+  EXPECT_GE(death_announced, cfg.failure_timeout);
+  // Two-phase activation: the authoritative flip waits out one full
+  // ownership lease after the announcement.
+  ASSERT_GT(death_activated, 0u);
+  EXPECT_EQ(death_activated, death_announced + cfg.lease + 1);
+  EXPECT_EQ(ctl.view().live, (std::vector<std::uint32_t>{2, 3}));
 
-  // A fresh heartbeat readmits the node under a new epoch.
-  const std::uint64_t t = 2 * cfg.failure_timeout + 1;
-  ctl.on_heartbeat(4, t);
-  const auto back = ctl.step(t);
-  ASSERT_TRUE(back.has_value());
-  EXPECT_EQ(back->epoch, 3u);
-  EXPECT_EQ(back->live, genesis_view().live);
+  // A fresh heartbeat readmits the node under the next epoch of the SAME
+  // term — the genesis leader never re-elects itself.
+  const std::uint64_t back = 3 * cfg.failure_timeout + 1;
+  hb(4, back);
+  hb(2, back);
+  hb(3, back);
+  ctl.on_tick(back);
+  EXPECT_EQ(ctl.announced().epoch, view_epoch(1, 3));
+  EXPECT_EQ(ctl.announced().live, genesis_view().live);
+  EXPECT_EQ(ctl.term(), 1u);
+}
+
+// --------------------------------------------------------- ctl election --
+
+/// A controller group wired to a private sim_net, pumped with the same
+/// (on_tick, then deliver) phase order the fleet sim uses. Beacons to
+/// worker/router node ids are dropped — these tests watch the election
+/// protocol only.
+struct ctl_group {
+  fleet_config cfg;
+  event_log log;
+  sim_net net;
+  std::vector<std::unique_ptr<controller>> ctls;
+  std::uint64_t tick = 0;
+
+  explicit ctl_group(const std::string& name, fleet_config c = small_cfg())
+      : cfg(c), net(cfg) {
+    const std::string dir = test_dir(name);
+    for (std::size_t j = 0; j < cfg.controllers; ++j) {
+      ctls.push_back(std::make_unique<controller>(j, cfg, dir, net, log));
+    }
+  }
+
+  void run_to(std::uint64_t end) {
+    for (; tick < end; ++tick) {
+      // Scripted worker heartbeats to the whole group, so an elected
+      // leader has a warm failure-detection table and publishes views
+      // with the full live list.
+      for (auto& c : ctls) {
+        for (std::size_t i = 0; i < cfg.replicas; ++i) {
+          message hb;
+          hb.kind = msg_kind::heartbeat;
+          hb.src = replica_node(i);
+          hb.dst = c->node();
+          hb.send_tick = tick;
+          c->enqueue(std::move(hb));
+        }
+      }
+      for (auto& c : ctls) c->on_tick(tick);
+      for (message& m : net.deliver_until(tick)) {
+        if (!is_controller_node(m.dst)) continue;
+        const std::size_t j = m.dst - kControllerBase;
+        if (j < ctls.size() && ctls[j]->up()) {
+          ctls[j]->enqueue(std::move(m));
+        }
+      }
+    }
+  }
+
+  const controller* acting() const {
+    for (const auto& c : ctls) {
+      if (c->up() && c->acting(tick)) return c.get();
+    }
+    return nullptr;
+  }
+};
+
+TEST(CtlElection, GenesisLeaderHoldsQuietGroup) {
+  ctl_group g("ctl_quiet");
+  g.run_to(60);
+  const controller* leader = g.acting();
+  ASSERT_NE(leader, nullptr);
+  EXPECT_EQ(leader->node(), controller_node(0));
+  EXPECT_EQ(leader->term(), 1u);
+  // A live leader starves every stagger: nobody ever ran for office.
+  EXPECT_EQ(g.log.stats().elections, 0u);
+  for (const auto& c : g.ctls) EXPECT_LE(c->term(), 1u);
+}
+
+TEST(CtlElection, LeaderCrashElectsStandbyUnderHigherTerm) {
+  ctl_group g("ctl_kill");
+  g.run_to(10);
+  g.ctls[0]->crash(10);
+  g.run_to(100);
+
+  const controller* leader = g.acting();
+  ASSERT_NE(leader, nullptr);
+  EXPECT_NE(leader->node(), controller_node(0));
+  EXPECT_GE(leader->term(), 2u);
+  EXPECT_GE(g.log.stats().elections, 1u);
+  // The new regime's views dominate everything term 1 ever minted.
+  EXPECT_GE(leader->view().epoch, view_epoch(leader->term(), 1));
+  // Exactly one controller is acting.
+  std::size_t acting = 0;
+  for (const auto& c : g.ctls) {
+    if (c->up() && c->acting(g.tick)) ++acting;
+  }
+  EXPECT_EQ(acting, 1u);
+
+  // The old leader recovers into the new regime: its durable term record
+  // and the live leader's beacons pin it to standby — no term-1 revival,
+  // no competing election.
+  const std::uint64_t elections = g.log.stats().elections;
+  g.ctls[0]->recover(100);
+  g.run_to(160);
+  EXPECT_EQ(g.ctls[0]->role(), ctl_role::standby);
+  EXPECT_EQ(g.acting(), leader);
+  EXPECT_EQ(g.log.stats().elections, elections);
+  EXPECT_NE(g.log.text().find("ctl-leader"), std::string::npos);
+}
+
+TEST(CtlElection, QuorumLossFailsClosed) {
+  // A 1-of-3 survivor can never assemble a quorum, however long it
+  // waits: it cycles candidacies without ever becoming leader, so the
+  // group stops publishing views entirely rather than risk two regimes.
+  ctl_group g("ctl_minority");
+  g.run_to(10);
+  g.ctls[0]->crash(10);
+  g.ctls[2]->crash(10);
+  g.run_to(120);
+  EXPECT_EQ(g.acting(), nullptr);  // no quorum, nobody acts — fail closed
+  EXPECT_EQ(g.log.stats().elections, 0u);
+  EXPECT_NE(g.ctls[1]->role(), ctl_role::leader);
 }
 
 // ------------------------------------------------------------------ net --
@@ -422,7 +666,7 @@ std::vector<message> drain_scripted(sim_net& net, const fleet_config& cfg) {
     if (t % 3 == 0) {
       message beacon;
       beacon.kind = msg_kind::view_beacon;
-      beacon.src = kControllerNode;
+      beacon.src = controller_node(0);
       beacon.dst = replica_node(t % cfg.replicas);
       beacon.req_id = 1000 + t;
       net.send_reliable(beacon, t);
@@ -554,6 +798,30 @@ TEST(Checkpoint, LoadFencesEpochRegression) {
   try {
     load_shard_checkpoint(path, 0, r.rig.cfg, /*min_epoch=*/4, 0);
     FAIL() << "epoch-regressed checkpoint must fence";
+  } catch (const io_error& e) {
+    EXPECT_NE(std::string(e.what()).find("epoch regression"),
+              std::string::npos);
+  }
+}
+
+// Satellite: the epoch fence holds ACROSS controller terms. Composed
+// view epochs make a term-2 checkpoint dominate every term-1 epoch any
+// earlier leader could mint (however high its sequence), and regress
+// against any term-3 epoch — the same plain `<` with no special casing.
+TEST(Checkpoint, FencesAcrossControllerTerms) {
+  checkpoint_rig r("ckpt_terms");
+  r.meta.epoch = view_epoch(2, 1);
+  const auto path =
+      save_shard_checkpoint(r.rig.det, r.rig.cfg, r.rig.dir, 0, r.meta);
+  // Accepted under any term-1 floor, even a late-sequence one.
+  const auto cp =
+      load_shard_checkpoint(path, 0, r.rig.cfg, view_epoch(1, 9000), 0);
+  ASSERT_TRUE(cp.meta.has_value());
+  EXPECT_EQ(cp.meta->epoch, view_epoch(2, 1));
+  // Fenced under the very first epoch of a later term.
+  try {
+    load_shard_checkpoint(path, 0, r.rig.cfg, view_epoch(3, 1), 0);
+    FAIL() << "checkpoint from a burned term must fence";
   } catch (const io_error& e) {
     EXPECT_NE(std::string(e.what()).find("epoch regression"),
               std::string::npos);
@@ -815,6 +1083,144 @@ TEST(FleetSim, StalledReplicaIsFencedNotSplitBrained) {
   EXPECT_EQ(sim.route().pending(), 0u);
 }
 
+TEST(FleetSim, LeaderCrashFailsOverWithZeroSplitBrain) {
+  // Kill the ACTING CONTROLLER, not a worker: a standby must win a
+  // quorum ballot, wait out the dead leader's lease, and resume
+  // publishing views — while every verdict served before, during and
+  // after the handover still checks out against the elected regime.
+  fleet_rig rig("ctl_failover");
+  fault_plan plan({{15, fault_kind::crash, 0, fault_target::controller}});
+  fleet_sim sim(rig.cfg, rig.deps(), plan);
+  sim.run(benign_arrivals(100, 1, 1400), 170);
+
+  const fleet_stats s = sim.stats();
+  EXPECT_EQ(s.submitted, 100u);
+  EXPECT_EQ(resolved_total(s), 100u);
+  EXPECT_EQ(s.split_brain_serves, 0u);
+  EXPECT_GE(s.elections, 1u);
+  // The failover window fences some requests; serving resumes under the
+  // successor and dominates the run.
+  EXPECT_GE(served_total(s), 40u);
+  EXPECT_EQ(sim.route().pending(), 0u);
+  // The authoritative view now belongs to a term the dead leader never
+  // led, published by a different controller.
+  EXPECT_GE(epoch_term(sim.authoritative_view().epoch), 2u);
+  const controller* leader = sim.acting_leader();
+  ASSERT_NE(leader, nullptr);
+  EXPECT_NE(leader->node(), controller_node(0));
+  const std::string& journal = sim.log().text();
+  EXPECT_NE(journal.find("ctl-crash node=100"), std::string::npos);
+  EXPECT_NE(journal.find("ctl-leader"), std::string::npos);
+}
+
+TEST(FleetSim, PartitionedLeaderCedesWithZeroSplitBrain) {
+  // Symmetric partition instead of a crash: the genesis leader is cut
+  // off from the whole fleet. Its lease starves (no quorum of acks), the
+  // majority side elects a successor, and after the heal the deposed
+  // leader hears the higher term and steps down — at no point do two
+  // regimes both act.
+  fleet_rig rig("ctl_partition");
+  fault_plan plan;
+  plan.partition(20, 90, {{controller_node(0)}});
+  fleet_sim sim(rig.cfg, rig.deps(), plan);
+  sim.run(benign_arrivals(100, 1, 5200), 190);
+
+  const fleet_stats s = sim.stats();
+  EXPECT_EQ(s.submitted, 100u);
+  EXPECT_EQ(resolved_total(s), 100u);
+  EXPECT_EQ(s.split_brain_serves, 0u);
+  EXPECT_GE(s.elections, 1u);
+  EXPECT_GT(s.net.severed, 0u);
+  EXPECT_GE(served_total(s), 40u);
+  EXPECT_GE(epoch_term(sim.authoritative_view().epoch), 2u);
+  const controller* leader = sim.acting_leader();
+  ASSERT_NE(leader, nullptr);
+  EXPECT_NE(leader->node(), controller_node(0));
+  // The healed genesis leader conceded to the new term.
+  EXPECT_EQ(sim.ctl(0).role(), ctl_role::standby);
+  EXPECT_NE(sim.log().text().find("ctl-stepdown node=100"),
+            std::string::npos);
+}
+
+TEST(FleetSim, ThreeWayPartitionFailsClosedThenReElects) {
+  // A 3-way split puts each controller in a different island (leader +
+  // one worker, one standby + one worker, one standby + the router +
+  // one worker): no island holds a controller quorum, so the leader's
+  // lease starves and NOBODY can win a ballot — the fleet fails closed
+  // under the last activated view until the heal, after which a quorum
+  // re-forms and elects. Zero split-brain throughout.
+  fleet_rig rig("ctl_threeway");
+  fault_plan plan;
+  plan.partition(20, 80, {{controller_node(0), replica_node(0)},
+                          {controller_node(1), replica_node(1)}});
+  fleet_sim sim(rig.cfg, rig.deps(), plan);
+
+  sim.run(benign_arrivals(50, 1, 7300), 60);
+  // Mid-partition: quorum lost everywhere, no acting leader anywhere.
+  EXPECT_EQ(sim.acting_leader(), nullptr);
+  EXPECT_EQ(sim.stats().split_brain_serves, 0u);
+
+  sim.run(benign_arrivals(50, 90, 7400), 200);
+  const fleet_stats s = sim.stats();
+  EXPECT_EQ(s.submitted, 100u);
+  EXPECT_EQ(resolved_total(s), 100u);
+  EXPECT_EQ(s.split_brain_serves, 0u);
+  EXPECT_GT(s.net.severed, 0u);
+  // The heal restored a quorum: someone acts again, under a term the
+  // partition-era candidacies could never have won.
+  const controller* leader = sim.acting_leader();
+  ASSERT_NE(leader, nullptr);
+  EXPECT_GE(leader->term(), 2u);
+  EXPECT_GE(s.elections, 1u);
+  EXPECT_GE(epoch_term(sim.authoritative_view().epoch), 2u);
+}
+
+TEST(FleetSim, CrashedPrimarySpeculatesToSecondary) {
+  // Crash a worker and immediately aim traffic at its ranges: before the
+  // controller can even declare it dead, the router's speculative
+  // re-route hands the silent primary's requests to the secondary owner
+  // slot, which serves them under a degraded-confidence tag instead of
+  // letting them burn into abstain_timeout.
+  fleet_rig rig("speculate");
+  std::vector<std::uint64_t> clients;
+  for (std::uint64_t c = 1; clients.size() < 10; ++c) {
+    if (range_owner(genesis_view(), range_of_client(c, rig.cfg)) ==
+        replica_node(1)) {
+      clients.push_back(c);
+    }
+  }
+  std::vector<arrival> arrivals;
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    arrivals.push_back({11 + i, clients[i],
+                        test_input(0.4 + 0.05 * static_cast<double>(i))});
+  }
+  fault_plan plan({{10, fault_kind::crash, 1}});
+  fleet_sim sim(rig.cfg, rig.deps(), plan);
+  sim.run(std::move(arrivals), 90);
+
+  const fleet_stats s = sim.stats();
+  EXPECT_EQ(s.submitted, 10u);
+  EXPECT_EQ(resolved_total(s), 10u);
+  EXPECT_EQ(s.split_brain_serves, 0u);
+  EXPECT_GE(s.speculative_routes, 1u);
+  EXPECT_GE(s.served_secondary, 1u);
+  // A degraded serve IS a serve: requests resolved with verdicts.
+  EXPECT_GE(served_total(s), 1u);
+  const std::string& journal = sim.log().text();
+  EXPECT_NE(journal.find("speculate req="), std::string::npos);
+  EXPECT_NE(journal.find(" conf=degraded"), std::string::npos);
+  // Full-confidence serves are never tagged: every tag in the journal is
+  // one of the secondary-slot serves (a degraded response that loses the
+  // delivery race journals as something else, so <=).
+  std::size_t tagged = 0;
+  for (auto at = journal.find(" conf=degraded"); at != std::string::npos;
+       at = journal.find(" conf=degraded", at + 1)) {
+    ++tagged;
+  }
+  EXPECT_GE(tagged, 1u);
+  EXPECT_LE(tagged, s.served_secondary);
+}
+
 TEST(FleetSim, MembershipChangeHandsOffTrackedClients) {
   fleet_rig rig("handoff");
   // Track a client on its genesis owner, then crash a *different*
@@ -845,7 +1251,12 @@ TEST(FleetSim, ChaosRunIsBitwiseThreadInvariant) {
   // at 1 and 4 measurement threads must produce byte-identical journals.
   fleet_config cfg = small_cfg();
   cfg.loss_rate = 0.05;
-  const fault_plan plan = fault_plan::chaos(cfg, 120, 0.02, 42);
+  // Seeded worker chaos PLUS a scripted controller kill mid-run: the
+  // election traffic and failover churn must replay bitwise too.
+  auto events = fault_plan::chaos(cfg, 120, 0.02, 42).events();
+  events.push_back({30, fault_kind::crash, 0, fault_target::controller});
+  events.push_back({85, fault_kind::recover, 0, fault_target::controller});
+  const fault_plan plan(std::move(events));
 
   auto arrivals = [] {
     auto a = benign_arrivals(70, 1, 2000);
@@ -934,10 +1345,13 @@ TEST(FleetSim, PoisonedRecalibrationRollsBack) {
 TEST(FleetSim, RepeatedRunsAreByteIdentical) {
   fleet_config cfg = small_cfg();
   cfg.loss_rate = 0.1;
-  const fault_plan plan({{12, fault_kind::crash, 1},
-                         {40, fault_kind::recover, 1},
-                         {60, fault_kind::stall, 2},
-                         {75, fault_kind::unstall, 2}});
+  fault_plan plan({{12, fault_kind::crash, 1},
+                   {40, fault_kind::recover, 1},
+                   {60, fault_kind::stall, 2},
+                   {75, fault_kind::unstall, 2},
+                   {25, fault_kind::crash, 0, fault_target::controller},
+                   {70, fault_kind::recover, 0, fault_target::controller}});
+  plan.partition(90, 100, {{controller_node(2)}});
   std::string first;
   for (int run = 0; run < 2; ++run) {
     fleet_rig rig("repeat_" + std::to_string(run), cfg);

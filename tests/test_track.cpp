@@ -21,6 +21,7 @@
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "core/pipeline.hpp"
+#include "fleet/config.hpp"
 #include "hpc/factory.hpp"
 #include "hpc/sim_backend.hpp"
 #include "hpc/trace_sketch.hpp"
@@ -519,6 +520,12 @@ TEST(EnvKnobSweep, EveryKnobRejectsGarbage) {
       {"ADVH_TRACK_SHARDS", [] { (void)track_config_from_env(); }},
       {"ADVH_TRACK_BYTES", [] { (void)track_config_from_env(); }},
       {"ADVH_BENCH_SCALE", [] { (void)bench::scale(); }},
+      {"ADVH_FLEET_REPLICAS", [] { (void)fleet::fleet_config_from_env(); }},
+      {"ADVH_FLEET_LOSS_RATE", [] { (void)fleet::fleet_config_from_env(); }},
+      {"ADVH_FLEET_CONTROLLERS",
+       [] { (void)fleet::fleet_config_from_env(); }},
+      {"ADVH_FLEET_REPLICATION",
+       [] { (void)fleet::fleet_config_from_env(); }},
   };
   const char* garbage[] = {"banana", "12banana", "", "-3", "1e999"};
   for (const knob& k : knobs) {
