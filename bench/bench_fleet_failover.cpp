@@ -31,6 +31,18 @@
 // 4 measurement threads and the journals diffed byte for byte, and the
 // split-brain probe and the durable-ban check apply throughout.
 //
+// Phase E is the corruption sweep: the content-bearing shard's primary
+// is crashed, its checkpoint bit-flipped on disk, and rebooted — the
+// boot must checksum-fence the shard (zero full-confidence verdicts off
+// it); later its ban ledger is bit-flipped and a second reboot loses the
+// record. With replication >= 2 the anti-entropy scrub must pull the
+// shard back from the surviving slot holder (byte-identical digests
+// fleet-wide) and ban_sync must restore the ban; with replication 1
+// there is no authorized repair source and the shard must FAIL CLOSED —
+// no repair requested, no repair completed, fenced to the end. When
+// ADVH_FLEET_CORRUPT_RATE is set, seeded corruption chaos runs on top,
+// and the whole phase replays at 1 and 4 threads, journals diffed.
+//
 // Chaos knobs (the CI fleet-chaos job sets all three):
 //   ADVH_FAULT_RATE   per-tick crash/stall episode rate of the seeded
 //                     fault plan in phase B (default 0.02; strict parse)
@@ -38,10 +50,13 @@
 //                     canary burn-in, in phase B (default 0; strict parse)
 //   ADVH_THREADS      measurement threads for phase A / C runs
 //   ADVH_FLEET_REPLICAS / ADVH_FLEET_LOSS_RATE /
-//   ADVH_FLEET_CONTROLLERS / ADVH_FLEET_REPLICATION
-//                     fleet geometry overrides (fleet_config_from_env;
-//                     strict parse; the CI fleet-chaos matrix pins
-//                     controllers=3 replication=2 for phase D's gates)
+//   ADVH_FLEET_CONTROLLERS / ADVH_FLEET_REPLICATION /
+//   ADVH_FLEET_SCRUB_PERIOD / ADVH_FLEET_CORRUPT_RATE
+//                     fleet geometry + integrity overrides
+//                     (fleet_config_from_env; strict parse; the CI
+//                     fleet-chaos matrix pins controllers=3 replication=2
+//                     for phase D's gates and adds corrupt-rate legs at
+//                     3/2 and 1/1 for phase E's)
 //
 // Writes bench_results/BENCH_fleet_failover.{csv,json}.
 #include <cerrno>
@@ -555,6 +570,124 @@ node_kill_result run_node_kill(const fleet_config& cfg, kill_victim victim) {
   return out;
 }
 
+// ------------------------------------- phase E: corruption sweep --
+
+struct corruption_result {
+  std::uint64_t shard = 0;        ///< the content-bearing shard targeted
+  fleet_stats stats1, stats4;
+  bool identical = false;         ///< 1-vs-4-thread journals byte-equal
+  bool all_resolved = false;
+  bool fail_closed = false;       ///< zero full-confidence serves off fenced shards
+  bool converged = false;         ///< repaired+unfenced (r>=2) / stays fenced (r=1)
+  bool ban_durable = false;       ///< the ban survives its ledger rotting
+};
+
+/// Scripted fence-and-repair scenario plus (when ADVH_FLEET_CORRUPT_RATE
+/// is set) seeded corruption chaos on top: the content-bearing shard's
+/// primary is crashed, its checkpoint bit-flipped, and the reboot fences
+/// it; later its ban ledger is bit-flipped and a second reboot loses the
+/// ban record. With replication >= 2 anti-entropy must pull the shard
+/// back from the surviving slot holder and re-sync the ban; with
+/// replication 1 there is no authorized repair source and the shard must
+/// FAIL CLOSED — abstaining, never repairing, never serving rot.
+corruption_result run_corruption(const fleet_config& cfg) {
+  constexpr std::uint64_t kCrash = 20, kCorrupt = 22, kRecover = 24;
+  constexpr std::uint64_t kLedgerRot = 40, kReCrash = 42, kReRecover = 46;
+  constexpr std::uint64_t kHorizon = 160;
+
+  corruption_result out;
+  std::string j1, j4;
+  bool end_ok1 = false, end_ok4 = false;
+
+  const auto run = [&](std::size_t threads, std::string* journal,
+                       fleet_stats* stats, bool* end_ok) {
+    fleet_config run_cfg = cfg;
+    run_cfg.serve.threads = threads;
+    fleet_rig rig("corrupt_t" + std::to_string(threads), run_cfg);
+
+    // The shard that carries fitted content — the genesis fit models only
+    // the classes the CNN predicts, so this is where live verdicts land
+    // and where a fence is observable.
+    const auto models = models_of(rig.det);
+    std::uint64_t shard = 0;
+    for (std::size_t cls = 0; cls < models.size(); ++cls) {
+      for (const auto& em : models[cls]) {
+        if (em.has_value()) shard = shard_of_class(cls, run_cfg);
+      }
+    }
+    const auto owner = shard_owner_k(genesis_view(run_cfg), shard, 0);
+    const std::size_t pidx = owner.has_value() ? *owner - 2 : 0;
+    out.shard = shard;
+
+    const std::uint64_t attacker = client_owned_by(replica_node(pidx), cfg);
+    auto arrivals = benign_arrivals(80, 1, 70'000);
+    const auto probes = probe_campaign(attacker, 1, 30);
+    arrivals.insert(arrivals.end(), probes.begin(), probes.end());
+
+    fault_plan plan({{kCrash, fault_kind::crash, pidx},
+                     {kRecover, fault_kind::recover, pidx},
+                     {kReCrash, fault_kind::crash, pidx},
+                     {kReRecover, fault_kind::recover, pidx}});
+    plan.corrupt({kCorrupt, corrupt_kind::bit_flip, corrupt_target::shard_file,
+                  pidx, shard, 7});
+    plan.corrupt({kLedgerRot, corrupt_kind::bit_flip,
+                  corrupt_target::ledger_file, pidx, 0, 9});
+    if (cfg.corrupt_rate > 0.0) {
+      plan.add_corruption_chaos(run_cfg, kHorizon, cfg.corrupt_rate, 2024);
+    }
+
+    fleet_sim sim(rig.cfg, rig.deps(), plan);
+    sim.run(std::move(arrivals), kHorizon);
+    *journal = sim.log().text();
+    *stats = sim.stats();
+
+    // End-state audit. Replicated: every corrupted replica converged back
+    // — nothing still fenced, canonical digests byte-identical across the
+    // fleet. Replication 1: the fenced shard STAYS fenced (fail closed).
+    bool fenced_remaining = false;
+    bool digests_agree = true;
+    for (std::uint64_t sh = 0; sh < run_cfg.class_shards; ++sh) {
+      const std::uint32_t want = sim.worker(0).content_digest(sh);
+      for (std::size_t i = 0; i < run_cfg.replicas; ++i) {
+        if (!sim.worker(i).up()) continue;
+        fenced_remaining = fenced_remaining || sim.worker(i).shard_fenced(sh);
+        digests_agree =
+            digests_agree && sim.worker(i).content_digest(sh) == want;
+      }
+    }
+    const bool ban_enforced = [&] {
+      const std::string ban_line = "ban client=" + std::to_string(attacker);
+      const auto at = journal->find(ban_line);
+      return stats->bans_decided == 1 && at != std::string::npos &&
+             journal->find(ban_line, at + 1) == std::string::npos &&
+             journal->find(
+                 "client=" + std::to_string(attacker) + " outcome=served",
+                 at) == std::string::npos &&
+             sim.route().banned(attacker);
+    }();
+    const bool converged =
+        cfg.replication >= 2
+            ? !fenced_remaining && digests_agree &&
+                  stats->repairs_completed >= 1
+            : fenced_remaining && stats->repairs_completed == 0 &&
+                  stats->repairs_requested == 0;
+    *end_ok = converged && ban_enforced;
+    return std::pair<bool, bool>(converged, ban_enforced);
+  };
+
+  const auto [conv1, ban1] = run(1, &j1, &out.stats1, &end_ok1);
+  const auto [conv4, ban4] = run(4, &j4, &out.stats4, &end_ok4);
+  out.identical = j1 == j4;
+  out.all_resolved = resolved_total(out.stats1) == out.stats1.submitted &&
+                     resolved_total(out.stats4) == out.stats4.submitted;
+  out.fail_closed = out.stats1.corrupt_full_conf_serves == 0 &&
+                    out.stats4.corrupt_full_conf_serves == 0 &&
+                    out.stats1.shards_fenced_corrupt >= 1;
+  out.converged = conv1 && conv4;
+  out.ban_durable = ban1 && ban4;
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -600,6 +733,10 @@ int main(int argc, char** argv) {
   std::vector<node_kill_result> kills;
   for (const auto v : victims) kills.push_back(run_node_kill(cfg, v));
 
+  // Phase E: the corruption sweep — scripted fence-and-repair plus the
+  // seeded corruption chaos when ADVH_FLEET_CORRUPT_RATE is set.
+  const corruption_result corr = run_corruption(cfg);
+
   // Gates.
   bool failover_ok = true, bans_ok = true, recovery_ok = true;
   std::uint64_t split_brain = chaos.stats1.split_brain_serves +
@@ -623,9 +760,13 @@ int main(int argc, char** argv) {
     if (k.victim == kill_victim::leader) leader_failover_ticks = k.failover_ticks;
     split_brain += k.stats1.split_brain_serves + k.stats4.split_brain_serves;
   }
+  split_brain += corr.stats1.split_brain_serves + corr.stats4.split_brain_serves;
   const bool split_brain_zero = split_brain == 0;
-  const bool deterministic = chaos.identical && chaos.all_resolved;
+  const bool deterministic = chaos.identical && chaos.all_resolved &&
+                             corr.identical && corr.all_resolved;
   const bool recal_ok = recal.rollout_ok && recal.rollback_ok;
+  const bool corruption_ok =
+      corr.fail_closed && corr.converged && corr.ban_durable;
 
   text_table table("Fleet failover: sharded detection under chaos");
   table.set_header({"metric", "value"});
@@ -668,6 +809,18 @@ int main(int argc, char** argv) {
                      std::to_string(k.failover_ticks)});
     }
   }
+  table.add_row({"corrupt: faults injected",
+                 std::to_string(corr.stats1.corrupt_faults)});
+  table.add_row({"corrupt: shards fenced",
+                 std::to_string(corr.stats1.shards_fenced_corrupt)});
+  table.add_row({"corrupt: verdicts suppressed",
+                 std::to_string(corr.stats1.verdicts_suppressed_corrupt)});
+  table.add_row({"corrupt: repairs completed",
+                 std::to_string(corr.stats1.repairs_completed)});
+  table.add_row({"corrupt: bans re-synced",
+                 std::to_string(corr.stats1.bans_synced)});
+  table.add_row({"corrupt: full-confidence escapes",
+                 std::to_string(corr.stats1.corrupt_full_conf_serves)});
   table.add_row({"split-brain serves (all phases)",
                  std::to_string(split_brain)});
 
@@ -687,6 +840,18 @@ int main(int argc, char** argv) {
        << "  \"drift_alarms\": " << recal.drift_stats.drift_alarms << ",\n"
        << "  \"rollouts\": " << recal.drift_stats.rollouts << ",\n"
        << "  \"poisoned_rollbacks\": " << recal.poison_stats.rollbacks << ",\n"
+       << "  \"corrupt_rate\": " << cfg.corrupt_rate << ",\n"
+       << "  \"scrub_period\": " << cfg.scrub_period << ",\n"
+       << "  \"corrupt_faults\": " << corr.stats1.corrupt_faults << ",\n"
+       << "  \"shards_fenced_corrupt\": " << corr.stats1.shards_fenced_corrupt
+       << ",\n"
+       << "  \"verdicts_suppressed_corrupt\": "
+       << corr.stats1.verdicts_suppressed_corrupt << ",\n"
+       << "  \"repairs_completed\": " << corr.stats1.repairs_completed << ",\n"
+       << "  \"bans_synced\": " << corr.stats1.bans_synced << ",\n"
+       << "  \"corrupt_full_conf_serves\": "
+       << corr.stats1.corrupt_full_conf_serves + corr.stats4.corrupt_full_conf_serves
+       << ",\n"
        << "  \"checks\": {\n"
        << "    \"failover_ok\": " << (failover_ok ? "true" : "false")
        << ",\n    \"bans_durable\": " << (bans_ok ? "true" : "false")
@@ -697,6 +862,14 @@ int main(int argc, char** argv) {
        << (deterministic ? "true" : "false")
        << ",\n    \"recalibration_ok\": " << (recal_ok ? "true" : "false")
        << ",\n    \"node_kill_ok\": " << (kill_ok ? "true" : "false")
+       << ",\n    \"corruption_fail_closed\": "
+       << (corr.fail_closed ? "true" : "false")
+       << ",\n    \"corruption_converged\": "
+       << (corr.converged ? "true" : "false")
+       << ",\n    \"corruption_bans_durable\": "
+       << (corr.ban_durable ? "true" : "false")
+       << ",\n    \"corruption_deterministic\": "
+       << (corr.identical && corr.all_resolved ? "true" : "false")
        << "\n  }\n}\n";
   write_file("bench_results/BENCH_fleet_failover.json", json.str());
 
@@ -709,9 +882,14 @@ int main(int argc, char** argv) {
             << "), determinism " << (deterministic ? "ok" : "FAIL")
             << ", recalibration " << (recal_ok ? "ok" : "FAIL")
             << ", node kills " << (kill_ok ? "ok" : "FAIL") << " (leader "
-            << leader_failover_ticks << " ticks)\n";
+            << leader_failover_ticks << " ticks), corruption "
+            << (corruption_ok ? "ok" : "FAIL") << " ("
+            << corr.stats1.corrupt_faults << " faults, "
+            << corr.stats1.shards_fenced_corrupt << " fenced, "
+            << corr.stats1.repairs_completed << " repaired)\n";
 
   const bool all_ok = failover_ok && bans_ok && recovery_ok &&
-                      split_brain_zero && deterministic && recal_ok && kill_ok;
+                      split_brain_zero && deterministic && recal_ok &&
+                      kill_ok && corruption_ok;
   return all_ok ? 0 : 1;
 }

@@ -1,8 +1,11 @@
 #include "common/fs.hpp"
 
+#include <array>
 #include <cerrno>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <vector>
 
 #include "common/error.hpp"
@@ -127,6 +130,46 @@ void atomic_write_file(const std::string& path, std::string_view bytes) {
   std::filesystem::rename(tmp, dest, ec);
   if (ec) throw io_error(path + ": rename failed (" + ec.message() + ")");
 #endif
+}
+
+namespace {
+
+// Table for CRC32C (Castagnoli), reflected polynomial 0x82F63B78. Built
+// once at first use; byte-at-a-time is plenty for checkpoint-sized files
+// and keeps the implementation portable (no SSE4.2 dependency).
+const std::array<std::uint32_t, 256>& crc32c_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? (0x82F63B78u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(std::string_view bytes, std::uint32_t crc) {
+  const auto& table = crc32c_table();
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (const char ch : bytes) {
+    c = table[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::string read_file_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) throw io_error(path + ": cannot open file");
+  std::string bytes{std::istreambuf_iterator<char>(is),
+                    std::istreambuf_iterator<char>()};
+  if (is.bad()) throw io_error(path + ": read failed");
+  return bytes;
 }
 
 }  // namespace advh

@@ -10,6 +10,7 @@
 // content — never a torn mixture.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -28,5 +29,17 @@ inline constexpr const char* kAtomicTmpSuffix = ".tmp";
 /// advh::io_error when any step fails; on failure the destination is left
 /// untouched (the temp file may remain and will be reused next time).
 void atomic_write_file(const std::string& path, std::string_view bytes);
+
+/// CRC32C (Castagnoli, polynomial 0x1EDC6F41 reflected) over `bytes`,
+/// continuing from `crc` so checksums can be computed incrementally:
+/// crc32c(b, crc32c(a)) == crc32c(a + b). Portable table-driven software
+/// implementation — every byte order produces the same value on every
+/// platform, which is what lets range digests be compared across replicas
+/// and what makes the on-disk checksum trailers byte-stable.
+std::uint32_t crc32c(std::string_view bytes, std::uint32_t crc = 0);
+
+/// Reads the whole file at `path` into a string. Throws advh::io_error
+/// when the file does not exist or cannot be read.
+std::string read_file_bytes(const std::string& path);
 
 }  // namespace advh

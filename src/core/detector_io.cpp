@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -18,13 +19,17 @@ constexpr std::uint32_t kMagic = 0x41444554;  // "ADET"
 // 4 appends an optional drift-controller section (presence byte, then
 // policy + per-cell sequential-detector state + canary reservoirs) after
 // the model grid; 5 appends a fleet section (view epoch, shard identity,
-// content version, rollback flag) after the drift section. Older files
-// still load (policies default to the fail-closed detector_config values;
-// drift state and fleet metadata default to absent). Writers emit v4
-// unless fleet metadata is attached, so meta-less saves stay
-// byte-identical across revisions.
+// content version, rollback flag) after the drift section, followed by a
+// mandatory whole-file checksum trailer ("ADCK" magic + CRC32C over every
+// preceding byte) so a fleet never applies a shard whose bytes rotted on
+// disk. Older files still load (policies default to the fail-closed
+// detector_config values; drift state and fleet metadata default to
+// absent; v4 and below carry no trailer). Writers emit v4 unless fleet
+// metadata is attached, so meta-less saves stay byte-identical across
+// revisions.
 constexpr std::uint32_t kVersion = 4;
 constexpr std::uint32_t kVersionFleet = 5;
+constexpr std::uint32_t kCkTrailerMagic = 0x4144434B;  // "ADCK"
 constexpr std::uint32_t kOldestSupported = 1;
 // A BIC scan never selects more components than template rows; anything
 // beyond this is corrupt bytes, not a plausible fit.
@@ -58,6 +63,10 @@ struct parser {
   std::istream& is;
   const std::string& path;
   analysis::check_report& rep;
+  // The complete file bytes when the caller parsed from a buffer — what
+  // the v5 checksum trailer is verified against. Null for callers that
+  // stream (no trailer verification possible, v4 and below only).
+  const std::string* raw = nullptr;
 
   [[noreturn]] void fail(int code, const std::string& where,
                          const std::string& msg) {
@@ -217,6 +226,15 @@ void write_meta(std::ostream& os, const checkpoint_meta& m) {
   write_pod(os, m.shard_count);
   write_pod(os, m.content_version);
   write_pod(os, static_cast<std::uint8_t>(m.rollback ? 1 : 0));
+}
+
+// Appends the v5 whole-file checksum trailer: CRC32C over everything
+// serialised so far, so a reader can verify the complete file before
+// trusting any field of it.
+void write_checksum_trailer(std::ostringstream& os) {
+  const std::uint32_t crc = crc32c(os.view());
+  write_pod(os, kCkTrailerMagic);
+  write_pod(os, crc);
 }
 
 void write_drift_cell(std::ostream& os, const drift_cell& cell) {
@@ -385,6 +403,31 @@ checkpoint read_checkpoint(parser& p) {
     p.fail(202, "file",
            "unsupported detector format version " + std::to_string(version));
   }
+  if (version >= 5 && p.raw != nullptr) {
+    // Verify the whole-file checksum trailer BEFORE trusting any body
+    // field: rotted bytes must fence as the checksum failure they are,
+    // not as whatever structural error the rot happens to masquerade as
+    // (or worse, a bogus length field driving a huge allocation).
+    const std::string& raw = *p.raw;
+    std::uint32_t ck_magic = 0;
+    std::uint32_t ck_crc = 0;
+    if (raw.size() >= 8) {
+      std::memcpy(&ck_magic, raw.data() + raw.size() - 8, 4);
+      std::memcpy(&ck_crc, raw.data() + raw.size() - 4, 4);
+    }
+    if (raw.size() < 8 || ck_magic != kCkTrailerMagic) {
+      p.fail(250, "checksum trailer",
+             "missing or corrupt whole-file checksum trailer");
+    }
+    const std::uint32_t got =
+        crc32c(std::string_view(raw).substr(0, raw.size() - 8));
+    if (got != ck_crc) {
+      p.fail(250, "checksum trailer",
+             "whole-file checksum mismatch: stored " + std::to_string(ck_crc) +
+                 ", computed " + std::to_string(got) +
+                 " — the bytes changed after they were written");
+    }
+  }
 
   detector_config cfg;
   const auto n_events = p.pod<std::uint64_t>("event count");
@@ -543,6 +586,33 @@ checkpoint read_checkpoint(parser& p) {
     }
     m.rollback = rb != 0;
     out.meta = m;
+    // Mandatory whole-file checksum trailer: CRC32C over every byte up to
+    // here. Shard checkpoints are the fleet's recovery substrate — bytes
+    // that rotted on disk (bit flips, torn writes the rename ordering
+    // cannot see) must fence as a typed error, never load as a slightly
+    // different detector.
+    std::size_t prefix_len = 0;
+    if (p.raw != nullptr) {
+      const auto pos = p.is.tellg();
+      prefix_len = pos < 0 ? p.raw->size() : static_cast<std::size_t>(pos);
+    }
+    const auto ck_magic = p.pod<std::uint32_t>("checksum trailer magic");
+    const auto ck_crc = p.pod<std::uint32_t>("checksum trailer crc");
+    if (ck_magic != kCkTrailerMagic) {
+      p.fail(250, "checksum trailer",
+             "missing or corrupt whole-file checksum trailer");
+    }
+    if (p.raw != nullptr) {
+      const std::uint32_t got =
+          crc32c(std::string_view(*p.raw).substr(0, prefix_len));
+      if (got != ck_crc) {
+        p.fail(250, "checksum trailer",
+               "whole-file checksum mismatch: stored " +
+                   std::to_string(ck_crc) + ", computed " +
+                   std::to_string(got) +
+                   " — the bytes changed after they were written");
+      }
+    }
   }
   if (p.is.peek() != std::char_traits<char>::eof()) {
     p.rep.add(severity::warning, 248, "file",
@@ -559,7 +629,10 @@ void save_detector(const detector& det, const std::string& path,
   std::ostringstream os(std::ios::binary);
   write_detector_body(os, det, meta.has_value() ? kVersionFleet : kVersion);
   write_pod(os, static_cast<std::uint8_t>(0));  // no drift section
-  if (meta.has_value()) write_meta(os, *meta);
+  if (meta.has_value()) {
+    write_meta(os, *meta);
+    write_checksum_trailer(os);
+  }
   ADVH_CHECK_MSG(os.good(), "serialisation failed for " + path);
   atomic_write_file(path, os.view());
 }
@@ -570,17 +643,25 @@ void save_checkpoint(const drift_controller& ctl, const std::string& path,
   write_detector_body(os, ctl.det(), meta.has_value() ? kVersionFleet : kVersion);
   write_pod(os, static_cast<std::uint8_t>(1));
   write_drift_state(os, ctl.state());
-  if (meta.has_value()) write_meta(os, *meta);
+  if (meta.has_value()) {
+    write_meta(os, *meta);
+    write_checksum_trailer(os);
+  }
   ADVH_CHECK_MSG(os.good(), "serialisation failed for " + path);
   atomic_write_file(path, os.view());
 }
 
 checkpoint load_checkpoint(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is.good()) throw io_error("cannot open " + path);
+  std::ifstream probe(path, std::ios::binary);
+  if (!probe.good()) throw io_error("cannot open " + path);
+  probe.close();
+  // Buffer the whole file so the v5 checksum trailer can be verified
+  // against the exact bytes on disk before any field is trusted.
+  const std::string bytes = read_file_bytes(path);
+  std::istringstream is(bytes, std::ios::binary);
   analysis::check_report rep;
   rep.target = path;
-  parser p{is, path, rep};
+  parser p{is, path, rep, &bytes};
   checkpoint out = read_checkpoint(p);
   if (rep.has_errors()) {
     // Semantic defects accumulated without aborting the parse: the file
@@ -599,13 +680,16 @@ detector load_detector(const std::string& path) {
 std::optional<checkpoint> lint_checkpoint_file(
     const std::string& path, analysis::check_report& report) {
   report.target = path;
-  std::ifstream is(path, std::ios::binary);
-  if (!is.good()) {
+  std::string bytes;
+  try {
+    bytes = read_file_bytes(path);
+  } catch (const io_error&) {
     report.add(analysis::severity::error, 1, "file",
                "cannot open target for reading");
     return std::nullopt;
   }
-  parser p{is, path, report};
+  std::istringstream is(bytes, std::ios::binary);
+  parser p{is, path, report, &bytes};
   std::optional<checkpoint> out;
   try {
     out.emplace(read_checkpoint(p));

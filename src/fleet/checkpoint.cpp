@@ -12,7 +12,13 @@ namespace advh::fleet {
 namespace {
 
 constexpr std::uint32_t kBanMagic = 0x4144424cU;  // "ADBL"
-constexpr std::uint32_t kBanVersion = 1;
+// Version 1: magic, version, count, then bare client u64s. Version 2
+// appends a CRC32C to every record, computed over LE(record index) +
+// LE(client id), so a flipped bit in any record is detected and a torn
+// final write (crash mid-append) reads as "the ledger ends here" instead
+// of poisoning the whole file. Readers accept both.
+constexpr std::uint32_t kBanVersion = 2;
+constexpr std::uint32_t kBanVersionLegacy = 1;
 
 template <typename T>
 void append_le(std::string& buf, T v) {
@@ -21,14 +27,32 @@ void append_le(std::string& buf, T v) {
   buf.append(bytes, sizeof(T));
 }
 
-template <typename T>
-T read_le(std::ifstream& is, const std::string& path, const char* what) {
-  T v{};
-  if (!is.read(reinterpret_cast<char*>(&v), sizeof(T))) {
-    throw io_error("ban ledger " + path + ": truncated reading " + what);
-  }
-  return v;
+/// CRC32C for one ban record: binds the client id to its position so a
+/// reordered or duplicated record cannot masquerade as valid.
+std::uint32_t ban_record_crc(std::uint64_t index, std::uint64_t client) {
+  std::string rec;
+  rec.reserve(16);
+  append_le(rec, index);
+  append_le(rec, client);
+  return crc32c(rec);
 }
+
+/// Cursor over an in-memory ledger image; read<T> returns nullopt at the
+/// end of the bytes instead of throwing, so the caller decides whether a
+/// short read is a torn tail (tolerated) or a broken header (typed error).
+struct ban_cursor {
+  std::string_view bytes;
+  std::size_t off = 0;
+
+  template <typename T>
+  std::optional<T> read() {
+    if (bytes.size() - off < sizeof(T)) return std::nullopt;
+    T v{};
+    std::memcpy(&v, bytes.data() + off, sizeof(T));
+    off += sizeof(T);
+    return v;
+  }
+};
 
 [[noreturn]] void fence(const std::string& path, const std::string& why) {
   throw io_error("fleet checkpoint fenced: " + path + ": " + why);
@@ -146,34 +170,69 @@ void merge_shard(
 void write_ban_ledger(const std::string& path,
                       const std::vector<std::uint64_t>& clients) {
   std::string buf;
-  buf.reserve(16 + clients.size() * 8);
+  buf.reserve(16 + clients.size() * 12);
   append_le(buf, kBanMagic);
   append_le(buf, kBanVersion);
   append_le(buf, static_cast<std::uint64_t>(clients.size()));
-  for (const std::uint64_t c : clients) append_le(buf, c);
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    append_le(buf, clients[i]);
+    append_le(buf, ban_record_crc(i, clients[i]));
+  }
   atomic_write_file(path, buf);
 }
 
-std::vector<std::uint64_t> read_ban_ledger(const std::string& path) {
-  if (!std::filesystem::exists(path)) return {};
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw io_error("ban ledger " + path + ": cannot open");
-  if (read_le<std::uint32_t>(is, path, "magic") != kBanMagic) {
-    throw io_error("ban ledger " + path + ": bad magic");
+ban_ledger_read read_ban_ledger_checked(const std::string& path) {
+  ban_ledger_read out;
+  if (!std::filesystem::exists(path)) return out;
+  const std::string bytes = read_file_bytes(path);
+  ban_cursor cur{bytes};
+
+  const auto magic = cur.read<std::uint32_t>();
+  const auto version = cur.read<std::uint32_t>();
+  const auto count = cur.read<std::uint64_t>();
+  if (!magic || *magic != kBanMagic || !version ||
+      (*version != kBanVersion && *version != kBanVersionLegacy) || !count ||
+      *count > (1ULL << 32)) {
+    // The header itself is wrong: nothing in the file can be trusted,
+    // not even a prefix — this is corruption, not a torn append.
+    out.header_corrupt = true;
+    return out;
   }
-  if (read_le<std::uint32_t>(is, path, "version") != kBanVersion) {
-    throw io_error("ban ledger " + path + ": unsupported version");
-  }
-  const auto count = read_le<std::uint64_t>(is, path, "count");
-  if (count > (1ULL << 32)) {
-    throw io_error("ban ledger " + path + ": implausible count");
-  }
-  std::vector<std::uint64_t> out;
-  out.reserve(count);
-  for (std::uint64_t i = 0; i < count; ++i) {
-    out.push_back(read_le<std::uint64_t>(is, path, "client id"));
+  out.clients.reserve(static_cast<std::size_t>(*count));
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    const auto client = cur.read<std::uint64_t>();
+    if (*version == kBanVersionLegacy) {
+      if (!client) {
+        // Legacy records carry no checksum; a short final record still
+        // reads as "the ledger ends here".
+        out.torn_tail = true;
+        out.dropped_records = *count - i;
+        break;
+      }
+      out.clients.push_back(*client);
+      continue;
+    }
+    const auto crc = cur.read<std::uint32_t>();
+    if (!client || !crc || *crc != ban_record_crc(i, *client)) {
+      // Torn or corrupt record: everything from here on is untrusted.
+      // The valid prefix survives — a crash mid-append must not void
+      // every ban decision that landed before it.
+      out.torn_tail = true;
+      out.dropped_records = *count - i;
+      break;
+    }
+    out.clients.push_back(*client);
   }
   return out;
+}
+
+std::vector<std::uint64_t> read_ban_ledger(const std::string& path) {
+  ban_ledger_read r = read_ban_ledger_checked(path);
+  if (r.header_corrupt) {
+    throw io_error("ban ledger " + path +
+                   ": corrupt header (bad magic, version, or count)");
+  }
+  return std::move(r.clients);
 }
 
 }  // namespace advh::fleet

@@ -91,12 +91,31 @@ void merge_shard(
     std::vector<std::vector<std::optional<core::event_model>>>& models,
     const core::detector& src, std::uint64_t shard, const fleet_config& cfg);
 
-/// Atomically writes a ban ledger (ADBL v1: magic, version, count, ids).
+/// Atomically writes a ban ledger (ADBL v2: magic, version, count, then
+/// per record the client id + a CRC32C binding the id to its position).
 void write_ban_ledger(const std::string& path,
                       const std::vector<std::uint64_t>& clients);
 
+/// Result of a checked ban-ledger read. The valid record prefix always
+/// survives: a torn final write (crash mid-append) or a corrupt record
+/// mid-file truncates the trusted region at the first bad checksum
+/// ("the ledger ends here") instead of voiding every ban before it.
+/// Only a corrupt header — where nothing can be trusted — marks the
+/// whole ledger bad.
+struct ban_ledger_read {
+  std::vector<std::uint64_t> clients;  // valid prefix, in append order
+  bool torn_tail = false;       // a record failed its checksum / ran short
+  std::uint64_t dropped_records = 0;  // records after the tear
+  bool header_corrupt = false;  // magic/version/count unreadable
+};
+
+/// Reads a ban ledger without throwing on content damage. A missing file
+/// is an empty ledger. Reads both ADBL v2 (checksummed) and legacy v1.
+ban_ledger_read read_ban_ledger_checked(const std::string& path);
+
 /// Reads a ban ledger. A missing file is an empty ledger (no bans were
-/// ever recorded there); corrupt or truncated bytes throw advh::io_error.
+/// ever recorded there); a torn tail is tolerated (the valid prefix is
+/// returned); a corrupt header throws advh::io_error.
 std::vector<std::uint64_t> read_ban_ledger(const std::string& path);
 
 }  // namespace advh::fleet

@@ -56,6 +56,13 @@ fleet_config fleet_config_from_env(fleet_config base) {
   if (const char* env = std::getenv("ADVH_FLEET_LOSS_RATE")) {
     base.loss_rate = env_number("ADVH_FLEET_LOSS_RATE", env, 0.0, 0.95);
   }
+  if (const char* env = std::getenv("ADVH_FLEET_SCRUB_PERIOD")) {
+    base.scrub_period = static_cast<std::uint64_t>(
+        env_int("ADVH_FLEET_SCRUB_PERIOD", env, 1.0, 1000000.0));
+  }
+  if (const char* env = std::getenv("ADVH_FLEET_CORRUPT_RATE")) {
+    base.corrupt_rate = env_number("ADVH_FLEET_CORRUPT_RATE", env, 0.0, 0.5);
+  }
   return base;
 }
 
@@ -82,6 +89,11 @@ void validate(const fleet_config& cfg) {
     fail("loss_rate must lie in [0, 0.95]");
   }
   if (cfg.handoff_batch < 1) fail("handoff_batch must be positive");
+  if (cfg.scrub_period < 1) fail("scrub_period must be positive");
+  if (cfg.repair_batch < 1) fail("repair_batch must be positive");
+  if (!(cfg.corrupt_rate >= 0.0) || cfg.corrupt_rate > 0.5) {
+    fail("corrupt_rate must lie in [0, 0.5]");
+  }
   if (cfg.canary_interval < 1) fail("canary_interval must be positive");
   if (cfg.checkpoint_interval < 1) {
     fail("checkpoint_interval must be positive");

@@ -97,6 +97,18 @@ struct fleet_config {
   /// (one batch in flight per range).
   std::size_t handoff_batch = 4;
 
+  // --- integrity / anti-entropy (ticks) ---
+  /// Period of the anti-entropy scrub: every this many ticks a replica
+  /// re-verifies its own on-disk artifacts and exchanges range digests
+  /// with its ownership peers (read repair rides on the divergences).
+  std::uint64_t scrub_period = 24;
+  /// Repair-traffic bound: at most this many shard repairs a replica
+  /// requests per scrub round, so anti-entropy can never starve serving.
+  std::size_t repair_batch = 1;
+  /// Per-(file, opportunity) probability of a seeded disk-corruption
+  /// fault when corruption chaos is enabled (0 disables).
+  double corrupt_rate = 0.0;
+
   // --- simulated network ---
   /// Per-attempt loss probability for every simulated message.
   double loss_rate = 0.0;
@@ -117,7 +129,10 @@ struct fleet_config {
 /// ADVH_FLEET_REPLICAS (integer in [1, 64]) overrides `replicas`,
 /// ADVH_FLEET_CONTROLLERS (integer in [1, 7]) overrides `controllers`,
 /// ADVH_FLEET_REPLICATION (integer in [1, 4]) overrides `replication`,
-/// ADVH_FLEET_LOSS_RATE (number in [0, 0.95]) overrides `loss_rate`. A
+/// ADVH_FLEET_LOSS_RATE (number in [0, 0.95]) overrides `loss_rate`,
+/// ADVH_FLEET_SCRUB_PERIOD (integer in [1, 1000000]) overrides
+/// `scrub_period`, ADVH_FLEET_CORRUPT_RATE (number in [0, 0.5])
+/// overrides `corrupt_rate`. A
 /// set-but-malformed knob throws std::invalid_argument — the strict
 /// validation contract every ADVH_* knob follows: a typo in a deployment
 /// manifest must fail loudly, not silently mis-size the fleet.

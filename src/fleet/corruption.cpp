@@ -1,0 +1,127 @@
+#include "fleet/corruption.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+
+#include "common/error.hpp"
+#include "common/fs.hpp"
+#include "common/rng.hpp"
+#include "fleet/checkpoint.hpp"
+#include "fleet/membership.hpp"
+
+namespace advh::fleet {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Plain in-place overwrite — deliberately NOT atomic_write_file: the
+/// whole point is to model bytes changing underneath the durability
+/// machinery, not a well-behaved republish.
+void overwrite_raw(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// The lowest-version immutable snapshot of `shard` in `dir`, if any —
+/// what a misbehaving storage layer would resurrect.
+std::optional<std::string> oldest_snapshot(const std::string& dir,
+                                           std::uint64_t shard) {
+  const std::string prefix = "shard" + std::to_string(shard) + "_v";
+  std::optional<std::uint64_t> best_version;
+  std::optional<std::string> best_path;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix, 0) != 0) continue;
+    if (name.size() < prefix.size() + 6 ||
+        name.substr(name.size() - 5) != ".adet") {
+      continue;
+    }
+    const std::string digits =
+        name.substr(prefix.size(), name.size() - prefix.size() - 5);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    const std::uint64_t v = std::stoull(digits);
+    if (!best_version.has_value() || v < *best_version) {
+      best_version = v;
+      best_path = entry.path().string();
+    }
+  }
+  return best_path;
+}
+
+bool damage_file(const corruption_event& e, const std::string& dir,
+                 const std::string& path) {
+  if (!fs::exists(path)) return false;
+  switch (e.kind) {
+    case corrupt_kind::bit_flip: {
+      std::string bytes = read_file_bytes(path);
+      if (bytes.empty()) return false;
+      rng g = rng::stream(e.seed, 0);
+      const std::size_t bit = g.uniform_index(bytes.size() * 8);
+      bytes[bit / 8] = static_cast<char>(
+          static_cast<unsigned char>(bytes[bit / 8]) ^ (1u << (bit % 8)));
+      overwrite_raw(path, bytes);
+      return true;
+    }
+    case corrupt_kind::truncate: {
+      std::error_code ec;
+      const auto size = fs::file_size(path, ec);
+      if (ec || size == 0) return false;
+      rng g = rng::stream(e.seed, 1);
+      const std::uint64_t keep = g.uniform_index(static_cast<std::size_t>(size));
+      fs::resize_file(path, keep, ec);
+      return !ec;
+    }
+    case corrupt_kind::stale_resurrect: {
+      if (e.target == corrupt_target::shard_file) {
+        const auto old = oldest_snapshot(dir, e.shard);
+        if (!old.has_value() || *old == path) return false;
+        std::error_code ec;
+        fs::copy_file(*old, path, fs::copy_options::overwrite_existing, ec);
+        return !ec;
+      }
+      // Ledger: rewrite with the first half of the records — valid
+      // framing and checksums, stale content (lost ban decisions).
+      const ban_ledger_read r = read_ban_ledger_checked(path);
+      if (r.header_corrupt || r.clients.size() < 2) return false;
+      std::vector<std::uint64_t> half(
+          r.clients.begin(), r.clients.begin() + r.clients.size() / 2);
+      write_ban_ledger(path, half);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool apply_corruption(const corruption_event& e, const fleet_config& cfg,
+                      const std::string& dir, event_log& log) {
+  const std::string path =
+      e.target == corrupt_target::shard_file
+          ? shard_latest_path(dir, e.shard)
+          : ban_ledger_path(dir, replica_node(e.replica));
+  bool applied = false;
+  try {
+    applied = damage_file(e, dir, path);
+  } catch (const io_error&) {
+    applied = false;  // racing reads/renames in the store: nothing damaged
+  }
+  if (!applied) return false;
+  (void)cfg;
+  ++log.stats().corrupt_faults;
+  log.line(e.tick,
+           std::string("corrupt kind=") + to_string(e.kind) +
+               " target=" + to_string(e.target) +
+               (e.target == corrupt_target::shard_file
+                    ? " shard=" + std::to_string(e.shard)
+                    : " node=" + std::to_string(replica_node(e.replica))));
+  return true;
+}
+
+}  // namespace advh::fleet

@@ -1,0 +1,40 @@
+// Applier for seeded disk-corruption faults.
+//
+// The fault plan schedules corruption_events as data (fleet/fault_plan);
+// this module is the hand that actually damages the bytes, at the very
+// start of the sim tick, before any node acts. All damage is derived
+// deterministically from the event's own seed — which bit flips, where a
+// truncation cuts — so a chaos run's on-disk history is as reproducible
+// as its journal. Three kinds:
+//
+//   * bit_flip — one seeded bit of the target file inverts (a rotted
+//     sector). Caught by the checksum layer on the next read.
+//   * truncate — the file is cut at a seeded offset (a torn write that
+//     landed after publication, below the rename's atomicity). Caught as
+//     a typed truncation / checksum error.
+//   * stale_resurrect — the storage layer serves back an OLD, checksum-
+//     VALID generation: for a shard file the lowest versioned snapshot
+//     overwrites the latest alias; for a ledger the first half of its
+//     records are rewritten with valid framing. Checksums cannot catch
+//     this one — only the anti-entropy version digests do.
+//
+// A corruption against a file that does not exist yet is a no-op (the
+// plan fires blind; nothing to damage is nothing to observe).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fleet/config.hpp"
+#include "fleet/events.hpp"
+#include "fleet/fault_plan.hpp"
+
+namespace advh::fleet {
+
+/// Applies `e` against the shared checkpoint/ledger store at `dir`.
+/// Returns true when a file was actually damaged (journalled and counted
+/// into corrupt_faults); false when the target did not exist.
+bool apply_corruption(const corruption_event& e, const fleet_config& cfg,
+                      const std::string& dir, event_log& log);
+
+}  // namespace advh::fleet

@@ -19,7 +19,7 @@ namespace advh::fleet {
 struct fleet_stats {
   std::uint64_t submitted = 0;
   /// Terminal buckets, indexed by req_outcome.
-  std::array<std::uint64_t, 9> by_outcome{};
+  std::array<std::uint64_t, 10> by_outcome{};
   /// Served verdicts produced by a replica that was not the authoritative
   /// owner of the client's range at serve time (controller's view). The
   /// epoch fence exists to keep this at zero; the failover bench gates on
@@ -48,6 +48,39 @@ struct fleet_stats {
   /// failed canary validation.
   std::uint64_t rollouts = 0;
   std::uint64_t rollbacks = 0;
+
+  // ------------------------------------------------- integrity layer --
+  /// Disk-corruption faults the plan injected (bit flips, truncations,
+  /// stale resurrections of checkpoint and ledger files).
+  std::uint64_t corrupt_faults = 0;
+  /// Shards fenced after a checksum verification failed — each fence
+  /// means a replica refused to serve bytes it could not vouch for.
+  std::uint64_t shards_fenced_corrupt = 0;
+  /// Anti-entropy scrub rounds run, digest messages sent, digest sends
+  /// suppressed by a scripted digest blackout, and digest comparisons
+  /// that found a divergence.
+  std::uint64_t scrub_rounds = 0;
+  std::uint64_t digests_sent = 0;
+  std::uint64_t digests_suppressed = 0;
+  std::uint64_t digest_mismatches = 0;
+  /// Pull-based shard repair: requests issued, checkpoint paths served
+  /// back by a peer, repairs that applied successfully, and local
+  /// re-publishes healing a rotted on-disk file from clean memory.
+  std::uint64_t repairs_requested = 0;
+  std::uint64_t repairs_served = 0;
+  std::uint64_t repairs_completed = 0;
+  std::uint64_t repairs_local = 0;
+  /// Ban ids force-applied from a peer's ban_sync message.
+  std::uint64_t bans_synced = 0;
+  /// Computed verdicts converted to abstain_corrupt at response time
+  /// because their predicted class lives on a corrupt-fenced shard.
+  std::uint64_t verdicts_suppressed_corrupt = 0;
+  /// Ban-ledger reads that found a torn tail (crash-truncated final
+  /// record) and recovered the valid prefix.
+  std::uint64_t ledger_torn_tails = 0;
+  /// Full-confidence verdicts served from a checksum-fenced shard — the
+  /// integrity invariant; the sim audit and bench gate hold this at zero.
+  std::uint64_t corrupt_full_conf_serves = 0;
   net_stats net{};
 
   std::uint64_t outcome(req_outcome o) const noexcept {

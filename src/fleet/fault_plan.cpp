@@ -16,6 +16,16 @@ bool event_order(const fault_event& a, const fault_event& b) noexcept {
   return static_cast<int>(a.kind) < static_cast<int>(b.kind);
 }
 
+bool corruption_order(const corruption_event& a,
+                      const corruption_event& b) noexcept {
+  if (a.tick != b.tick) return a.tick < b.tick;
+  if (a.replica != b.replica) return a.replica < b.replica;
+  if (a.target != b.target)
+    return static_cast<int>(a.target) < static_cast<int>(b.target);
+  if (a.shard != b.shard) return a.shard < b.shard;
+  return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+}
+
 /// Group index of `node` in `spec`; nodes listed nowhere share the
 /// implicit rest group.
 std::size_t group_of(const partition_spec& spec, std::uint32_t node) {
@@ -35,6 +45,28 @@ const char* to_string(fault_target t) noexcept {
       return "worker";
     case fault_target::controller:
       return "controller";
+  }
+  return "?";
+}
+
+const char* to_string(corrupt_kind k) noexcept {
+  switch (k) {
+    case corrupt_kind::bit_flip:
+      return "bit_flip";
+    case corrupt_kind::truncate:
+      return "truncate";
+    case corrupt_kind::stale_resurrect:
+      return "stale_resurrect";
+  }
+  return "?";
+}
+
+const char* to_string(corrupt_target t) noexcept {
+  switch (t) {
+    case corrupt_target::shard_file:
+      return "shard_file";
+    case corrupt_target::ledger_file:
+      return "ledger_file";
   }
   return "?";
 }
@@ -123,6 +155,66 @@ bool fault_plan::poisoned(std::uint64_t shard,
                           std::uint64_t content_version) const {
   for (const auto& [s, v] : poisoned_) {
     if (s == shard && v == content_version) return true;
+  }
+  return false;
+}
+
+void fault_plan::corrupt(corruption_event e) {
+  corruptions_.push_back(e);
+  std::sort(corruptions_.begin(), corruptions_.end(), corruption_order);
+}
+
+std::vector<corruption_event> fault_plan::corruptions_at(
+    std::uint64_t tick) const {
+  std::vector<corruption_event> out;
+  auto it = std::lower_bound(
+      corruptions_.begin(), corruptions_.end(), tick,
+      [](const corruption_event& e, std::uint64_t t) { return e.tick < t; });
+  for (; it != corruptions_.end() && it->tick == tick; ++it) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
+void fault_plan::add_corruption_chaos(const fleet_config& cfg,
+                                      std::uint64_t horizon, double rate,
+                                      std::uint64_t seed) {
+  if (rate <= 0.0 || cfg.replicas == 0) return;
+  // Corruptions stop at ~60% of the horizon so every injected fault has
+  // a repair tail: the acceptance gate measures convergence, which needs
+  // quiet time after the last corruption to be meaningful.
+  const std::uint64_t last = (horizon * 3) / 5;
+  for (std::size_t r = 0; r < cfg.replicas; ++r) {
+    for (int target = 0; target < 2; ++target) {
+      rng g = rng::stream(seed ^ 0xc0442057ULL, r * 2 + target);
+      // First opportunity only after the first checkpoint publish so a
+      // file exists to corrupt; opportunities a checkpoint interval
+      // apart give each corruption a fresh generation to hit.
+      for (std::uint64_t t = cfg.checkpoint_interval + 2; t < last;
+           t += cfg.checkpoint_interval) {
+        if (!g.bernoulli(rate)) continue;
+        corruption_event e;
+        e.tick = t + g.uniform_index(cfg.checkpoint_interval / 2 + 1);
+        e.kind = static_cast<corrupt_kind>(g.uniform_index(3));
+        e.target = static_cast<corrupt_target>(target);
+        e.replica = r;
+        e.shard = g.uniform_index(cfg.class_shards);
+        e.seed = seed ^ (e.tick * 0x9e3779b97f4a7c15ULL) ^ (r << 8) ^
+                 static_cast<std::uint64_t>(target);
+        corruptions_.push_back(e);
+      }
+    }
+  }
+  std::sort(corruptions_.begin(), corruptions_.end(), corruption_order);
+}
+
+void fault_plan::digest_blackout(std::uint64_t from, std::uint64_t until) {
+  digest_blackouts_.emplace_back(from, until);
+}
+
+bool fault_plan::digest_blackout_at(std::uint64_t tick) const {
+  for (const auto& [from, until] : digest_blackouts_) {
+    if (tick >= from && tick < until) return true;
   }
   return false;
 }

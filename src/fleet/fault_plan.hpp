@@ -45,6 +45,37 @@ enum class fault_target : std::uint8_t {
 
 const char* to_string(fault_target t) noexcept;
 
+/// Disk-corruption fault kinds. All three model real failure modes the
+/// checksum layer must catch: a rotted sector (bit flip), a torn write
+/// that the rename ordering cannot see because it hit the file after
+/// publication (truncate), and a misbehaving storage layer serving back
+/// an old, checksum-VALID generation of the file (stale resurrect — only
+/// anti-entropy version digests catch this one).
+enum class corrupt_kind : std::uint8_t {
+  bit_flip = 0,
+  truncate = 1,
+  stale_resurrect = 2,
+};
+
+const char* to_string(corrupt_kind k) noexcept;
+
+/// Which durable artifact of the targeted replica the corruption hits.
+enum class corrupt_target : std::uint8_t {
+  shard_file = 0,   ///< the replica's shard<S>_latest.adet
+  ledger_file = 1,  ///< the replica's bans_r<node>.advhbans
+};
+
+const char* to_string(corrupt_target t) noexcept;
+
+struct corruption_event {
+  std::uint64_t tick = 0;
+  corrupt_kind kind = corrupt_kind::bit_flip;
+  corrupt_target target = corrupt_target::shard_file;
+  std::size_t replica = 0;  ///< replica INDEX whose directory is hit
+  std::uint64_t shard = 0;  ///< shard index (shard_file targets only)
+  std::uint64_t seed = 0;   ///< per-event seed (which bit / where to cut)
+};
+
 struct fault_event {
   std::uint64_t tick = 0;
   fault_kind kind = fault_kind::crash;
@@ -100,10 +131,42 @@ class fault_plan {
   void poison(std::uint64_t shard, std::uint64_t content_version);
   bool poisoned(std::uint64_t shard, std::uint64_t content_version) const;
 
+  /// Schedules one disk-corruption event (scripted scenarios).
+  void corrupt(corruption_event e);
+
+  /// Corruption events scheduled exactly at `tick`, in deterministic
+  /// (replica, target, shard, kind) order.
+  std::vector<corruption_event> corruptions_at(std::uint64_t tick) const;
+
+  const std::vector<corruption_event>& corruptions() const noexcept {
+    return corruptions_;
+  }
+
+  /// Seeds corruption chaos over `horizon` ticks on top of whatever the
+  /// plan already schedules: every (replica, artifact) pair walks the
+  /// tick line and fires a corruption with probability `rate` per
+  /// opportunity (opportunities are spaced a checkpoint interval apart so
+  /// a fresh file exists to corrupt), with the kind drawn uniformly.
+  /// Events land only in the first ~60% of the horizon so every
+  /// corruption has a convergence tail to repair within. Deterministic in
+  /// (cfg, horizon, rate, seed).
+  void add_corruption_chaos(const fleet_config& cfg, std::uint64_t horizon,
+                            double rate, std::uint64_t seed);
+
+  /// Schedules a digest blackout over [from, until): replicas suppress
+  /// their anti-entropy digest sends while one is active (the scripted
+  /// flavour of digest-message loss; random loss comes from loss_rate
+  /// since digests travel best-effort).
+  void digest_blackout(std::uint64_t from, std::uint64_t until);
+  bool digest_blackout_at(std::uint64_t tick) const;
+
  private:
   std::vector<fault_event> events_;  ///< sorted by (tick, target, idx, kind)
   std::vector<partition_spec> partitions_;
   std::vector<std::pair<std::uint64_t, std::uint64_t>> poisoned_;
+  /// Sorted by (tick, replica, target, shard, kind).
+  std::vector<corruption_event> corruptions_;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> digest_blackouts_;
 };
 
 }  // namespace advh::fleet

@@ -1,0 +1,92 @@
+#include "fleet/integrity.hpp"
+
+#include <cstring>
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "common/fs.hpp"
+#include "fleet/membership.hpp"
+
+namespace advh::fleet {
+
+namespace {
+
+constexpr std::uint32_t kCkTrailerMagic = 0x4144434B;  // "ADCK"
+
+template <typename T>
+void append_le(std::string& buf, T v) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &v, sizeof(T));
+  buf.append(bytes, sizeof(T));
+}
+
+}  // namespace
+
+std::uint32_t shard_content_digest(
+    const std::vector<std::vector<std::optional<core::event_model>>>& models,
+    std::uint64_t shard, const fleet_config& cfg) {
+  std::string buf;
+  for (std::size_t cls = 0; cls < models.size(); ++cls) {
+    if (shard_of_class(cls, cfg) != shard) continue;
+    append_le(buf, static_cast<std::uint64_t>(cls));
+    for (const auto& em : models[cls]) {
+      append_le(buf, static_cast<std::uint8_t>(em.has_value() ? 1 : 0));
+      if (!em.has_value()) continue;
+      append_le(buf, em->threshold);
+      append_le(buf, em->nll_mean);
+      append_le(buf, em->nll_stddev);
+      append_le(buf, static_cast<std::uint64_t>(em->template_size));
+      append_le(buf, static_cast<std::uint64_t>(em->model.order()));
+      for (const auto& comp : em->model.components()) {
+        append_le(buf, comp.weight);
+        append_le(buf, comp.mean);
+        append_le(buf, comp.variance);
+      }
+    }
+  }
+  return crc32c(buf);
+}
+
+std::uint32_t ban_set_digest(const std::set<std::uint64_t>& bans) {
+  std::string buf;
+  buf.reserve(8 + bans.size() * 8);
+  append_le(buf, static_cast<std::uint64_t>(bans.size()));
+  for (const std::uint64_t c : bans) append_le(buf, c);
+  return crc32c(buf);
+}
+
+std::uint32_t digest_root(std::vector<std::uint32_t> leaves) {
+  if (leaves.empty()) return 0;
+  while (leaves.size() > 1) {
+    std::vector<std::uint32_t> next;
+    next.reserve((leaves.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < leaves.size(); i += 2) {
+      std::string pair;
+      append_le(pair, leaves[i]);
+      append_le(pair, leaves[i + 1]);
+      next.push_back(crc32c(pair));
+    }
+    if (leaves.size() % 2 == 1) next.push_back(leaves.back());
+    leaves = std::move(next);
+  }
+  return leaves.front();
+}
+
+bool verify_checkpoint_file(const std::string& path) {
+  if (!std::filesystem::exists(path)) return false;
+  std::string bytes;
+  try {
+    bytes = read_file_bytes(path);
+  } catch (const io_error&) {
+    return false;
+  }
+  if (bytes.size() < 8) return false;
+  std::uint32_t magic = 0;
+  std::uint32_t crc = 0;
+  std::memcpy(&magic, bytes.data() + bytes.size() - 8, 4);
+  std::memcpy(&crc, bytes.data() + bytes.size() - 4, 4);
+  if (magic != kCkTrailerMagic) return false;
+  return crc32c(std::string_view(bytes).substr(0, bytes.size() - 8)) == crc;
+}
+
+}  // namespace advh::fleet

@@ -1,0 +1,64 @@
+// Integrity primitives for the fleet's anti-entropy layer.
+//
+// Three digest surfaces, all CRC32C over a *canonical* serialisation —
+// fixed field order, class-ascending / event-ascending iteration, no
+// pointer or container-order dependence — so two replicas holding the
+// same logical content always compute bitwise-identical digests,
+// regardless of thread count or the order shards were loaded in:
+//
+//   * shard_content_digest — one (model, class) template shard of a
+//     replica's in-memory model mirror. This is the leaf the periodic
+//     digest exchange compares; a mismatch at equal (epoch, version)
+//     means divergent content, a lower (epoch, version) means a stale
+//     peer, and either triggers pull-based read repair.
+//   * ban_set_digest — a replica's known durable ban decisions (sorted
+//     set + count). A mismatch triggers a full ban_sync so every ban
+//     decided anywhere converges into every ledger.
+//   * digest_root — Merkle-style pairwise fold of leaf digests into one
+//     root, journalled per scrub round: the existing byte-identity chaos
+//     gates then also witness digest determinism for free.
+//
+// verify_checkpoint_file is the cheap on-disk half: it checks a shard
+// checkpoint's whole-file checksum trailer without parsing the body, so
+// a scrub can audit every owned file per round at O(file size) with no
+// allocation-heavy detector reconstruction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "fleet/config.hpp"
+
+namespace advh::fleet {
+
+/// CRC32C over the canonical serialisation of `shard`'s cells in
+/// `models` (classes with cls % class_shards == shard, ascending; events
+/// ascending; presence byte, then threshold / nll stats / template size /
+/// mixture order / components). Bitwise identical for equal content at
+/// any thread count and any shard-load order.
+std::uint32_t shard_content_digest(
+    const std::vector<std::vector<std::optional<core::event_model>>>& models,
+    std::uint64_t shard, const fleet_config& cfg);
+
+/// CRC32C over the count and the ascending ids of `bans` (std::set
+/// iteration is already sorted, so the serialisation is canonical).
+std::uint32_t ban_set_digest(const std::set<std::uint64_t>& bans);
+
+/// Merkle-style pairwise fold of `leaves` into one root digest. An odd
+/// leaf is promoted unpaired; an empty vector folds to 0. Sensitive to
+/// leaf order — callers pass leaves in a canonical order (ascending
+/// shard, then the ban leaf).
+std::uint32_t digest_root(std::vector<std::uint32_t> leaves);
+
+/// True when the file at `path` exists and its last 8 bytes are a valid
+/// ADET v5 checksum trailer ("ADCK" magic + CRC32C matching every
+/// preceding byte). False for missing, short, or mismatching files —
+/// this does NOT parse the body, so a structurally corrupt file with a
+/// freshly forged trailer would still be caught by the full load path.
+bool verify_checkpoint_file(const std::string& path);
+
+}  // namespace advh::fleet

@@ -50,6 +50,14 @@ const char* to_string(msg_kind k) noexcept {
       return "ballot_request";
     case msg_kind::ballot_grant:
       return "ballot_grant";
+    case msg_kind::digest_exchange:
+      return "digest_exchange";
+    case msg_kind::repair_request:
+      return "repair_request";
+    case msg_kind::repair_announce:
+      return "repair_announce";
+    case msg_kind::ban_sync:
+      return "ban_sync";
   }
   return "?";
 }
@@ -74,6 +82,8 @@ const char* to_string(req_outcome o) noexcept {
       return "abstain_timeout";
     case req_outcome::abstain_no_owner:
       return "abstain_no_owner";
+    case req_outcome::abstain_corrupt:
+      return "abstain_corrupt";
   }
   return "?";
 }

@@ -53,6 +53,10 @@ enum class msg_kind : std::uint8_t {
   leader_ack = 12,         ///< controller peer -> leader (best-effort)
   ballot_request = 13,     ///< candidate -> controller peers (reliable)
   ballot_grant = 14,       ///< voter -> candidate (reliable)
+  digest_exchange = 15,    ///< replica -> ownership peer (best-effort)
+  repair_request = 16,     ///< behind/corrupt replica -> peer (reliable)
+  repair_announce = 17,    ///< repair source -> requester (reliable)
+  ban_sync = 18,           ///< replica -> peer missing bans (reliable)
 };
 
 const char* to_string(msg_kind k) noexcept;
@@ -70,9 +74,23 @@ enum class req_outcome : std::uint8_t {
   abstain_fenced = 6,    ///< owner was epoch-fenced; abstained fail-closed
   abstain_timeout = 7,   ///< no response within request_timeout
   abstain_no_owner = 8,  ///< no live owner under the current view
+  abstain_corrupt = 9,   ///< owner's shard is checksum-fenced as corrupt
 };
 
 const char* to_string(req_outcome o) noexcept;
+
+/// One leaf of an anti-entropy digest: the sender's view of one template
+/// shard it holds (version/epoch of the applied content plus a CRC32C
+/// over the canonical serialisation of the shard's models). `fenced`
+/// marks a shard the sender holds but cannot vouch for (checksum-fenced
+/// as corrupt) — peers treat it as infinitely stale.
+struct shard_digest_entry {
+  std::uint64_t shard = 0;
+  std::uint64_t version = 0;
+  std::uint64_t epoch = 0;
+  std::uint32_t crc = 0;
+  bool fenced = false;
+};
 
 /// One simulated message. A single fat struct instead of a closed class
 /// hierarchy: the simulation copies messages through one queue and each
@@ -115,6 +133,17 @@ struct message {
 
   // handoff_batch
   std::vector<track::client_record> records;
+
+  // digest_exchange: the sender's per-shard digests plus a digest of its
+  // durable ban set (CRC over the sorted ids + the count), so one scrub
+  // message covers both anti-entropy surfaces.
+  std::vector<shard_digest_entry> digests;
+  std::uint32_t ban_crc = 0;
+  std::uint64_t ban_count = 0;
+
+  // ban_sync: the sender's full sorted ban set (rate-bounded: at most one
+  // per peer per scrub period).
+  std::vector<std::uint64_t> bans;
 };
 
 struct net_stats {

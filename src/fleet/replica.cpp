@@ -4,6 +4,7 @@
 #include <filesystem>
 
 #include "common/error.hpp"
+#include "fleet/integrity.hpp"
 
 namespace advh::fleet {
 
@@ -51,6 +52,12 @@ void replica::boot(std::uint64_t tick, bool genesis) {
   models_ = models_of(*deps_.base);
   applied_.clear();
   applied_epoch_.clear();
+  corrupt_.clear();
+  repair_requested_.clear();
+  ban_synced_.clear();
+  repairs_in_round_ = 0;
+  repairs_served_tick_ = 0;
+  repairs_served_count_ = 0;
   for (std::uint64_t s = 0; s < cfg_.class_shards; ++s) {
     applied_[s] = 1;  // genesis content is version 1 by definition
     applied_epoch_[s] = view_epoch(1, 1);
@@ -62,8 +69,17 @@ void replica::boot(std::uint64_t tick, bool genesis) {
       applied_[s] = cp.meta->content_version;
       applied_epoch_[s] = cp.meta->epoch;
     } catch (const io_error&) {
-      // Unreadable or fenced alias: serve genesis parameters for this
-      // shard rather than refusing to boot — fail degraded, not dead.
+      // The shipped store HAS content for this shard but it fails
+      // verification (checksum mismatch, truncation, framing). Serving
+      // genesis parameters here would silently replace promoted content
+      // with stale defaults — instead the shard is corrupt-FENCED: it
+      // backs no full-confidence verdict, publishes nothing and waits
+      // for anti-entropy repair from a peer that still holds the real
+      // content. Fail closed, not quietly wrong.
+      corrupt_.insert(s);
+      ++log_.stats().shards_fenced_corrupt;
+      log_.line(tick, "corrupt-fence shard=" + std::to_string(s) +
+                          " node=" + std::to_string(node()));
     }
   }
   dets_.clear();
@@ -74,7 +90,7 @@ void replica::boot(std::uint64_t tick, bool genesis) {
   service_ = std::make_unique<serve::detection_service>(
       *dets_.back(), *monitor_, *clock_, cfg_.serve);
   service_->attach_tracker(*tracker_);
-  replay_ban_ledgers();
+  replay_ban_ledgers(tick);
 
   const std::size_t classes = deps_.base->num_classes();
   const std::size_t events = deps_.base->config().events.size();
@@ -123,15 +139,38 @@ void replica::rebuild_detector() {
   if (service_) service_->swap_detector(*dets_.back());
 }
 
-void replica::replay_ban_ledgers() {
+void replica::replay_ban_ledgers(std::uint64_t tick) {
   // Every replica's ledger, not just our own: a ban decided anywhere must
-  // be enforced here even if its announce raced a crash.
+  // be enforced here even if its announce raced a crash. Reads are
+  // CHECKED: a torn tail (crash mid-append, truncation fault) yields the
+  // verified prefix — every fully persisted ban survives — and is
+  // counted; only a corrupt header loses a whole ledger, and ban_sync
+  // anti-entropy restores those decisions from peers.
   local_bans_.clear();
+  known_bans_.clear();
   for (std::size_t i = 0; i < cfg_.replicas; ++i) {
     const std::uint32_t n = replica_node(i);
-    const auto bans = read_ban_ledger(ban_ledger_path(deps_.dir, n));
-    for (const std::uint64_t c : bans) tracker_->force_ban(c);
-    if (n == node()) local_bans_ = bans;
+    const std::string path = ban_ledger_path(deps_.dir, n);
+    const ban_ledger_read r = read_ban_ledger_checked(path);
+    if (r.torn_tail || r.header_corrupt) {
+      ++log_.stats().ledger_torn_tails;
+      log_.line(tick, std::string("ledger-torn owner=") + std::to_string(n) +
+                          " dropped=" + std::to_string(r.dropped_records) +
+                          (r.header_corrupt ? " header=1" : "") +
+                          " node=" + std::to_string(node()));
+    }
+    for (const std::uint64_t c : r.clients) {
+      tracker_->force_ban(c);
+      known_bans_.insert(c);
+    }
+    if (n == node()) {
+      local_bans_ = r.clients;
+      if (r.torn_tail || r.header_corrupt) {
+        // Self-heal our own ledger from the recovered prefix so the
+        // damage cannot compound across restarts.
+        write_ban_ledger(path, local_bans_);
+      }
+    }
   }
 }
 
@@ -242,6 +281,7 @@ void replica::persist_ban(std::uint64_t client, std::uint64_t tick) {
   // the announce, so once any query observes this ban, no crash can
   // un-decide it.
   local_bans_.push_back(client);
+  known_bans_.insert(client);
   write_ban_ledger(ban_ledger_path(deps_.dir, node()), local_bans_);
   ++log_.stats().bans_decided;
   log_.line(tick, "ban client=" + std::to_string(client) +
@@ -314,13 +354,17 @@ void replica::apply_beacon(const message& m,
 
   // Bans decided while we were stalled or partitioned: announces are
   // reliable, but a view change is the cheap moment to re-sync from the
-  // durable ledgers as well.
+  // durable ledgers as well. Checked reads: a peer's torn or corrupt
+  // ledger yields its verified prefix instead of throwing the whole
+  // replica down.
   for (std::size_t i = 0; i < cfg_.replicas; ++i) {
     const std::uint32_t n = replica_node(i);
     if (n == node()) continue;
-    for (const std::uint64_t c :
-         read_ban_ledger(ban_ledger_path(deps_.dir, n))) {
+    const ban_ledger_read lr =
+        read_ban_ledger_checked(ban_ledger_path(deps_.dir, n));
+    for (const std::uint64_t c : lr.clients) {
       tracker_->force_ban(c);
+      known_bans_.insert(c);
     }
   }
 
@@ -366,6 +410,10 @@ void replica::apply_checkpoint(const message& m, std::uint64_t tick) {
     applied_epoch_[m.shard] = cp.meta->epoch;
     rebuild_detector();
     reset_cells_for_shard(m.shard);
+    // A verified, version-advancing checkpoint heals a corrupt fence as
+    // a side effect: the applied content supersedes whatever was lost.
+    corrupt_.erase(m.shard);
+    repair_requested_.erase(m.shard);
     ++log_.stats().checkpoints_applied;
     log_.line(tick, "apply shard=" + std::to_string(m.shard) +
                         " v=" + std::to_string(applied_[m.shard]) +
@@ -386,6 +434,19 @@ void replica::handle(message& m, std::uint64_t tick) {
       return;
     case msg_kind::ban_announce:
       tracker_->force_ban(m.client);
+      known_bans_.insert(m.client);
+      return;
+    case msg_kind::digest_exchange:
+      handle_digest(m, tick);
+      return;
+    case msg_kind::repair_request:
+      handle_repair_request(m, tick);
+      return;
+    case msg_kind::repair_announce:
+      handle_repair_announce(m, tick);
+      return;
+    case msg_kind::ban_sync:
+      handle_ban_sync(m, tick);
       return;
     case msg_kind::checkpoint_announce:
       apply_checkpoint(m, tick);
@@ -530,6 +591,21 @@ void replica::service_step(std::uint64_t tick) {
       outcome = req_outcome::rejected_banned;
       flagged = false;
     }
+    // Integrity fence: a verdict whose predicted class lives on a
+    // corrupt-fenced shard never leaves at full confidence — the
+    // parameters backing it could not be verified against the durable
+    // store. abstain_corrupt tells the router to retry degraded on a
+    // peer slot instead of trusting possibly-rotted state.
+    const std::uint64_t verdict_shard = shard_of_class(
+        static_cast<std::size_t>(r.v.predicted), cfg_);
+    if ((outcome == req_outcome::served_clean ||
+         outcome == req_outcome::served_flagged) &&
+        corrupt_.count(verdict_shard) != 0) {
+      outcome = req_outcome::abstain_corrupt;
+      flagged = false;
+      ++log_.stats().verdicts_suppressed_corrupt;
+      service_->note_integrity_suppression();
+    }
     // Re-fence at response time: a view change while the request queued
     // means this node may no longer hold a serving slot for the range —
     // abstain instead of leaking a stale verdict. The slot held NOW, not
@@ -546,7 +622,7 @@ void replica::service_step(std::uint64_t tick) {
       } else {
         degraded = *slot != 0;
         if (degraded) ++log_.stats().served_secondary;
-        if (probe_) probe_(node(), ctx.client, degraded);
+        if (probe_) probe_(node(), ctx.client, degraded, verdict_shard);
       }
     }
     respond(tick, ctx.req_id, ctx.client, ctx.range, outcome, flagged,
@@ -590,6 +666,9 @@ void replica::rollout_step(std::uint64_t tick) {
   // that refits and republishes.
   for (const std::uint64_t s :
        shards_owned(view_, node(), cfg_.class_shards)) {
+    // A corrupt-fenced shard must not refit: the reservoirs were filled
+    // against parameters we can no longer vouch for.
+    if (corrupt_.count(s) != 0) continue;
     bool alarm = false;
     for (std::size_t cls = 0; cls < cells_.size() && !alarm; ++cls) {
       if (shard_of_class(cls, cfg_) != s) continue;
@@ -765,6 +844,10 @@ void replica::publish_checkpoints([[maybe_unused]] std::uint64_t tick) {
   // rewrite of the shipped files so a fresh store recovers them.
   for (const std::uint64_t s :
        shards_owned(view_, node(), cfg_.class_shards)) {
+    // Never republish a corrupt-fenced shard: our in-memory content for
+    // it is genesis fallback, and writing it out would launder stale
+    // defaults into a checksum-valid "latest" file.
+    if (corrupt_.count(s) != 0) continue;
     core::checkpoint_meta meta;
     meta.shard_index = s;
     meta.shard_count = cfg_.class_shards;
@@ -774,6 +857,264 @@ void replica::publish_checkpoints([[maybe_unused]] std::uint64_t tick) {
     save_shard_checkpoint(*dets_.back(), cfg_, deps_.dir, s, meta);
     ++log_.stats().checkpoints_published;
   }
+}
+
+std::uint32_t replica::content_digest(std::uint64_t shard) const {
+  return shard_content_digest(models_, shard, cfg_);
+}
+
+bool replica::owns_shard_slot(std::uint64_t shard) const {
+  for (std::uint32_t k = 0; k < cfg_.replication; ++k) {
+    const auto owner = shard_owner_k(view_, shard, k);
+    if (owner.has_value() && *owner == node()) return true;
+  }
+  return false;
+}
+
+void replica::scrub_step(std::uint64_t tick) {
+  ++log_.stats().scrub_rounds;
+  repairs_in_round_ = 0;
+
+  // 1. Self-audit: re-verify the on-disk latest file of every shard we
+  // own. Our in-memory content is the applied truth — if the file rotted
+  // underneath us, republish it from memory. Fenced shards are skipped:
+  // for those, memory is genesis fallback, not truth.
+  for (const std::uint64_t s :
+       shards_owned(view_, node(), cfg_.class_shards)) {
+    if (corrupt_.count(s) != 0) continue;
+    const std::string latest = shard_latest_path(deps_.dir, s);
+    if (!std::filesystem::exists(latest)) continue;
+    if (verify_checkpoint_file(latest)) continue;
+    core::checkpoint_meta meta;
+    meta.shard_index = s;
+    meta.shard_count = cfg_.class_shards;
+    meta.epoch = applied_epoch_[s];
+    meta.content_version = applied_[s];
+    meta.rollback = false;
+    save_shard_checkpoint(*dets_.back(), cfg_, deps_.dir, s, meta);
+    ++log_.stats().repairs_local;
+    log_.line(tick, "heal shard=" + std::to_string(s) +
+                        " node=" + std::to_string(node()));
+  }
+
+  // 2. Compact range digest over every shard plus the ban set. The root
+  // is journalled — byte-identical journals across thread counts are the
+  // proof that digest computation is deterministic.
+  std::vector<shard_digest_entry> entries;
+  std::vector<std::uint32_t> leaves;
+  entries.reserve(cfg_.class_shards);
+  leaves.reserve(cfg_.class_shards + 1);
+  for (std::uint64_t s = 0; s < cfg_.class_shards; ++s) {
+    shard_digest_entry e;
+    e.shard = s;
+    e.version = applied_[s];
+    e.epoch = applied_epoch_[s];
+    e.crc = shard_content_digest(models_, s, cfg_);
+    e.fenced = corrupt_.count(s) != 0;
+    leaves.push_back(e.crc);
+    entries.push_back(e);
+  }
+  const std::uint32_t ban_crc = ban_set_digest(known_bans_);
+  leaves.push_back(ban_crc);
+  log_.line(tick, "scrub node=" + std::to_string(node()) +
+                      " root=" + std::to_string(digest_root(leaves)));
+
+  // 3. Exchange digests with every live peer. Best-effort sends, like
+  // gossip: a lost digest only delays the next repair opportunity by one
+  // scrub period, so there is no retry storm to bound.
+  if (plan_.digest_blackout_at(tick)) {
+    ++log_.stats().digests_suppressed;
+    return;
+  }
+  for (const std::uint32_t peer : view_.live) {
+    if (peer == node()) continue;
+    message m;
+    m.kind = msg_kind::digest_exchange;
+    m.src = node();
+    m.dst = peer;
+    m.epoch = view_.epoch;
+    m.digests = entries;
+    m.ban_crc = ban_crc;
+    m.ban_count = known_bans_.size();
+    net_.send(std::move(m), tick);
+    ++log_.stats().digests_sent;
+  }
+}
+
+void replica::handle_digest(const message& m, std::uint64_t tick) {
+  for (const shard_digest_entry& e : m.digests) {
+    if (e.shard >= cfg_.class_shards) continue;
+    const std::uint64_t s = e.shard;
+    const bool we_fenced = corrupt_.count(s) != 0;
+    const std::uint64_t our_v = applied_[s];
+    const std::uint64_t our_e = applied_epoch_[s];
+    // A fenced peer advertises nothing worth pulling; our own divergence
+    // classes:
+    //   * peer strictly ahead in (epoch, version) — we missed content;
+    //   * we are fenced and the peer holds content at or above our
+    //     (genesis) generation — the repair that unfences us;
+    //   * same (epoch, version) but different bytes — silent divergence
+    //     (a stale resurrection passed its checksum); the lower node id
+    //     is the deterministic canonical side and the higher one pulls.
+    const bool peer_ahead =
+        !e.fenced &&
+        (e.epoch > our_e || (e.epoch == our_e && e.version > our_v));
+    const bool fenced_pull =
+        we_fenced && !e.fenced &&
+        (e.epoch > our_e || (e.epoch == our_e && e.version >= our_v));
+    const bool same_gen_diverged =
+        !e.fenced && !we_fenced && e.epoch == our_e && e.version == our_v &&
+        e.crc != shard_content_digest(models_, s, cfg_);
+    if (!peer_ahead && !fenced_pull && !same_gen_diverged) continue;
+    ++log_.stats().digest_mismatches;
+    const bool pull =
+        peer_ahead || fenced_pull || (same_gen_diverged && m.src < node());
+    if (!pull) continue;
+    // Pull only from an ownership-slot holder of the shard (mirror of
+    // the server-side authority check): a bystander's digest proves
+    // divergence but its content has no authority, and requesting from
+    // it would just burn this period's repair budget on a refusal. At
+    // replication 1 the sole holder is the corrupted node itself, so no
+    // request is ever sent — the shard fails closed.
+    bool src_holder = false;
+    for (std::uint32_t k = 0; k < cfg_.replication && !src_holder; ++k) {
+      const auto owner = shard_owner_k(view_, s, k);
+      src_holder = owner.has_value() && *owner == m.src;
+    }
+    if (!src_holder) continue;
+    // Rate bound: at most repair_batch pulls per scrub period, and no
+    // duplicate request for a shard already in flight.
+    const auto it = repair_requested_.find(s);
+    if (it != repair_requested_.end() &&
+        tick < it->second + cfg_.scrub_period) {
+      continue;
+    }
+    if (repairs_in_round_ >= cfg_.repair_batch) continue;
+    ++repairs_in_round_;
+    repair_requested_[s] = tick;
+    message req;
+    req.kind = msg_kind::repair_request;
+    req.src = node();
+    req.dst = m.src;
+    req.shard = s;
+    req.epoch = view_.epoch;
+    net_.send_reliable(std::move(req), tick);
+    ++log_.stats().repairs_requested;
+    log_.line(tick, "repair-request shard=" + std::to_string(s) +
+                        " from=" + std::to_string(m.src) +
+                        " node=" + std::to_string(node()));
+  }
+
+  // Ban anti-entropy: when the peer's ban surface differs from ours,
+  // push them our full set (they run the same rule against our digest,
+  // so both sides converge to the union). Rate-bounded per peer.
+  if (m.ban_count != known_bans_.size() ||
+      m.ban_crc != ban_set_digest(known_bans_)) {
+    const auto it = ban_synced_.find(m.src);
+    if (!known_bans_.empty() &&
+        (it == ban_synced_.end() ||
+         tick >= it->second + cfg_.scrub_period)) {
+      ban_synced_[m.src] = tick;
+      message bs;
+      bs.kind = msg_kind::ban_sync;
+      bs.src = node();
+      bs.dst = m.src;
+      bs.bans.assign(known_bans_.begin(), known_bans_.end());
+      net_.send_reliable(std::move(bs), tick);
+    }
+  }
+}
+
+void replica::handle_repair_request(const message& m, std::uint64_t tick) {
+  const std::uint64_t s = m.shard;
+  if (s >= cfg_.class_shards) return;
+  // Authority: only a current ownership-slot holder of the shard, and
+  // never a fenced one, may act as a repair source. At replication 1 a
+  // corrupted sole owner therefore has no authorized peer — the shard
+  // FAILS CLOSED instead of resurrecting from a bystander's copy whose
+  // lineage nobody vouches for.
+  if (corrupt_.count(s) != 0 || !owns_shard_slot(s)) return;
+  if (repairs_served_tick_ != tick) {
+    repairs_served_tick_ = tick;
+    repairs_served_count_ = 0;
+  }
+  if (repairs_served_count_ >= cfg_.repair_batch) return;
+  ++repairs_served_count_;
+  // Republish our applied content (also heals the shared latest file if
+  // it was the corrupt artifact) and hand the requester the path.
+  core::checkpoint_meta meta;
+  meta.shard_index = s;
+  meta.shard_count = cfg_.class_shards;
+  meta.epoch = applied_epoch_[s];
+  meta.content_version = applied_[s];
+  meta.rollback = false;
+  const std::string path =
+      save_shard_checkpoint(*dets_.back(), cfg_, deps_.dir, s, meta);
+  message r;
+  r.kind = msg_kind::repair_announce;
+  r.src = node();
+  r.dst = m.src;
+  r.shard = s;
+  r.content_version = meta.content_version;
+  r.epoch = meta.epoch;
+  r.path = path;
+  net_.send_reliable(std::move(r), tick);
+  ++log_.stats().repairs_served;
+  log_.line(tick, "repair-serve shard=" + std::to_string(s) +
+                      " to=" + std::to_string(m.src) +
+                      " node=" + std::to_string(node()));
+}
+
+void replica::handle_repair_announce(const message& m, std::uint64_t tick) {
+  const std::uint64_t s = m.shard;
+  if (s >= cfg_.class_shards) return;
+  const bool was_fenced = corrupt_.count(s) != 0;
+  try {
+    // Epoch/version floors of 0 because repair may legitimately restore
+    // the SAME (epoch, version) we already hold (divergence repair) —
+    // the explicit guard below enforces the real monotonicity: never
+    // accept content strictly below our applied (epoch, version), so a
+    // deposed primary can never repair us backwards.
+    core::checkpoint cp = load_shard_checkpoint(m.path, s, cfg_, 0, 0);
+    const bool backwards =
+        cp.meta->epoch < applied_epoch_[s] ||
+        (cp.meta->epoch == applied_epoch_[s] &&
+         cp.meta->content_version < applied_[s]);
+    if (backwards && !was_fenced) return;
+    merge_shard(models_, cp.det, s, cfg_);
+    applied_[s] = cp.meta->content_version;
+    applied_epoch_[s] = cp.meta->epoch;
+    rebuild_detector();
+    reset_cells_for_shard(s);
+    corrupt_.erase(s);
+    repair_requested_.erase(s);
+    ++log_.stats().repairs_completed;
+    log_.line(tick, std::string("repair shard=") + std::to_string(s) +
+                        " v=" + std::to_string(applied_[s]) +
+                        " node=" + std::to_string(node()) +
+                        (was_fenced ? " unfenced=1" : ""));
+  } catch (const io_error&) {
+    // The repair artifact itself failed verification: stay fenced and
+    // let a later scrub round retry against a (possibly different) peer.
+    repair_requested_.erase(s);
+  }
+}
+
+void replica::handle_ban_sync(const message& m, std::uint64_t tick) {
+  bool added = false;
+  for (const std::uint64_t c : m.bans) {
+    if (!known_bans_.insert(c).second) continue;
+    tracker_->force_ban(c);
+    local_bans_.push_back(c);
+    added = true;
+    ++log_.stats().bans_synced;
+  }
+  if (!added) return;
+  // Make the synced decisions durable HERE too: after this write, even
+  // if every other ledger is lost, these bans replay from ours.
+  write_ban_ledger(ban_ledger_path(deps_.dir, node()), local_bans_);
+  log_.line(tick, "ban-sync node=" + std::to_string(node()) +
+                      " from=" + std::to_string(m.src));
 }
 
 void replica::reset_cells_for_shard(std::uint64_t shard) {
@@ -814,6 +1155,7 @@ void replica::on_tick(std::uint64_t tick) {
   if (tick > 0 && tick % cfg_.checkpoint_interval == 0) {
     publish_checkpoints(tick);
   }
+  if (tick > 0 && tick % cfg_.scrub_period == 0) scrub_step(tick);
 }
 
 }  // namespace advh::fleet

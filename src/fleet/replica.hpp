@@ -36,6 +36,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -92,14 +93,29 @@ class replica {
   /// service rounds, handoff and rollout progress, periodic checkpoints.
   void on_tick(std::uint64_t tick);
 
-  /// Split-brain instrumentation: invoked with (node, client, degraded)
-  /// immediately before a served verdict leaves this replica. The sim
-  /// points this at the ELECTED leader's authoritative view; `degraded`
-  /// tells the audit whether a secondary slot legitimizes the serve.
-  void set_serve_probe(
-      std::function<void(std::uint32_t, std::uint64_t, bool)> p) {
+  /// Split-brain / integrity instrumentation: invoked with
+  /// (node, client, degraded, shard) immediately before a served verdict
+  /// leaves this replica, where `shard` is the template shard the
+  /// verdict's predicted class maps to. The sim points this at the
+  /// ELECTED leader's authoritative view; `degraded` tells the audit
+  /// whether a secondary slot legitimizes the serve, and `shard` lets it
+  /// assert that no checksum-fenced shard ever backs a verdict.
+  void set_serve_probe(std::function<void(std::uint32_t, std::uint64_t, bool,
+                                          std::uint64_t)>
+                           p) {
     probe_ = std::move(p);
   }
+
+  /// True while `shard` is corrupt-fenced on this replica: its durable
+  /// copy failed checksum verification at boot (or a repair has not yet
+  /// landed), so no verdict backed by it may leave at full confidence.
+  bool shard_fenced(std::uint64_t shard) const {
+    return corrupt_.count(shard) != 0;
+  }
+  const std::set<std::uint64_t>& corrupt_shards() const { return corrupt_; }
+  /// Canonical CRC32C of this replica's in-memory content for `shard`
+  /// (fleet/integrity) — exposed for determinism tests.
+  std::uint32_t content_digest(std::uint64_t shard) const;
 
   const membership_view& view() const noexcept { return view_; }
   std::uint64_t applied_version(std::uint64_t shard) const;
@@ -128,7 +144,21 @@ class replica {
   void apply_beacon(const message& m, std::uint64_t tick);
   void apply_checkpoint(const message& m, std::uint64_t tick);
   void persist_ban(std::uint64_t client, std::uint64_t tick);
-  void replay_ban_ledgers();
+  void replay_ban_ledgers(std::uint64_t tick);
+
+  // --- anti-entropy (integrity tentpole) ---
+  /// Periodic scrub: re-verify owned on-disk files (republishing from
+  /// clean memory on rot), then exchange shard/ban digests with every
+  /// live peer (best-effort, like gossip — loss only delays repair).
+  void scrub_step(std::uint64_t tick);
+  void handle_digest(const message& m, std::uint64_t tick);
+  void handle_repair_request(const message& m, std::uint64_t tick);
+  void handle_repair_announce(const message& m, std::uint64_t tick);
+  void handle_ban_sync(const message& m, std::uint64_t tick);
+  /// Whether this node currently holds ANY ownership slot for `shard`
+  /// below the replication factor — the authority test for acting as a
+  /// repair source.
+  bool owns_shard_slot(std::uint64_t shard) const;
 
   void canary_step(std::uint64_t tick);
   void service_step(std::uint64_t tick);
@@ -179,9 +209,29 @@ class replica {
 
   /// This node's durable ban decisions, mirrored in its ledger file.
   std::vector<std::uint64_t> local_bans_;
+  /// Union of every ban this boot knows about (all ledgers at replay,
+  /// every announce and ban_sync since) — the surface the anti-entropy
+  /// ban digest is computed over.
+  std::set<std::uint64_t> known_bans_;
   /// Per template shard: applied content version and its epoch fence.
   std::map<std::uint64_t, std::uint64_t> applied_;
   std::map<std::uint64_t, std::uint64_t> applied_epoch_;
+
+  /// Corrupt-fenced shards: their durable copy failed verification at
+  /// boot and no repair has landed yet. A fenced shard serves no
+  /// full-confidence verdict, publishes no checkpoint and answers no
+  /// repair_request (it would launder genesis state as repaired truth).
+  std::set<std::uint64_t> corrupt_;
+  /// shard -> tick of the last repair_request we sent for it; suppresses
+  /// re-requests within one scrub period.
+  std::map<std::uint64_t, std::uint64_t> repair_requested_;
+  /// peer -> tick of the last ban_sync we pushed to it (rate bound).
+  std::map<std::uint32_t, std::uint64_t> ban_synced_;
+  /// repair_requests issued since the last scrub (<= cfg.repair_batch).
+  std::size_t repairs_in_round_ = 0;
+  /// repair_requests answered this tick (<= cfg.repair_batch).
+  std::uint64_t repairs_served_tick_ = 0;
+  std::size_t repairs_served_count_ = 0;
 
   // --- drift / recalibration ---
   std::vector<std::vector<core::drift_cell>> cells_;  // [class][event]
@@ -221,7 +271,8 @@ class replica {
   /// at any instant.
   std::map<std::uint32_t, std::uint64_t> promoted_at_;
 
-  std::function<void(std::uint32_t, std::uint64_t, bool)> probe_;
+  std::function<void(std::uint32_t, std::uint64_t, bool, std::uint64_t)>
+      probe_;
 };
 
 }  // namespace advh::fleet

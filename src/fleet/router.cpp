@@ -16,11 +16,13 @@ router::router(const fleet_config& cfg, const std::string& dir, sim_net& net,
 }
 
 void router::reload_ledgers() {
+  // Checked reads: a torn or corrupt ledger contributes its verified
+  // prefix instead of taking the router down with it — the bans the
+  // damage swallowed come back via ban announces and replica ban_sync.
   for (std::size_t i = 0; i < cfg_.replicas; ++i) {
-    for (const std::uint64_t c :
-         read_ban_ledger(ban_ledger_path(dir_, replica_node(i)))) {
-      banned_.insert(c);
-    }
+    const ban_ledger_read r =
+        read_ban_ledger_checked(ban_ledger_path(dir_, replica_node(i)));
+    for (const std::uint64_t c : r.clients) banned_.insert(c);
   }
 }
 
@@ -96,6 +98,16 @@ void router::drain_inbox(std::uint64_t tick) {
         // dropped, so a request still resolves exactly once.
         const auto it = pending_.find(m.req_id);
         if (it == pending_.end()) break;  // resolved or timed out: drop
+        if (m.outcome == req_outcome::abstain_corrupt &&
+            !it->second.speculated) {
+          // The owner computed a verdict but its backing shard is
+          // corrupt-fenced. Burn the one speculation shot NOW instead of
+          // waiting for silence: a healthy secondary serves the request
+          // degraded while anti-entropy repairs the primary. No
+          // alternate slot -> fall through and resolve the abstain.
+          it->second.speculated = true;
+          if (speculate_one(m.req_id, it->second, m.src, tick)) break;
+        }
         const std::uint64_t client = it->second.client;
         pending_.erase(it);
         resolve(tick, m.req_id, client, m.outcome, m.flagged, m.src,
@@ -106,6 +118,31 @@ void router::drain_inbox(std::uint64_t tick) {
         break;
     }
   }
+}
+
+bool router::speculate_one(std::uint64_t req_id, pending_req& p,
+                           std::uint32_t avoid, std::uint64_t tick) {
+  for (std::uint32_t k = 0; k < cfg_.replication; ++k) {
+    const auto owner = range_owner_k(view_, p.range, k);
+    if (!owner.has_value()) break;  // fewer live replicas than slots
+    if (*owner == avoid) continue;
+    message m;
+    m.kind = msg_kind::request;
+    m.src = kRouterNode;
+    m.dst = *owner;
+    m.req_id = req_id;
+    m.client = p.client;
+    m.input = p.input;
+    m.epoch = view_.epoch;
+    m.range = p.range;
+    m.speculative = true;
+    net_.send(std::move(m), tick);
+    ++log_.stats().speculative_routes;
+    log_.line(tick, "speculate req=" + std::to_string(req_id) +
+                        " node=" + std::to_string(*owner));
+    return true;
+  }
+  return false;
 }
 
 void router::speculate(std::uint64_t tick) {
@@ -119,26 +156,7 @@ void router::speculate(std::uint64_t tick) {
   for (auto& [req_id, p] : pending_) {
     if (p.speculated || tick < p.submitted + cfg_.speculate_after) continue;
     p.speculated = true;  // one shot, even when no alternate slot exists
-    for (std::uint32_t k = 0; k < cfg_.replication; ++k) {
-      const auto owner = range_owner_k(view_, p.range, k);
-      if (!owner.has_value()) break;  // fewer live replicas than slots
-      if (*owner == p.primary_dst) continue;
-      message m;
-      m.kind = msg_kind::request;
-      m.src = kRouterNode;
-      m.dst = *owner;
-      m.req_id = req_id;
-      m.client = p.client;
-      m.input = p.input;
-      m.epoch = view_.epoch;
-      m.range = p.range;
-      m.speculative = true;
-      net_.send(std::move(m), tick);
-      ++log_.stats().speculative_routes;
-      log_.line(tick, "speculate req=" + std::to_string(req_id) +
-                          " node=" + std::to_string(*owner));
-      break;
-    }
+    speculate_one(req_id, p, p.primary_dst, tick);
   }
 }
 

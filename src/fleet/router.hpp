@@ -66,10 +66,27 @@ class router {
   }
 
  private:
+  struct pending_req {
+    std::uint64_t client = 0;
+    std::uint64_t deadline_tick = 0;
+    /// Kept for the (at most one) speculative re-send.
+    tensor input;
+    std::uint32_t range = 0;
+    std::uint32_t primary_dst = 0;
+    std::uint64_t submitted = 0;
+    bool speculated = false;
+  };
+
   void resolve(std::uint64_t tick, std::uint64_t req_id, std::uint64_t client,
                req_outcome outcome, bool flagged, std::uint32_t served_by,
                bool degraded = false);
   void speculate(std::uint64_t tick);
+  /// Re-sends req_id's request speculatively to the first ownership slot
+  /// of its range that is not `avoid`. Returns true when an alternate
+  /// slot existed and was tried. Shared by silence-driven speculation and
+  /// the corrupt-abstain re-route.
+  bool speculate_one(std::uint64_t req_id, pending_req& p, std::uint32_t avoid,
+                     std::uint64_t tick);
   void reload_ledgers();
 
   const fleet_config& cfg_;
@@ -81,16 +98,6 @@ class router {
   std::set<std::uint64_t> banned_;
   std::vector<message> inbox_;
 
-  struct pending_req {
-    std::uint64_t client = 0;
-    std::uint64_t deadline_tick = 0;
-    /// Kept for the (at most one) speculative re-send.
-    tensor input;
-    std::uint32_t range = 0;
-    std::uint32_t primary_dst = 0;
-    std::uint64_t submitted = 0;
-    bool speculated = false;
-  };
   std::map<std::uint64_t, pending_req> pending_;
   std::uint64_t next_req_id_ = 1;
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fleet/corruption.hpp"
+
 namespace advh::fleet {
 
 fleet_sim::fleet_sim(const fleet_config& cfg, fleet_deps deps,
@@ -29,7 +31,8 @@ fleet_sim::fleet_sim(const fleet_config& cfg, fleet_deps deps,
     replicas_.push_back(std::make_unique<replica>(i, cfg_, std::move(rd),
                                                   net_, plan_, log_));
     replicas_.back()->set_serve_probe(
-        [this](std::uint32_t node, std::uint64_t client, bool degraded) {
+        [this](std::uint32_t node, std::uint64_t client, bool degraded,
+               std::uint64_t shard) {
           // A full-confidence verdict must come from the PRIMARY slot of
           // the elected leader's activated view; a degraded verdict from
           // any replicated slot. Anything else escaped the fence.
@@ -48,6 +51,18 @@ fleet_sim::fleet_sim(const fleet_config& cfg, fleet_deps deps,
                                  " degraded=" + (degraded ? "1" : "0") +
                                  " authoritative-epoch=" +
                                  std::to_string(audit_view_.epoch));
+          }
+          // Integrity invariant: a verdict backed by a corrupt-fenced
+          // shard must never leave this replica at all — service_step
+          // converts it to abstain_corrupt before the probe fires. Seen
+          // here, it escaped the integrity fence.
+          const std::size_t idx = node - 2;
+          if (idx < replicas_.size() && replicas_[idx]->shard_fenced(shard)) {
+            ++log_.stats().corrupt_full_conf_serves;
+            log_.line(tick_, "CORRUPT-SERVE node=" + std::to_string(node) +
+                                 " client=" + std::to_string(client) +
+                                 " shard=" + std::to_string(shard) +
+                                 " degraded=" + (degraded ? "1" : "0"));
           }
         });
   }
@@ -96,7 +111,11 @@ void fleet_sim::run(std::vector<arrival> arrivals, std::uint64_t horizon) {
   for (; tick_ < end; ++tick_) {
     const std::uint64_t t = tick_;
 
-    // 1. fault injection (workers and controllers)
+    // 1. fault injection: disk corruption first (the damage is in place
+    // before any node acts this tick), then node faults
+    for (const corruption_event& e : plan_.corruptions_at(t)) {
+      apply_corruption(e, cfg_, deps_.dir, log_);
+    }
     for (const fault_event& e : plan_.at(t)) {
       if (e.target == fault_target::controller) {
         if (e.replica >= controllers_.size()) continue;
@@ -145,6 +164,29 @@ void fleet_sim::run(std::vector<arrival> arrivals, std::uint64_t horizon) {
       if (c->up() && c->view().epoch > audit_view_.epoch) {
         audit_view_ = c->view();
       }
+    }
+    // Record fresh ANNOUNCEMENTS with their announce tick, and activate
+    // them for the audit on the same announce-anchored lease the
+    // controller itself uses (membership_step). The sim keeps its own
+    // ledger because a leader that crashes after announcing loses its
+    // pending list — but the replicas anchored their acquisition graces
+    // on the announce tick and legitimately begin serving when that
+    // lease expires, so the audit's notion of authority must advance on
+    // the same clock even with the announcer dead.
+    for (const auto& c : controllers_) {
+      if (!c->up()) continue;
+      const membership_view& ann = c->announced();
+      if (ann.epoch > last_announced_epoch_) {
+        last_announced_epoch_ = ann.epoch;
+        announced_.push_back({ann, t});
+      }
+    }
+    while (!announced_.empty() &&
+           !lease_held(t, announced_.front().at, cfg_.lease)) {
+      if (announced_.front().view.epoch > audit_view_.epoch) {
+        audit_view_ = announced_.front().view;
+      }
+      announced_.erase(announced_.begin());
     }
 
     // 3. network delivery

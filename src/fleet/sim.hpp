@@ -4,9 +4,10 @@
 // replicas, the simulated network and the fault plan, and advances them
 // in a fixed per-tick phase order:
 //
-//   1. fault injection (crashes, recoveries, stalls, unstalls — workers
-//      and controllers alike; partitions are data, consulted by the net
-//      at send time)
+//   1. fault injection (seeded disk corruption against the shared
+//      checkpoint/ledger store first, then crashes, recoveries, stalls,
+//      unstalls — workers and controllers alike; partitions are data,
+//      consulted by the net at send time)
 //   2. controllers, ascending index (inbox, election timers, leader
 //      beacons; the acting leader additionally runs failure detection
 //      and view beacons); then the split-brain audit view advances to
@@ -114,6 +115,19 @@ class fleet_sim {
   std::vector<std::unique_ptr<replica>> replicas_;
   /// Monotone max-epoch activated view across the controller group.
   membership_view audit_view_;
+  /// Announcements observed from any up controller, with their announce
+  /// ticks, awaiting their own announce-anchored lease to expire. Kept by
+  /// the SIM rather than read off the controller because announced views
+  /// must still activate for audit purposes when the announcing leader
+  /// crashes before its own activation sweep — the replicas anchored
+  /// their acquisition graces on the announce tick and will start
+  /// serving when that lease runs out, leader alive or not.
+  struct announced_rec {
+    membership_view view;
+    std::uint64_t at = 0;
+  };
+  std::vector<announced_rec> announced_;
+  std::uint64_t last_announced_epoch_ = 0;
   std::uint64_t tick_ = 0;
   std::uint64_t dropped_dst_down_ = 0;
 };

@@ -748,6 +748,11 @@ std::vector<response> detection_service::flush() {
   return out;
 }
 
+void detection_service::note_integrity_suppression() {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  ++stats_.suppressed_integrity;
+}
+
 serve_stats detection_service::stats() const {
   std::lock_guard<std::mutex> lock(state_mutex_);
   return stats_;

@@ -262,6 +262,12 @@ struct serve_stats {
   std::uint64_t repeats_shed = 0;
   std::uint64_t events_shed_requests = 0;
   std::uint64_t breaker_trips = 0;
+  /// Served verdicts the embedding layer retracted after the fact
+  /// because the detector state backing them failed integrity
+  /// verification (e.g. the fleet's corrupt-shard fence). Recorded via
+  /// note_integrity_suppression(); the verdict still counted as served
+  /// here — this tracks how many of those servings were unusable.
+  std::uint64_t suppressed_integrity = 0;
   std::vector<std::uint64_t> served_by_rung;
   std::size_t max_rung_engaged = 0;
 };
@@ -334,6 +340,10 @@ class detection_service {
   /// repeat count. Blocks until the in-flight service round (if any)
   /// completes, so no round ever scores with a mix of old and new models.
   void swap_detector(const core::detector& det);
+
+  /// Records that an embedding layer retracted one served verdict on
+  /// integrity grounds (see serve_stats::suppressed_integrity).
+  void note_integrity_suppression();
 
   serve_stats stats() const;
   std::size_t rung() const;

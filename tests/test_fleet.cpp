@@ -22,6 +22,7 @@
 #include <memory>
 #include <numeric>
 #include <optional>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -34,6 +35,7 @@
 #include "fleet/config.hpp"
 #include "fleet/events.hpp"
 #include "fleet/fault_plan.hpp"
+#include "fleet/integrity.hpp"
 #include "fleet/membership.hpp"
 #include "fleet/net.hpp"
 #include "fleet/sim.hpp"
@@ -333,6 +335,29 @@ TEST(FleetConfig, MalformedReplicationKnobThrows) {
   }
   env_guard g("ADVH_FLEET_REPLICATION", "4");
   EXPECT_EQ(fleet_config_from_env().replication, 4u);
+}
+
+// Satellite: the integrity knobs obey the same strict contract — any
+// set-but-malformed value throws std::invalid_argument instead of
+// silently disabling the scrub or the chaos.
+TEST(FleetConfig, MalformedScrubPeriodKnobThrows) {
+  for (const char* bad : {"0", "-5", "abc", "2.5", "", "10x", "1e300"}) {
+    env_guard g("ADVH_FLEET_SCRUB_PERIOD", bad);
+    EXPECT_THROW(fleet_config_from_env(), std::invalid_argument)
+        << "ADVH_FLEET_SCRUB_PERIOD=\"" << bad << "\" must fail loudly";
+  }
+  env_guard g("ADVH_FLEET_SCRUB_PERIOD", "12");
+  EXPECT_EQ(fleet_config_from_env().scrub_period, 12u);
+}
+
+TEST(FleetConfig, MalformedCorruptRateKnobThrows) {
+  for (const char* bad : {"0.6", "1.0", "-0.01", "nan", "rotten", ""}) {
+    env_guard g("ADVH_FLEET_CORRUPT_RATE", bad);
+    EXPECT_THROW(fleet_config_from_env(), std::invalid_argument)
+        << "ADVH_FLEET_CORRUPT_RATE=\"" << bad << "\" must fail loudly";
+  }
+  env_guard g("ADVH_FLEET_CORRUPT_RATE", "0.05");
+  EXPECT_DOUBLE_EQ(fleet_config_from_env().corrupt_rate, 0.05);
 }
 
 TEST(FleetConfig, ValidateRejectsSplitBrainHazard) {
@@ -920,7 +945,17 @@ TEST(Checkpoint, CorruptBanLedgerIsTypedError) {
   const std::string path = ban_ledger_path(dir, replica_node(0));
   atomic_write_file(path, "not a ledger at all");
   EXPECT_THROW(read_ban_ledger(path), io_error);
+  const ban_ledger_read header = read_ban_ledger_checked(path);
+  EXPECT_TRUE(header.header_corrupt);
+  EXPECT_TRUE(header.clients.empty());
+}
 
+// Satellite: a torn ADBL tail ("the ledger ends here") is tolerated —
+// the checked reader returns every fully persisted, checksum-verified
+// record before the tear and reports the damage instead of throwing.
+TEST(Checkpoint, TornBanLedgerTailYieldsVerifiedPrefix) {
+  const std::string dir = test_dir("ban_torn");
+  const std::string path = ban_ledger_path(dir, replica_node(0));
   write_ban_ledger(path, {1, 2, 3});
   std::string bytes;
   {
@@ -928,8 +963,52 @@ TEST(Checkpoint, CorruptBanLedgerIsTypedError) {
     bytes.assign(std::istreambuf_iterator<char>(is),
                  std::istreambuf_iterator<char>());
   }
+
+  // Cut mid-final-record (a crash between append and flush): records 1
+  // and 2 survive with their checksums, record 3 is reported dropped.
   atomic_write_file(path, std::string_view(bytes).substr(0, bytes.size() - 4));
-  EXPECT_THROW(read_ban_ledger(path), io_error);  // truncated id list
+  const ban_ledger_read torn = read_ban_ledger_checked(path);
+  EXPECT_TRUE(torn.torn_tail);
+  EXPECT_FALSE(torn.header_corrupt);
+  EXPECT_EQ(torn.clients, (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_EQ(torn.dropped_records, 1u);
+  // The lenient reader agrees (prefix, no throw) — replicas replaying
+  // ledgers at boot never lose the bans that were durably persisted.
+  EXPECT_EQ(read_ban_ledger(path), (std::vector<std::uint64_t>{1, 2}));
+
+  // Flip one bit inside the SECOND record's payload: the prefix shrinks
+  // to the records whose checksums still verify.
+  std::string flipped = bytes;
+  const std::size_t second_record = 16 + 12;  // header, then 12B records
+  flipped[second_record] = static_cast<char>(flipped[second_record] ^ 0x01);
+  atomic_write_file(path, flipped);
+  const ban_ledger_read bitrot = read_ban_ledger_checked(path);
+  EXPECT_TRUE(bitrot.torn_tail);
+  EXPECT_EQ(bitrot.clients, (std::vector<std::uint64_t>{1}));
+  EXPECT_EQ(bitrot.dropped_records, 2u);
+}
+
+// Tentpole: a single flipped bit anywhere in a shard checkpoint breaks
+// the whole-file checksum trailer, and the load surfaces a typed fencing
+// error — never a detector rebuilt from rotted bytes.
+TEST(Checkpoint, BitFlippedShardChecksumIsTypedFencingError) {
+  checkpoint_rig r("ckpt_bitflip");
+  const auto path =
+      save_shard_checkpoint(r.rig.det, r.rig.cfg, r.rig.dir, 0, r.meta);
+  EXPECT_TRUE(verify_checkpoint_file(path));
+
+  std::string bytes = read_file_bytes(path);
+  ASSERT_GT(bytes.size(), 64u);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x10);
+  atomic_write_file(path, bytes);
+
+  EXPECT_FALSE(verify_checkpoint_file(path));
+  try {
+    load_shard_checkpoint(path, 0, r.rig.cfg, 0, 0);
+    FAIL() << "bit-flipped checkpoint must fence";
+  } catch (const io_error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+  }
 }
 
 // Satellite: atomic_write_file creates and makes durable any missing
@@ -945,6 +1024,95 @@ TEST(Checkpoint, AtomicWriteCreatesAncestorsAndSurfacesErrors) {
 
   // A file in the ancestor chain cannot become a directory.
   EXPECT_THROW(atomic_write_file(nested + "/impossible.bin", "x"), io_error);
+}
+
+// ------------------------------------------------------------ integrity --
+// Satellite: digest determinism. The anti-entropy leaves are CRC32C over
+// a canonical serialisation, so equal content must digest bitwise
+// identically at any fit thread count and any shard-load order.
+
+TEST(Integrity, ShardDigestIsThreadInvariant) {
+  const auto dcfg = test_detector_config();
+  auto model = make_test_model();
+  hpc::sim_backend monitor(*model);
+  core::benign_template tpl(4, dcfg.events.size());
+  for (std::size_t i = 0; i < 32; ++i) {
+    const tensor x = test_input(0.4 + 0.05 * static_cast<double>(i % 12));
+    const auto m = monitor.measure(x, dcfg.events, dcfg.repeats);
+    tpl.add_row(m.predicted, m.mean_counts);
+  }
+  const core::detector d1 = core::detector::fit(tpl, dcfg, 1);
+  const core::detector d4 = core::detector::fit(tpl, dcfg, 4);
+  const fleet_config cfg = small_cfg();
+  const auto m1 = models_of(d1);
+  const auto m4 = models_of(d4);
+  std::vector<std::uint32_t> l1, l4;
+  for (std::uint64_t s = 0; s < cfg.class_shards; ++s) {
+    EXPECT_EQ(shard_content_digest(m1, s, cfg),
+              shard_content_digest(m4, s, cfg))
+        << "shard " << s;
+    l1.push_back(shard_content_digest(m1, s, cfg));
+    l4.push_back(shard_content_digest(m4, s, cfg));
+  }
+  EXPECT_EQ(digest_root(l1), digest_root(l4));
+}
+
+TEST(Integrity, ShardDigestIsLoadOrderInvariant) {
+  checkpoint_rig r("digest_order");
+  const fleet_config& cfg = r.rig.cfg;
+  core::checkpoint_meta meta1 = r.meta;
+  meta1.shard_index = 1;
+  const auto p0 = save_shard_checkpoint(r.rig.det, cfg, r.rig.dir, 0, r.meta);
+  const auto p1 = save_shard_checkpoint(r.rig.det, cfg, r.rig.dir, 1, meta1);
+  const core::checkpoint cp0 = load_shard_checkpoint(p0, 0, cfg, 0, 0);
+  const core::checkpoint cp1 = load_shard_checkpoint(p1, 1, cfg, 0, 0);
+
+  // Overlay the shipped shards onto an EMPTY mirror in both orders: the
+  // digests must agree with each other and with the original content.
+  auto blank = models_of(r.rig.det);
+  for (auto& row : blank) {
+    for (auto& cell : row) cell.reset();
+  }
+  auto a = blank;
+  merge_shard(a, cp0.det, 0, cfg);
+  merge_shard(a, cp1.det, 1, cfg);
+  auto b = blank;
+  merge_shard(b, cp1.det, 1, cfg);
+  merge_shard(b, cp0.det, 0, cfg);
+
+  const auto full = models_of(r.rig.det);
+  for (std::uint64_t s = 0; s < cfg.class_shards; ++s) {
+    EXPECT_EQ(shard_content_digest(a, s, cfg),
+              shard_content_digest(b, s, cfg))
+        << "shard " << s;
+    EXPECT_EQ(shard_content_digest(a, s, cfg),
+              shard_content_digest(full, s, cfg))
+        << "shard " << s;
+  }
+  // The digest sees presence: at least one shard carries fitted models
+  // (the genesis fit only models the classes the CNN actually predicts),
+  // and a populated shard reads differently from the blank mirror.
+  bool differs = false;
+  for (std::uint64_t s = 0; s < cfg.class_shards; ++s) {
+    differs = differs || shard_content_digest(blank, s, cfg) !=
+                             shard_content_digest(a, s, cfg);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Integrity, BanSetDigestAndRootAreCanonical) {
+  std::set<std::uint64_t> x;
+  for (const std::uint64_t c : {9ULL, 1ULL, 5ULL}) x.insert(c);
+  std::set<std::uint64_t> y;
+  for (const std::uint64_t c : {5ULL, 9ULL, 1ULL}) y.insert(c);
+  EXPECT_EQ(ban_set_digest(x), ban_set_digest(y));
+  y.erase(5);
+  EXPECT_NE(ban_set_digest(x), ban_set_digest(y));
+  EXPECT_NE(ban_set_digest({}), ban_set_digest(x));
+  EXPECT_EQ(digest_root({}), 0u);
+  EXPECT_EQ(digest_root({7u}), 7u);  // odd leaf promoted unpaired
+  EXPECT_EQ(digest_root({7u, 9u}), digest_root({7u, 9u}));
+  EXPECT_NE(digest_root({7u, 9u}), digest_root({9u, 7u}));  // order-sensitive
 }
 
 // -------------------------------------------------------------- handoff --
@@ -1364,6 +1532,192 @@ TEST(FleetSim, RepeatedRunsAreByteIdentical) {
     }
   }
   EXPECT_FALSE(first.empty());
+}
+
+// Tentpole: a replica that reboots onto a rotted shard checkpoint fences
+// the shard (fails closed), then anti-entropy pulls the content back
+// from the surviving ownership-slot holder, unfences it, and converges
+// every replica to byte-identical state.
+TEST(FleetSim, CorruptShardFencesRepairsAndConverges) {
+  fleet_config cfg = small_cfg();
+  cfg.scrub_period = 6;
+  fleet_rig rig("corrupt_repair", cfg);
+  const auto owner = shard_owner_k(genesis_view(), 0, 0);
+  ASSERT_TRUE(owner.has_value());
+  const std::size_t pidx = *owner - 2;
+  // Publish at t=10, crash the owner, flip a bit in the shared shard 0
+  // latest file while it is down, recover: the boot load fails its
+  // checksum and the shard is corrupt-fenced, never served from rot.
+  fault_plan plan({{12, fault_kind::crash, pidx},
+                   {16, fault_kind::recover, pidx}});
+  plan.corrupt({14, corrupt_kind::bit_flip, corrupt_target::shard_file, pidx,
+                0, 99});
+  fleet_sim sim(rig.cfg, rig.deps(), plan);
+  sim.run(benign_arrivals(40, 1, 4200), 90);
+
+  const fleet_stats s = sim.stats();
+  EXPECT_EQ(s.corrupt_faults, 1u);
+  EXPECT_GE(s.shards_fenced_corrupt, 1u);
+  const std::string& journal = sim.log().text();
+  EXPECT_NE(journal.find("corrupt-fence shard=0"), std::string::npos);
+  // Fail closed while fenced: no full-confidence verdict ever left the
+  // corrupted shard, and no request was lost (abstains resolve).
+  EXPECT_EQ(s.corrupt_full_conf_serves, 0u);
+  EXPECT_EQ(s.split_brain_serves, 0u);
+  EXPECT_EQ(resolved_total(s), s.submitted);
+  // Anti-entropy detected the divergence, pulled from the surviving slot
+  // holder, and unfenced the shard.
+  EXPECT_GE(s.digest_mismatches, 1u);
+  EXPECT_GE(s.repairs_requested, 1u);
+  EXPECT_GE(s.repairs_served, 1u);
+  EXPECT_GE(s.repairs_completed, 1u);
+  EXPECT_NE(journal.find("repair shard=0"), std::string::npos);
+  EXPECT_NE(journal.find("unfenced=1"), std::string::npos);
+  EXPECT_TRUE(sim.worker(pidx).corrupt_shards().empty());
+  // Convergence is byte-identical: every replica's canonical shard
+  // digests agree, and the healed on-disk latest verifies again.
+  for (std::uint64_t sh = 0; sh < rig.cfg.class_shards; ++sh) {
+    const std::uint32_t want = sim.worker(0).content_digest(sh);
+    for (std::size_t i = 1; i < rig.cfg.replicas; ++i) {
+      EXPECT_EQ(sim.worker(i).content_digest(sh), want)
+          << "replica " << i << " shard " << sh;
+    }
+    EXPECT_TRUE(verify_checkpoint_file(shard_latest_path(rig.dir, sh)));
+  }
+}
+
+// Tentpole, the replication-1 leg: with no surviving slot holder there
+// is no authorized repair source, so the fenced shard must FAIL CLOSED —
+// abstaining forever — rather than resurrect from a bystander's copy.
+TEST(FleetSim, ReplicationOneCorruptionFailsClosed) {
+  fleet_config cfg = small_cfg();
+  cfg.replication = 1;
+  cfg.scrub_period = 6;
+  fleet_rig rig("corrupt_r1", cfg);
+  // Fence the shard that actually carries fitted content: the genesis
+  // fit models only the classes the CNN predicts for benign inputs, so
+  // this is the shard live verdicts land in — suppression is observable.
+  const auto full = models_of(rig.det);
+  std::uint64_t shard = 0;
+  for (std::size_t cls = 0; cls < full.size(); ++cls) {
+    for (const auto& em : full[cls]) {
+      if (em.has_value()) shard = shard_of_class(cls, rig.cfg);
+    }
+  }
+  const auto owner = shard_owner_k(genesis_view(), shard, 0);
+  ASSERT_TRUE(owner.has_value());
+  const std::size_t pidx = *owner - 2;
+  fault_plan plan({{12, fault_kind::crash, pidx},
+                   {16, fault_kind::recover, pidx}});
+  plan.corrupt({14, corrupt_kind::bit_flip, corrupt_target::shard_file, pidx,
+                shard, 31});
+  fleet_sim sim(rig.cfg, rig.deps(), plan);
+  sim.run(benign_arrivals(40, 1, 6100), 90);
+
+  const fleet_stats s = sim.stats();
+  EXPECT_EQ(s.corrupt_faults, 1u);
+  EXPECT_GE(s.shards_fenced_corrupt, 1u);
+  // No authorized source, no repair: not even a request goes out.
+  EXPECT_EQ(s.repairs_requested, 0u);
+  EXPECT_EQ(s.repairs_served, 0u);
+  EXPECT_EQ(s.repairs_completed, 0u);
+  ASSERT_TRUE(sim.worker(pidx).up());
+  EXPECT_TRUE(sim.worker(pidx).shard_fenced(shard));
+  // Failing closed means abstaining, not serving rot: verdicts that
+  // landed on the fenced shard were suppressed and resolved as typed
+  // integrity abstains, and nothing full-confidence escaped.
+  EXPECT_EQ(s.corrupt_full_conf_serves, 0u);
+  EXPECT_EQ(s.split_brain_serves, 0u);
+  EXPECT_GE(s.verdicts_suppressed_corrupt, 1u);
+  EXPECT_GE(s.outcome(req_outcome::abstain_corrupt), 1u);
+  EXPECT_EQ(resolved_total(s), s.submitted);
+}
+
+// Tentpole: a durable ban decision survives its own ledger rotting. The
+// owner reboots onto a damaged ledger (tolerated, verified-prefix read),
+// loses the record, and the next digest exchange ban_syncs the decision
+// back from its peers — re-persisted locally. Zero lost durable bans.
+TEST(FleetSim, BanSurvivesLedgerCorruptionViaAntiEntropy) {
+  fleet_config cfg = small_cfg();
+  cfg.scrub_period = 6;
+  fleet_rig rig("corrupt_ledger", cfg);
+  const std::uint64_t attacker = client_owned_by(replica_node(1), rig.cfg);
+  fault_plan plan({{31, fault_kind::crash, 1}, {35, fault_kind::recover, 1}});
+  plan.corrupt({33, corrupt_kind::bit_flip, corrupt_target::ledger_file, 1, 0,
+                12});
+  fleet_sim sim(rig.cfg, rig.deps(), plan);
+  sim.run(probe_campaign(attacker, 1, 30), 90);
+
+  const fleet_stats s = sim.stats();
+  EXPECT_EQ(s.bans_decided, 1u);
+  EXPECT_EQ(s.corrupt_faults, 1u);
+  EXPECT_EQ(s.split_brain_serves, 0u);
+  EXPECT_TRUE(sim.route().banned(attacker));
+  // The ban was re-synced into the rebooted owner...
+  ASSERT_TRUE(sim.worker(1).up());
+  EXPECT_EQ(sim.worker(1).tracker()->level(attacker),
+            track::escalation::banned);
+  // ...and once journalled, the attacker was never served again.
+  const std::string& journal = sim.log().text();
+  const std::string ban_line = "ban client=" + std::to_string(attacker);
+  const auto ban_at = journal.find(ban_line);
+  ASSERT_NE(ban_at, std::string::npos);
+  const std::string served_attacker =
+      "client=" + std::to_string(attacker) + " outcome=served";
+  EXPECT_EQ(journal.find(served_attacker, ban_at), std::string::npos);
+  // The decision is durable again in the owner's own rewritten ledger,
+  // which reads back clean.
+  const ban_ledger_read led =
+      read_ban_ledger_checked(ban_ledger_path(rig.dir, replica_node(1)));
+  EXPECT_FALSE(led.header_corrupt);
+  EXPECT_FALSE(led.torn_tail);
+  EXPECT_NE(std::find(led.clients.begin(), led.clients.end(), attacker),
+            led.clients.end());
+}
+
+// Satellite: the full corruption chaos — seeded disk faults on top of
+// crash/stall chaos, message loss, and a scripted digest blackout —
+// replays bitwise identically at 1 and 4 measurement threads. The
+// journalled scrub roots make digest determinism part of the byte
+// identity being asserted.
+TEST(FleetSim, CorruptionChaosIsBitwiseThreadInvariant) {
+  fleet_config cfg = small_cfg();
+  cfg.loss_rate = 0.03;
+  cfg.scrub_period = 6;
+  fault_plan plan(fault_plan::chaos(cfg, 110, 0.015, 11).events());
+  plan.add_corruption_chaos(cfg, 110, 0.25, 77);
+  plan.digest_blackout(40, 52);
+
+  auto arrivals = [] {
+    auto a = benign_arrivals(60, 1, 5000);
+    const auto probes = probe_campaign(47, 4, 25);
+    a.insert(a.end(), probes.begin(), probes.end());
+    return a;
+  };
+
+  fleet_rig rig1("cchaos_t1", cfg);
+  rig1.cfg.serve.threads = 1;
+  fleet_sim sim1(rig1.cfg, rig1.deps(), plan);
+  sim1.run(arrivals(), 110);
+
+  fleet_rig rig4("cchaos_t4", cfg);
+  rig4.cfg.serve.threads = 4;
+  fleet_sim sim4(rig4.cfg, rig4.deps(), plan);
+  sim4.run(arrivals(), 110);
+
+  EXPECT_EQ(sim1.log().text(), sim4.log().text());
+  const fleet_stats s1 = sim1.stats();
+  const fleet_stats s4 = sim4.stats();
+  EXPECT_GE(s1.corrupt_faults, 1u);  // the chaos actually bit
+  EXPECT_GE(s1.scrub_rounds, 1u);
+  EXPECT_EQ(s1.corrupt_full_conf_serves, 0u);
+  EXPECT_EQ(s4.corrupt_full_conf_serves, 0u);
+  EXPECT_EQ(s1.split_brain_serves, 0u);
+  EXPECT_EQ(s4.split_brain_serves, 0u);
+  EXPECT_EQ(s1.submitted, s4.submitted);
+  EXPECT_EQ(s1.by_outcome, s4.by_outcome);
+  EXPECT_EQ(s1.bans_decided, s4.bans_decided);
+  EXPECT_EQ(resolved_total(s1), s1.submitted);
 }
 
 }  // namespace
